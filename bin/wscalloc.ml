@@ -1,0 +1,233 @@
+(* wscalloc — command-line front-end to the warehouse-scale allocator study.
+
+     wscalloc list-apps
+     wscalloc simulate --app monarch --duration 30 [--optimized]
+     wscalloc ab --app monarch --experiment lifetime-filler
+     wscalloc fleet --machines 10 --duration 20 *)
+
+open Core
+open Cmdliner
+module Units = Substrate.Units
+module Config = Tcmalloc.Config
+module Malloc = Tcmalloc.Malloc
+module Telemetry = Tcmalloc.Telemetry
+module Apps = Workload.Apps
+module Profile = Workload.Profile
+module Driver = Workload.Driver
+module Machine = Fleet_sim.Machine
+module Gwp = Fleet_sim.Gwp
+module Ab = Fleet_sim.Ab_test
+
+let experiments =
+  [
+    ("dynamic-cpu-caches", Config.with_dynamic_per_cpu true Config.baseline);
+    ("nuca-transfer-cache", Config.with_nuca_transfer_cache true Config.baseline);
+    ("span-prioritization", Config.with_span_prioritization true Config.baseline);
+    ("lifetime-filler", Config.with_lifetime_aware_filler true Config.baseline);
+    ("all", Config.all_optimizations);
+  ]
+
+let app_arg =
+  let parse name =
+    match Apps.by_name name with
+    | p -> Ok p
+    | exception Not_found ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown application %S; try `wscalloc list-apps'" name))
+  in
+  let print fmt p = Format.pp_print_string fmt p.Profile.name in
+  Arg.conv (parse, print)
+
+let app_term =
+  Arg.(
+    required
+    & opt (some app_arg) None
+    & info [ "app"; "a" ] ~docv:"APP" ~doc:"Application profile to run.")
+
+let duration_term =
+  Arg.(
+    value & opt float 30.0
+    & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc:"Simulated duration in seconds.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+(* list-apps *)
+
+let list_apps () =
+  List.iter
+    (fun p ->
+      Printf.printf "%-22s %5.1f allocs/request, %.0f requests/s/thread\n"
+        p.Profile.name p.Profile.allocs_per_request p.Profile.requests_per_thread_per_sec)
+    Apps.all
+
+let list_apps_cmd =
+  Cmd.v (Cmd.info "list-apps" ~doc:"List available application profiles.")
+    Term.(const list_apps $ const ())
+
+(* simulate *)
+
+let simulate app duration optimized seed =
+  let config = if optimized then Config.all_optimizations else Config.baseline in
+  Printf.printf "simulating %s for %.0fs (%s)...\n%!" app.Profile.name duration
+    (Config.describe config);
+  let job =
+    Quick.run_app ~seed ~config ~duration_ns:(duration *. Units.sec) app
+  in
+  let m = job.Machine.malloc in
+  let stats = Malloc.heap_stats m in
+  let tel = Malloc.telemetry m in
+  Printf.printf "requests completed : %.0f\n" (Driver.requests_completed job.Machine.driver);
+  Printf.printf "allocations        : %d (%d frees)\n" (Telemetry.alloc_count tel)
+    (Telemetry.free_count tel);
+  Printf.printf "live               : %s\n"
+    (Units.bytes_to_string stats.Malloc.live_requested_bytes);
+  Printf.printf "simulated RSS      : %s\n"
+    (Units.bytes_to_string stats.Malloc.resident_bytes);
+  Printf.printf "fragmentation      : %.1f%% (ext %s, int %s)\n"
+    (100.0 *. Malloc.fragmentation_ratio stats)
+    (Units.bytes_to_string stats.Malloc.external_fragmentation_bytes)
+    (Units.bytes_to_string stats.Malloc.internal_fragmentation_bytes);
+  Printf.printf "hugepage coverage  : %.1f%%\n" (100.0 *. Malloc.hugepage_coverage m);
+  Printf.printf "malloc cycle share : %.2f%%\n" (100.0 *. Gwp.malloc_cycle_fraction job);
+  List.iter
+    (fun tier ->
+      Printf.printf "  %-16s %d hits\n" (Hw.Cost_model.tier_name tier)
+        (Telemetry.hits tel tier))
+    Hw.Cost_model.all_tiers;
+  (* GWP-style sampled heap profile (Sec. 3, "Sampled"). *)
+  let sampler = Malloc.sampler m in
+  Printf.printf "sampled live heap  : ~%s across size bins:\n"
+    (Units.bytes_to_string (Tcmalloc.Sampler.live_heap_estimate_bytes sampler));
+  List.iter
+    (fun (bin, n) -> Printf.printf "  >= %-10s %d samples\n" (Units.bytes_to_string bin) n)
+    (Tcmalloc.Sampler.live_profile sampler)
+
+let simulate_cmd =
+  let optimized =
+    Arg.(value & flag & info [ "optimized" ] ~doc:"Enable all four optimizations.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
+    Term.(const simulate $ app_term $ duration_term $ optimized $ seed_term)
+
+(* ab *)
+
+let ab app experiment_name duration seed =
+  match List.assoc_opt experiment_name experiments with
+  | None ->
+    Printf.eprintf "unknown experiment %S; known: %s\n" experiment_name
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+  | Some experiment ->
+    Printf.printf "A/B %s: baseline vs %s...\n%!" app.Profile.name experiment_name;
+    let o =
+      Ab.run_app ~seed ~duration_ns:(duration *. Units.sec) ~control:Config.baseline
+        ~experiment app
+    in
+    Printf.printf "throughput : %+.2f%%\n" o.Ab.throughput_change_pct;
+    Printf.printf "memory     : %+.2f%%\n" o.Ab.memory_change_pct;
+    Printf.printf "CPI        : %+.2f%%\n" o.Ab.cpi_change_pct;
+    Printf.printf "LLC MPKI   : %.2f -> %.2f\n" o.Ab.mpki_before o.Ab.mpki_after;
+    Printf.printf "dTLB walk  : %.2f%% -> %.2f%%\n" o.Ab.walk_before_pct o.Ab.walk_after_pct;
+    Printf.printf "coverage   : %.1f%% -> %.1f%%\n" (100.0 *. o.Ab.coverage_before)
+      (100.0 *. o.Ab.coverage_after)
+
+let ab_cmd =
+  let experiment =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "experiment"; "e" ] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of dynamic-cpu-caches, nuca-transfer-cache, span-prioritization, \
+             lifetime-filler, all.")
+  in
+  Cmd.v
+    (Cmd.info "ab" ~doc:"Run a baseline-vs-optimization A/B experiment for one app.")
+    Term.(const ab $ app_term $ experiment $ duration_term $ seed_term)
+
+(* fleet *)
+
+let fleet machines duration seed =
+  Printf.printf "running a %d-machine fleet for %.0fs...\n%!" machines duration;
+  let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines () in
+  Fleet_sim.Fleet.run fleet ~duration_ns:(duration *. Units.sec) ~epoch_ns:Units.ms;
+  let jobs = Fleet_sim.Fleet.jobs fleet in
+  Printf.printf "fleet malloc cycle share: %.2f%%\n"
+    (100.0 *. Gwp.fleet_malloc_cycle_fraction jobs);
+  let ext, internal = Gwp.fragmentation_ratio jobs in
+  Printf.printf "fleet fragmentation: %.1f%% external + %.1f%% internal\n" (100.0 *. ext)
+    (100.0 *. internal);
+  let usage = Gwp.binary_usage jobs in
+  Printf.printf "top binaries by malloc cycles:\n";
+  List.iteri
+    (fun i u -> if i < 10 then Printf.printf "  %-16s %.0f us\n" u.Gwp.binary (u.Gwp.malloc_ns /. 1e3))
+    usage
+
+let fleet_cmd =
+  let machines =
+    Arg.(value & opt int 10 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Run a heterogeneous fleet and print a GWP-style profile.")
+    Term.(const fleet $ machines $ duration_term $ seed_term)
+
+(* trace-record / trace-replay *)
+
+let trace_record app duration seed out =
+  let trace =
+    Workload.Trace.synthesize ~seed ~profile:app ~duration_ns:(duration *. Units.sec) ()
+  in
+  Workload.Trace.save trace out;
+  Printf.printf "recorded %d events from %s into %s\n" (Workload.Trace.length trace)
+    app.Profile.name out
+
+let trace_record_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output path.")
+  in
+  Cmd.v
+    (Cmd.info "trace-record" ~doc:"Synthesize an allocation trace from a profile.")
+    Term.(const trace_record $ app_term $ duration_term $ seed_term $ out)
+
+let trace_replay file optimized =
+  let trace = Workload.Trace.load file in
+  let config = if optimized then Config.all_optimizations else Config.baseline in
+  Printf.printf "replaying %d events (%s)...\n%!" (Workload.Trace.length trace)
+    (Config.describe config);
+  let r = Workload.Trace.replay ~config trace in
+  Printf.printf "allocations : %d (%d frees)\n" r.Workload.Trace.allocations
+    r.Workload.Trace.frees;
+  Printf.printf "peak RSS    : %s\n" (Units.bytes_to_string r.Workload.Trace.peak_rss_bytes);
+  Printf.printf "final live  : %s\n"
+    (Units.bytes_to_string r.Workload.Trace.final_stats.Malloc.live_requested_bytes);
+  Printf.printf "malloc time : %.0f us (modeled)\n" (r.Workload.Trace.malloc_ns /. 1e3)
+
+let trace_replay_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "in"; "i" ] ~docv:"FILE" ~doc:"Trace file to replay.")
+  in
+  let optimized =
+    Arg.(value & flag & info [ "optimized" ] ~doc:"Enable all four optimizations.")
+  in
+  Cmd.v
+    (Cmd.info "trace-replay" ~doc:"Replay a recorded trace against an allocator config.")
+    Term.(const trace_replay $ file $ optimized)
+
+let () =
+  let info =
+    Cmd.info "wscalloc" ~version:"1.0.0"
+      ~doc:"Warehouse-scale memory allocator characterization simulator."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_record_cmd; trace_replay_cmd ]))

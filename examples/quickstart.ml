@@ -1,0 +1,64 @@
+(* Quickstart: drive the TCMalloc model directly through the public API.
+
+     dune exec examples/quickstart.exe
+
+   Creates one allocator on a chiplet platform, performs a few thousand
+   allocations by hand (no workload driver), and prints where requests were
+   satisfied and what the heap looks like. *)
+
+open Core
+module Units = Substrate.Units
+module Malloc = Tcmalloc.Malloc
+module Telemetry = Tcmalloc.Telemetry
+
+let () =
+  let clock = Substrate.Clock.create () in
+  let topology = Hw.Topology.default in
+  let malloc = Malloc.create ~config:Tcmalloc.Config.baseline ~topology ~clock () in
+
+  (* A little producer/consumer: CPU 0 allocates, CPU 20 (another LLC
+     domain) frees half of it, exercising the transfer cache. *)
+  let live = ref [] in
+  for round = 1 to 50 do
+    Substrate.Clock.advance clock Units.ms;
+    for i = 1 to 100 do
+      let size = 16 + ((round * i) mod 1000) in
+      let addr = Malloc.malloc malloc ~cpu:0 ~size in
+      live := (addr, size) :: !live
+    done;
+    (* Free the older half, alternating CPUs. *)
+    let rec free_half n = function
+      | (addr, size) :: rest when n > 0 ->
+        let cpu = if n mod 2 = 0 then 0 else 20 in
+        Malloc.free malloc ~cpu addr ~size;
+        free_half (n - 1) rest
+      | rest -> rest
+    in
+    live := free_half 50 (List.rev !live) |> List.rev
+  done;
+
+  (* One large allocation goes straight to the pageheap. *)
+  let big = Malloc.malloc malloc ~cpu:0 ~size:(5 * Units.mib) in
+  Printf.printf "5 MiB object placed at %#x (pageheap-direct)\n" big;
+
+  let tel = Malloc.telemetry malloc in
+  Printf.printf "allocations: %d, frees: %d\n" (Telemetry.alloc_count tel)
+    (Telemetry.free_count tel);
+  List.iter
+    (fun tier ->
+      Printf.printf "  %-16s satisfied %d allocations\n" (Hw.Cost_model.tier_name tier)
+        (Telemetry.hits tel tier))
+    Hw.Cost_model.all_tiers;
+
+  let stats = Malloc.heap_stats malloc in
+  Printf.printf "live: %s requested (%s after size-class rounding)\n"
+    (Units.bytes_to_string stats.Malloc.live_requested_bytes)
+    (Units.bytes_to_string stats.Malloc.live_rounded_bytes);
+  Printf.printf "cached by the allocator: front-end %s, transfer %s, CFL %s, pageheap %s\n"
+    (Units.bytes_to_string stats.Malloc.front_end_cached_bytes)
+    (Units.bytes_to_string stats.Malloc.transfer_cached_bytes)
+    (Units.bytes_to_string stats.Malloc.cfl_fragmented_bytes)
+    (Units.bytes_to_string stats.Malloc.pageheap_fragmented_bytes);
+  Printf.printf "simulated RSS: %s, hugepage coverage: %.1f%%\n"
+    (Units.bytes_to_string stats.Malloc.resident_bytes)
+    (100.0 *. Malloc.hugepage_coverage malloc)

@@ -1,0 +1,39 @@
+(** Public umbrella API for the warehouse-scale allocator study.
+
+    Everything lives in six focused libraries; this module re-exports them
+    under stable names and adds the small amount of glue that examples and
+    the CLI want.
+
+    {ul
+    {- {!Substrate} — PRNG, distributions, statistics, histograms, clock.}
+    {- {!Hw} — platform topology, latency/TLB/cost models, productivity.}
+    {- {!Os} — simulated virtual memory, vCPU ids, scheduling.}
+    {- {!Tcmalloc} — the allocator model and its four optimizations.}
+    {- {!Workload} — application profiles and the event driver.}
+    {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}} *)
+
+module Substrate = Wsc_substrate
+module Hw = Wsc_hw
+module Os = Wsc_os
+module Tcmalloc = Wsc_tcmalloc
+module Workload = Wsc_workload
+module Fleet_sim = Wsc_fleet
+
+(** Convenience entry points used by the examples and the CLI. *)
+module Quick = struct
+  module Units = Wsc_substrate.Units
+
+  (** Run one application on a dedicated default-platform machine and
+      return the finished job for inspection. *)
+  let run_app ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline)
+      ?(platform = Wsc_hw.Topology.default) ?(duration_ns = 10.0 *. Units.sec)
+      ?(epoch_ns = Units.ms) profile =
+    let machine = Wsc_fleet.Machine.create ~seed ~config ~platform ~jobs:[ profile ] () in
+    Wsc_fleet.Machine.run machine ~duration_ns ~epoch_ns;
+    List.hd (Wsc_fleet.Machine.jobs machine)
+
+  (** A/B one optimization flag for one application against the baseline. *)
+  let ab ?seed ?duration_ns profile ~experiment =
+    Wsc_fleet.Ab_test.run_app ?seed ?duration_ns
+      ~control:Wsc_tcmalloc.Config.baseline ~experiment profile
+end

@@ -1,0 +1,174 @@
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+module Productivity = Wsc_hw.Productivity
+module Tlb_model = Wsc_hw.Tlb_model
+module Topology = Wsc_hw.Topology
+
+type outcome = {
+  app : string;
+  throughput_change_pct : float;
+  memory_change_pct : float;
+  cpi_change_pct : float;
+  mpki_before : float;
+  mpki_after : float;
+  walk_before_pct : float;
+  walk_after_pct : float;
+  coverage_before : float;
+  coverage_after : float;
+  remote_before : float;
+  remote_after : float;
+  frag_before : float;
+  frag_after : float;
+}
+
+let malloc_ns_per_request (job : Machine.job) =
+  let requests = Driver.requests_completed job.Machine.driver in
+  if requests <= 0.0 then 0.0
+  else Driver.measured_malloc_ns job.Machine.driver /. requests
+
+let compare_jobs ~control ~experiment =
+  let profile = control.Machine.profile in
+  if profile.Profile.name <> experiment.Machine.profile.Profile.name then
+    invalid_arg "Ab_test.compare_jobs: mismatched profiles";
+  let params = profile.Profile.productivity in
+  let remote_before =
+    Telemetry.remote_reuse_fraction (Malloc.telemetry control.Machine.malloc)
+  in
+  let remote_after =
+    Telemetry.remote_reuse_fraction (Malloc.telemetry experiment.Machine.malloc)
+  in
+  let mpki_before = params.Productivity.llc_mpki in
+  let mpki_after =
+    if remote_before <= 0.0 then mpki_before
+    else
+      Productivity.mpki_with_locality params ~remote_fraction:remote_after
+        ~baseline_remote_fraction:remote_before
+  in
+  let coverage_before = Driver.avg_hugepage_coverage control.Machine.driver in
+  let coverage_after = Driver.avg_hugepage_coverage experiment.Machine.driver in
+  let walk_before = params.Productivity.dtlb_walk_fraction in
+  (* Table 2's "Before" walk fraction corresponds to the control arm's
+     coverage, so the experiment arm scales by the *relative* miss factor. *)
+  let walk_after =
+    walk_before
+    *. (Tlb_model.relative_misses ~coverage:coverage_after
+       /. Tlb_model.relative_misses ~coverage:coverage_before)
+  in
+  let topology = Malloc.topology control.Machine.malloc in
+  let locality_tlb_change =
+    Productivity.throughput_change_pct topology params ~mpki_before
+      ~walk_before ~mpki_after ~walk_after
+  in
+  (* Change in allocator CPU per request, as a share of request CPU.  The
+     request CPU is anchored to the control arm's measured allocator time
+     via the app's malloc cycle share (Fig. 5a): if malloc is f of the CPU
+     and gets r% more expensive per request, throughput loses ~f*r%. *)
+  let mn_control = malloc_ns_per_request control in
+  let malloc_cpu_change_pct =
+    if mn_control <= 0.0 then 0.0
+    else
+      params.Productivity.malloc_cycle_fraction
+      *. (malloc_ns_per_request experiment -. mn_control)
+      /. mn_control *. 100.0
+  in
+  let throughput_change_pct = locality_tlb_change -. malloc_cpu_change_pct in
+  let cpi_change_pct =
+    Productivity.cpi_change_pct params ~mpki_before ~walk_before ~mpki_after ~walk_after
+  in
+  let rss_before = Driver.avg_rss_bytes control.Machine.driver in
+  let rss_after = Driver.avg_rss_bytes experiment.Machine.driver in
+  {
+    app = profile.Profile.name;
+    throughput_change_pct;
+    memory_change_pct = Stats.percent_change ~before:rss_before ~after:rss_after;
+    cpi_change_pct;
+    mpki_before;
+    mpki_after;
+    walk_before_pct = 100.0 *. walk_before;
+    walk_after_pct = 100.0 *. walk_after;
+    coverage_before;
+    coverage_after;
+    remote_before;
+    remote_after;
+    frag_before = Driver.avg_fragmentation_ratio control.Machine.driver;
+    frag_after = Driver.avg_fragmentation_ratio experiment.Machine.driver;
+  }
+
+type fleet_outcome = { fleet : outcome; per_app : outcome list }
+
+(* Weighted mean of a field over paired outcomes. *)
+let weighted outcomes weights f =
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left2 (fun acc o w -> acc +. (f o *. w)) 0.0 outcomes weights /. total
+
+let aggregate name outcomes weights =
+  let w = weighted outcomes weights in
+  {
+    app = name;
+    throughput_change_pct = w (fun o -> o.throughput_change_pct);
+    memory_change_pct = w (fun o -> o.memory_change_pct);
+    cpi_change_pct = w (fun o -> o.cpi_change_pct);
+    mpki_before = w (fun o -> o.mpki_before);
+    mpki_after = w (fun o -> o.mpki_after);
+    walk_before_pct = w (fun o -> o.walk_before_pct);
+    walk_after_pct = w (fun o -> o.walk_after_pct);
+    coverage_before = w (fun o -> o.coverage_before);
+    coverage_after = w (fun o -> o.coverage_after);
+    remote_before = w (fun o -> o.remote_before);
+    remote_after = w (fun o -> o.remote_after);
+    frag_before = w (fun o -> o.frag_before);
+    frag_after = w (fun o -> o.frag_after);
+  }
+
+let run_app ?(seed = 11) ?(replicas = 3) ?(warmup_ns = 30.0 *. Units.sec)
+    ?(duration_ns = 60.0 *. Units.sec) ?(epoch_ns = Units.ms)
+    ?(platform = Topology.default) ~control ~experiment profile =
+  let one seed =
+    let make config =
+      let machine = Machine.create ~seed ~config ~platform ~jobs:[ profile ] () in
+      Machine.run machine ~duration_ns:warmup_ns ~epoch_ns;
+      List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Machine.jobs machine);
+      Machine.run machine ~duration_ns ~epoch_ns;
+      List.hd (Machine.jobs machine)
+    in
+    let control_job = make control in
+    let experiment_job = make experiment in
+    compare_jobs ~control:control_job ~experiment:experiment_job
+  in
+  (* Averaging independent replicas stands in for the noise suppression the
+     paper gets from thousands of machines per experiment arm. *)
+  let outcomes = List.init replicas (fun i -> one (seed + (101 * i))) in
+  aggregate profile.Profile.name outcomes (List.map (fun _ -> 1.0) outcomes)
+
+let run_fleet ?(seed = 11) ?(num_machines = 12) ?(warmup_ns = 20.0 *. Units.sec)
+    ?(duration_ns = 40.0 *. Units.sec) ?(epoch_ns = Units.ms) ~control ~experiment () =
+  let build config =
+    let fleet = Fleet.create ~seed ~num_machines ~config () in
+    Fleet.run fleet ~duration_ns:warmup_ns ~epoch_ns;
+    List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Fleet.jobs fleet);
+    Fleet.run fleet ~duration_ns ~epoch_ns;
+    Fleet.jobs fleet
+  in
+  let control_jobs = build control in
+  let experiment_jobs = build experiment in
+  let outcomes =
+    List.map2
+      (fun c e -> (compare_jobs ~control:c ~experiment:e, Gwp.job_cpu_ns c))
+      control_jobs experiment_jobs
+  in
+  let all = List.map fst outcomes and weights = List.map snd outcomes in
+  let fleet = aggregate "fleet" all weights in
+  let names = List.sort_uniq compare (List.map (fun o -> o.app) all) in
+  let per_app =
+    List.map
+      (fun name ->
+        let subset = List.filter (fun (o, _) -> o.app = name) outcomes in
+        aggregate name (List.map fst subset) (List.map snd subset))
+      names
+  in
+  { fleet; per_app }

@@ -1,0 +1,56 @@
+open Wsc_substrate
+module Topology = Wsc_hw.Topology
+module Profile = Wsc_workload.Profile
+module Apps = Wsc_workload.Apps
+
+type t = {
+  machines : Machine.t list;
+  binaries : Profile.t array;
+}
+
+(* Platform mix: newer generations dominate but older ones linger. *)
+let platform_weights = [| 0.08; 0.12; 0.20; 0.28; 0.32 |]
+
+let make_binaries n =
+  Array.init n (fun rank ->
+      match rank with
+      | 0 -> Apps.monarch
+      | 1 -> Apps.spanner
+      | 2 -> Apps.bigtable
+      | 3 -> Apps.f1_query
+      | 4 -> Apps.disk
+      | _ -> Apps.fleet_binary ~rank)
+
+let create ?(seed = 7) ?(num_machines = 24) ?(num_binaries = 50) ?(jobs_per_machine = 2)
+    ?(zipf_s = 0.9) ?population ?(config = Wsc_tcmalloc.Config.baseline) () =
+  if num_machines <= 0 || num_binaries < 5 || jobs_per_machine <= 0 then
+    invalid_arg "Fleet.create: bad shape";
+  let rng = Rng.create seed in
+  let binaries =
+    match population with
+    | Some p when Array.length p >= 5 -> p
+    | Some _ -> invalid_arg "Fleet.create: population too small"
+    | None -> make_binaries num_binaries
+  in
+  let num_binaries =
+    match population with Some p -> Array.length p | None -> num_binaries
+  in
+  let machines =
+    List.init num_machines (fun i ->
+        let platform =
+          Topology.generations.(Dist.categorical rng platform_weights)
+        in
+        let jobs =
+          List.init jobs_per_machine (fun _ ->
+              binaries.(Dist.zipf rng ~n:num_binaries ~s:zipf_s))
+        in
+        Machine.create ~seed:(seed + (7919 * (i + 1))) ~config ~platform ~jobs ())
+  in
+  { machines; binaries }
+
+let run t ~duration_ns ~epoch_ns =
+  List.iter (fun m -> Machine.run m ~duration_ns ~epoch_ns) t.machines
+
+let machines t = t.machines
+let jobs t = List.concat_map Machine.jobs t.machines
+let binary_population t = t.binaries

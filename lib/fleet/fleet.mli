@@ -1,0 +1,36 @@
+(** A simulated fleet (Sec. 2.2/2.3).
+
+    Machines draw their platform from the generation mix (newer chiplet
+    platforms dominate), and their co-located jobs from a Zipf-popular
+    binary population: the first five binaries are the named production
+    workloads with the highest malloc usage, the long tail is synthetic
+    fleet-profile variants — which is what makes the top-50 binaries cover
+    only ~50% of malloc cycles and ~65% of allocated memory (Fig. 3). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?num_machines:int ->
+  ?num_binaries:int ->
+  ?jobs_per_machine:int ->
+  ?zipf_s:float ->
+  ?population:Wsc_workload.Profile.t array ->
+  ?config:Wsc_tcmalloc.Config.t ->
+  unit ->
+  t
+(** Defaults: 24 machines, 50 binaries, 2 jobs per machine, Zipf(0.9)
+    binary popularity.  [population] overrides the default binary
+    population (top-5 production workloads + synthetic tail) entirely;
+    it must be ordered most-popular first and have >= 5 entries. *)
+
+val run : t -> duration_ns:float -> epoch_ns:float -> unit
+(** Run every machine for the given simulated duration. *)
+
+val machines : t -> Machine.t list
+
+val jobs : t -> Machine.job list
+(** All jobs across all machines. *)
+
+val binary_population : t -> Wsc_workload.Profile.t array
+(** The binaries jobs were drawn from, most popular first. *)

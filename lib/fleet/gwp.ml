@@ -1,0 +1,152 @@
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+module Productivity = Wsc_hw.Productivity
+module Cost_model = Wsc_hw.Cost_model
+
+let job_cpu_ns (job : Machine.job) =
+  let params = job.Machine.profile.Profile.productivity in
+  let requests = Driver.requests_completed job.Machine.driver in
+  let cpi = Productivity.baseline_cpi params in
+  requests *. params.Productivity.instructions_per_request *. cpi /. 3.0
+
+let malloc_cycle_fraction job =
+  let cpu = job_cpu_ns job in
+  if cpu <= 0.0 then 0.0 else Driver.measured_malloc_ns job.Machine.driver /. cpu
+
+let fleet_malloc_cycle_fraction jobs =
+  let cpu = List.fold_left (fun acc j -> acc +. job_cpu_ns j) 0.0 jobs in
+  let malloc_ns =
+    List.fold_left (fun acc j -> acc +. Driver.measured_malloc_ns j.Machine.driver) 0.0 jobs
+  in
+  if cpu <= 0.0 then 0.0 else malloc_ns /. cpu
+
+type cycle_breakdown = {
+  cpu_cache : float;
+  transfer_cache : float;
+  central_free_list : float;
+  pageheap : float;
+  sampled : float;
+  prefetch : float;
+  other : float;
+}
+
+let cycle_breakdown jobs =
+  let sum f =
+    List.fold_left (fun acc j -> acc +. f (Malloc.telemetry j.Machine.malloc)) 0.0 jobs
+  in
+  let cpu_cache = sum (fun t -> Telemetry.tier_ns_since_mark t Cost_model.Per_cpu_cache) in
+  let transfer_cache = sum (fun t -> Telemetry.tier_ns_since_mark t Cost_model.Transfer_cache) in
+  let central_free_list =
+    sum (fun t -> Telemetry.tier_ns_since_mark t Cost_model.Central_free_list)
+  in
+  let pageheap =
+    sum (fun t ->
+        Telemetry.tier_ns_since_mark t Cost_model.Pageheap
+        +. Telemetry.tier_ns_since_mark t Cost_model.Mmap)
+  in
+  let sampled = sum Telemetry.sampled_ns_since_mark in
+  let prefetch = sum Telemetry.prefetch_ns_since_mark in
+  let other = sum Telemetry.other_ns_since_mark in
+  let total =
+    cpu_cache +. transfer_cache +. central_free_list +. pageheap +. sampled +. prefetch
+    +. other
+  in
+  let norm x = if total <= 0.0 then 0.0 else x /. total in
+  {
+    cpu_cache = norm cpu_cache;
+    transfer_cache = norm transfer_cache;
+    central_free_list = norm central_free_list;
+    pageheap = norm pageheap;
+    sampled = norm sampled;
+    prefetch = norm prefetch;
+    other = norm other;
+  }
+
+type fragmentation_breakdown = {
+  fb_cpu_cache : float;
+  fb_transfer_cache : float;
+  fb_central_free_list : float;
+  fb_pageheap : float;
+  fb_internal : float;
+}
+
+let sum_stats jobs =
+  List.fold_left
+    (fun (fe, tc, cfl, ph, internal, live) j ->
+      let s = Malloc.heap_stats j.Machine.malloc in
+      ( fe + s.Malloc.front_end_cached_bytes,
+        tc + s.Malloc.transfer_cached_bytes,
+        cfl + s.Malloc.cfl_fragmented_bytes,
+        ph + s.Malloc.pageheap_fragmented_bytes,
+        internal + s.Malloc.internal_fragmentation_bytes,
+        live + s.Malloc.live_requested_bytes ))
+    (0, 0, 0, 0, 0, 0) jobs
+
+let fragmentation_breakdown jobs =
+  let fe, tc, cfl, ph, internal, _live = sum_stats jobs in
+  let total = float_of_int (fe + tc + cfl + ph + internal) in
+  let norm x = if total <= 0.0 then 0.0 else float_of_int x /. total in
+  {
+    fb_cpu_cache = norm fe;
+    fb_transfer_cache = norm tc;
+    fb_central_free_list = norm cfl;
+    fb_pageheap = norm ph;
+    fb_internal = norm internal;
+  }
+
+let fragmentation_ratio jobs =
+  let fe, tc, cfl, ph, internal, live = sum_stats jobs in
+  if live <= 0 then (0.0, 0.0)
+  else begin
+    let live = float_of_int live in
+    (float_of_int (fe + tc + cfl + ph) /. live, float_of_int internal /. live)
+  end
+
+let merged_size_histograms jobs =
+  match jobs with
+  | [] -> invalid_arg "Gwp.merged_size_histograms: no jobs"
+  | first :: rest ->
+    let tel j = Malloc.telemetry j.Machine.malloc in
+    let count = ref (Telemetry.size_histogram_count (tel first)) in
+    let bytes = ref (Telemetry.size_histogram_bytes (tel first)) in
+    List.iter
+      (fun j ->
+        count := Histogram.merge !count (Telemetry.size_histogram_count (tel j));
+        bytes := Histogram.merge !bytes (Telemetry.size_histogram_bytes (tel j)))
+      rest;
+    (!count, !bytes)
+
+let merged_lifetime_bins jobs =
+  let table : (int, Histogram.t) Hashtbl.t = Hashtbl.create 48 in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun (bin, hist) ->
+          match Hashtbl.find_opt table bin with
+          | Some existing -> Hashtbl.replace table bin (Histogram.merge existing hist)
+          | None -> Hashtbl.replace table bin hist)
+        (Telemetry.lifetime_bins (Malloc.telemetry j.Machine.malloc)))
+    jobs;
+  Hashtbl.fold (fun bin hist acc -> (bin, hist) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type binary_usage = { binary : string; malloc_ns : float; allocated_bytes : float }
+
+let binary_usage jobs =
+  let table : (string, float * float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun j ->
+      let name = j.Machine.profile.Profile.name in
+      let tel = Malloc.telemetry j.Machine.malloc in
+      let ns = Telemetry.total_malloc_ns tel in
+      let bytes = Histogram.total_weight (Telemetry.size_histogram_bytes tel) in
+      let prev_ns, prev_bytes = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt table name) in
+      Hashtbl.replace table name (prev_ns +. ns, prev_bytes +. bytes))
+    jobs;
+  Hashtbl.fold
+    (fun binary (malloc_ns, allocated_bytes) acc -> { binary; malloc_ns; allocated_bytes } :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.malloc_ns a.malloc_ns)

@@ -1,0 +1,60 @@
+open Wsc_substrate
+module Topology = Wsc_hw.Topology
+module Sched = Wsc_os.Sched
+module Malloc = Wsc_tcmalloc.Malloc
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+module Threads = Wsc_workload.Threads
+
+type job = { profile : Profile.t; driver : Driver.t; malloc : Malloc.t }
+
+type t = {
+  platform : Topology.t;
+  clock : Clock.t;
+  jobs : job list;
+}
+
+(* CPUs a job can need: its thread ceiling, bounded by the machine. *)
+let job_cpus platform profile =
+  min (Topology.num_cpus platform) profile.Profile.threads.Threads.max_threads
+
+let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ~platform ~jobs () =
+  let clock = Clock.create () in
+  let next_cpu = ref 0 in
+  let make index profile =
+    let cpus = job_cpus platform profile in
+    (* Services whose ceiling exceeds half an LLC domain get spread across
+       domains by the scheduler (Sec. 4.2: applications span cache domains
+       because they are too large to fit or be scheduled within one). *)
+    let domains = max 1 (min 4 (cpus / 4)) in
+    let sched =
+      if domains > 1 && Topology.num_domains platform > 1 then
+        Sched.spread platform ~first_cpu:!next_cpu ~cpus ~domains
+      else Sched.slice platform ~first_cpu:!next_cpu ~cpus
+    in
+    next_cpu := (!next_cpu + cpus) mod Topology.num_cpus platform;
+    let malloc = Malloc.create ~config ~topology:platform ~clock () in
+    let driver =
+      Driver.create ~seed:(seed + (1000 * index)) ~profile ~sched ~malloc ~clock ()
+    in
+    { profile; driver; malloc }
+  in
+  { platform; clock; jobs = List.mapi make jobs }
+
+let run t ~duration_ns ~epoch_ns =
+  let until = Clock.now t.clock +. duration_ns in
+  while Clock.now t.clock < until do
+    let dt = Float.min epoch_ns (until -. Clock.now t.clock) in
+    Clock.advance t.clock dt;
+    List.iter (fun job -> Driver.step job.driver ~dt) t.jobs
+  done
+
+let platform t = t.platform
+let jobs t = t.jobs
+let clock t = t.clock
+
+let total_rss t =
+  List.fold_left
+    (fun acc job ->
+      acc + (Malloc.heap_stats job.malloc).Malloc.resident_bytes)
+    0 t.jobs

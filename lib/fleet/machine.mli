@@ -1,0 +1,38 @@
+(** A simulated server: one hardware platform running co-located jobs.
+
+    Each job is one process — an allocator instance plus a workload driver —
+    confined by the control plane to a slice of the machine's CPUs (Sec. 3:
+    "workloads are often co-located, and constrained to run on a subset of
+    CPUs").  All processes share the machine's simulated clock, so their
+    background allocator activities interleave in time exactly as the
+    drivers do. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Wsc_tcmalloc.Config.t ->
+  platform:Wsc_hw.Topology.t ->
+  jobs:Wsc_workload.Profile.t list ->
+  unit ->
+  t
+(** Co-locate [jobs] on a machine of the given platform.  CPU slices are
+    carved contiguously (and wrap), so co-located jobs overlap on big
+    machines only when they need more CPUs than exist. *)
+
+val run : t -> duration_ns:float -> epoch_ns:float -> unit
+(** Advance the machine's clock, stepping every job each epoch. *)
+
+val platform : t -> Wsc_hw.Topology.t
+
+type job = {
+  profile : Wsc_workload.Profile.t;
+  driver : Wsc_workload.Driver.t;
+  malloc : Wsc_tcmalloc.Malloc.t;
+}
+
+val jobs : t -> job list
+val clock : t -> Wsc_substrate.Clock.t
+
+val total_rss : t -> int
+(** Sum of simulated RSS across jobs. *)

@@ -1,0 +1,13 @@
+let reference_coverage = 0.544
+
+(* Fig. 17: coverage 0.544 -> 0.562 yields relative misses 0.839.
+   k = -ln 0.839 / 0.018. *)
+let miss_sensitivity = -.log 0.839 /. 0.018
+
+let relative_misses ~coverage =
+  exp (-.miss_sensitivity *. (coverage -. reference_coverage))
+
+let walk_fraction ~base_walk_fraction ~coverage =
+  base_walk_fraction *. relative_misses ~coverage
+
+let walk_cycle_penalty = 35.0

@@ -1,0 +1,26 @@
+(** dTLB behaviour as a function of hugepage coverage (Sec. 4.4, Fig. 17).
+
+    An intact, aligned 2 MiB hugepage occupies a single dTLB entry, so
+    raising the fraction of heap bytes backed by hugepages shrinks the page
+    walk rate.  The paper measures coverage rising 54.4% -> 56.2% while
+    relative dTLB misses fall to 0.839 (Fig. 17b); we calibrate an
+    exponential sensitivity so that the +1.8pp coverage gain reproduces the
+    0.839 relative-miss point, and expose walk-cycle fractions derived from
+    per-application baselines (Table 2 "Before" column). *)
+
+val reference_coverage : float
+(** 0.544 — fleet hugepage coverage under the baseline filler. *)
+
+val miss_sensitivity : float
+(** Exponent k in [relative_misses = exp (-k * (coverage - reference))]. *)
+
+val relative_misses : coverage:float -> float
+(** Relative dTLB miss rate vs the reference coverage (1.0 at reference). *)
+
+val walk_fraction : base_walk_fraction:float -> coverage:float -> float
+(** Fraction of cycles spent in page walks at the given coverage, when the
+    application spends [base_walk_fraction] at the reference coverage. *)
+
+val walk_cycle_penalty : float
+(** Average cycles consumed by one dTLB load walk (used by the productivity
+    model to convert walk-rate deltas into CPI deltas). *)

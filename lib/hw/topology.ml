@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  generation : int;
+  sockets : int;
+  domains_per_socket : int;
+  cores_per_domain : int;
+  smt : int;
+  frequency_ghz : float;
+}
+
+let cpus_per_domain t = t.cores_per_domain * t.smt
+let num_domains t = t.sockets * t.domains_per_socket
+let num_cpus t = num_domains t * cpus_per_domain t
+
+let domain_of_cpu t cpu =
+  assert (cpu >= 0 && cpu < num_cpus t);
+  cpu / cpus_per_domain t
+
+let socket_of_cpu t cpu = domain_of_cpu t cpu / t.domains_per_socket
+
+let cpus_of_domain t domain =
+  assert (domain >= 0 && domain < num_domains t);
+  let first = domain * cpus_per_domain t in
+  List.init (cpus_per_domain t) (fun i -> first + i)
+
+let cycles_of_ns t ns = ns *. t.frequency_ghz
+let ns_of_cycles t cycles = cycles /. t.frequency_ghz
+
+let generations =
+  [|
+    {
+      name = "gen1-monolithic";
+      generation = 1;
+      sockets = 2;
+      domains_per_socket = 1;
+      cores_per_domain = 18;
+      smt = 2;
+      frequency_ghz = 2.3;
+    };
+    {
+      name = "gen2-monolithic";
+      generation = 2;
+      sockets = 2;
+      domains_per_socket = 1;
+      cores_per_domain = 28;
+      smt = 2;
+      frequency_ghz = 2.5;
+    };
+    {
+      name = "gen3-monolithic";
+      generation = 3;
+      sockets = 2;
+      domains_per_socket = 1;
+      cores_per_domain = 32;
+      smt = 2;
+      frequency_ghz = 2.8;
+    };
+    {
+      name = "gen4-chiplet";
+      generation = 4;
+      sockets = 2;
+      domains_per_socket = 4;
+      cores_per_domain = 16;
+      smt = 2;
+      frequency_ghz = 3.0;
+    };
+    {
+      name = "gen5-chiplet";
+      generation = 5;
+      sockets = 2;
+      domains_per_socket = 8;
+      cores_per_domain = 9;
+      smt = 2;
+      frequency_ghz = 3.0;
+    };
+  |]
+
+let default = generations.(4)
+
+let uniprocessor =
+  {
+    name = "test-uniprocessor";
+    generation = 0;
+    sockets = 1;
+    domains_per_socket = 1;
+    cores_per_domain = 4;
+    smt = 1;
+    frequency_ghz = 3.0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d sockets x %d domains x %d cores x %d SMT = %d CPUs @ %.1f GHz"
+    t.name t.sockets t.domains_per_socket t.cores_per_domain t.smt (num_cpus t)
+    t.frequency_ghz

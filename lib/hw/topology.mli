@@ -1,0 +1,51 @@
+(** Server platform topology.
+
+    The paper's fleet is heterogeneous: five platform generations whose
+    hyperthread counts grew ~4x, with recent chiplet-based parts exposing
+    multiple last-level-cache (NUCA) domains per socket (Sec. 4.2).  A
+    topology describes sockets, LLC domains, physical cores and SMT threads,
+    and maps logical CPU ids to domains/sockets.  Logical CPUs are numbered
+    densely: all SMT siblings of a core are adjacent, cores of a domain are
+    adjacent, domains of a socket are adjacent. *)
+
+type t = {
+  name : string;  (** Marketing-free platform label, e.g. ["gen4-chiplet"]. *)
+  generation : int;  (** 1 (oldest) .. 5 (newest). *)
+  sockets : int;
+  domains_per_socket : int;  (** LLC (NUCA) domains per socket. *)
+  cores_per_domain : int;  (** Physical cores per LLC domain. *)
+  smt : int;  (** Hyperthreads per physical core. *)
+  frequency_ghz : float;
+}
+
+val num_cpus : t -> int
+(** Total logical CPUs. *)
+
+val num_domains : t -> int
+(** Total LLC domains across sockets. *)
+
+val domain_of_cpu : t -> int -> int
+(** LLC-domain index (fleet-global within the machine) of a logical CPU. *)
+
+val socket_of_cpu : t -> int -> int
+val cpus_of_domain : t -> int -> int list
+(** Logical CPUs belonging to a domain, ascending. *)
+
+val cycles_of_ns : t -> float -> float
+(** Convert nanoseconds to cycles at this platform's frequency. *)
+
+val ns_of_cycles : t -> float -> float
+
+val generations : t array
+(** The five fleet platform generations, oldest first.  Hyperthread counts
+    grow ~4x from first to last, matching the paper's observation; the last
+    two generations are chiplet designs with multiple LLC domains. *)
+
+val default : t
+(** The newest chiplet platform ([generations.(4)]); used by single-machine
+    benchmarks ("dedicated server" in the paper). *)
+
+val uniprocessor : t
+(** A 1-socket, 1-domain, small platform for unit tests. *)
+
+val pp : Format.formatter -> t -> unit

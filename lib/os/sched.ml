@@ -1,0 +1,49 @@
+type t = { topology : Wsc_hw.Topology.t; quota : int array }
+
+let create topology ~quota =
+  if quota = [] then invalid_arg "Sched.create: empty quota";
+  let n = Wsc_hw.Topology.num_cpus topology in
+  List.iter
+    (fun cpu -> if cpu < 0 || cpu >= n then invalid_arg "Sched.create: CPU out of range")
+    quota;
+  { topology; quota = Array.of_list quota }
+
+let whole_machine topology =
+  create topology ~quota:(List.init (Wsc_hw.Topology.num_cpus topology) Fun.id)
+
+let slice topology ~first_cpu ~cpus =
+  let n = Wsc_hw.Topology.num_cpus topology in
+  if cpus <= 0 || cpus > n then invalid_arg "Sched.slice: bad size";
+  create topology ~quota:(List.init cpus (fun i -> (first_cpu + i) mod n))
+
+let spread topology ~first_cpu ~cpus ~domains =
+  if domains <= 0 then invalid_arg "Sched.spread: need positive domains";
+  let total_domains = Wsc_hw.Topology.num_domains topology in
+  let domains = min domains total_domains in
+  let first_domain = Wsc_hw.Topology.domain_of_cpu topology first_cpu in
+  let domain_cpus =
+    Array.init domains (fun i ->
+        Array.of_list
+          (Wsc_hw.Topology.cpus_of_domain topology ((first_domain + i) mod total_domains)))
+  in
+  let quota =
+    List.init cpus (fun i ->
+        let d = domain_cpus.(i mod domains) in
+        d.(i / domains mod Array.length d))
+  in
+  create topology ~quota
+
+let quota_size t = Array.length t.quota
+let cpu_of_thread t ~thread = t.quota.(thread mod Array.length t.quota)
+
+let domains_used t ~active_threads =
+  let k = min active_threads (Array.length t.quota) in
+  let module IntSet = Set.Make (Int) in
+  let set = ref IntSet.empty in
+  for i = 0 to k - 1 do
+    set := IntSet.add (Wsc_hw.Topology.domain_of_cpu t.topology t.quota.(i)) !set
+  done;
+  IntSet.elements !set
+
+let topology t = t.topology
+let quota t = Array.copy t.quota

@@ -1,0 +1,42 @@
+(** Process CPU placement.
+
+    The control plane confines each co-located job to a CPU quota — a subset
+    of the machine's logical CPUs (Sec. 3, "workloads are often co-located,
+    and constrained to run on a subset of CPUs").  A scheduler instance owns
+    that quota and places worker threads on it round-robin, keeping SMT
+    siblings and domain neighbours adjacent so that a small thread pool stays
+    within few LLC domains while a large one spans several — the situation
+    the NUCA-aware transfer cache targets. *)
+
+type t
+
+val create : Wsc_hw.Topology.t -> quota:int list -> t
+(** [create topology ~quota] with [quota] the logical CPUs this process may
+    use, in placement-preference order.  @raise Invalid_argument on an empty
+    quota or out-of-range CPU ids. *)
+
+val whole_machine : Wsc_hw.Topology.t -> t
+(** Quota covering every logical CPU. *)
+
+val slice : Wsc_hw.Topology.t -> first_cpu:int -> cpus:int -> t
+(** Contiguous quota of [cpus] logical CPUs starting at [first_cpu]
+    (wraps around the machine if needed). *)
+
+val spread : Wsc_hw.Topology.t -> first_cpu:int -> cpus:int -> domains:int -> t
+(** Quota of [cpus] CPUs interleaved round-robin across [domains]
+    consecutive LLC domains starting at the domain of [first_cpu] — the
+    placement a load-balancing scheduler produces for services too large
+    (or too spiky) to pin to one cache domain (Sec. 4.2). *)
+
+val quota_size : t -> int
+
+val cpu_of_thread : t -> thread:int -> int
+(** Physical CPU running worker thread [thread] (round-robin over the
+    quota).  Threads beyond the quota share CPUs. *)
+
+val domains_used : t -> active_threads:int -> int list
+(** Distinct LLC domains touched when the first [active_threads] worker
+    threads are running, ascending. *)
+
+val topology : t -> Wsc_hw.Topology.t
+val quota : t -> int array

@@ -1,0 +1,37 @@
+type t = {
+  by_phys : (int, int) Hashtbl.t;
+  mutable free_ids : int list;  (* sorted ascending *)
+  mutable next_fresh : int;
+  mutable high_water : int;
+}
+
+let create () = { by_phys = Hashtbl.create 64; free_ids = []; next_fresh = 0; high_water = 0 }
+
+let acquire t ~phys_cpu =
+  match Hashtbl.find_opt t.by_phys phys_cpu with
+  | Some id -> id
+  | None ->
+    let id =
+      match t.free_ids with
+      | id :: rest ->
+        t.free_ids <- rest;
+        id
+      | [] ->
+        let id = t.next_fresh in
+        t.next_fresh <- id + 1;
+        id
+    in
+    Hashtbl.replace t.by_phys phys_cpu id;
+    if id + 1 > t.high_water then t.high_water <- id + 1;
+    id
+
+let release t ~phys_cpu =
+  match Hashtbl.find_opt t.by_phys phys_cpu with
+  | None -> ()
+  | Some id ->
+    Hashtbl.remove t.by_phys phys_cpu;
+    t.free_ids <- List.sort compare (id :: t.free_ids)
+
+let lookup t ~phys_cpu = Hashtbl.find_opt t.by_phys phys_cpu
+let active_count t = Hashtbl.length t.by_phys
+let high_water_mark t = t.high_water

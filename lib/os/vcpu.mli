@@ -1,0 +1,35 @@
+(** Virtual CPU ids (Sec. 4.1).
+
+    The kernel's rseq extension exposes a process-private, dense virtual CPU
+    id space: if an application only ever runs on two cores at a time, its
+    threads observe vCPU ids 0 and 1 regardless of which physical cores they
+    occupy.  TCMalloc indexes its per-CPU caches by vCPU id, which decouples
+    the front-end footprint from the physical CPU count of ever-larger
+    platforms.
+
+    The model assigns the lowest free vCPU id to each physical CPU that
+    becomes active, and releases ids when the CPU goes idle, so a shrinking
+    thread pool vacates the *highest* ids first — the source of the usage
+    bias in Fig. 9b. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> phys_cpu:int -> int
+(** vCPU id for a physical CPU that is (about to be) running this process's
+    threads.  Idempotent while the CPU stays active. *)
+
+val release : t -> phys_cpu:int -> unit
+(** The physical CPU no longer runs this process; its vCPU id becomes
+    reusable.  Idempotent. *)
+
+val lookup : t -> phys_cpu:int -> int option
+(** Current vCPU id of an active physical CPU. *)
+
+val active_count : t -> int
+(** Number of currently assigned vCPU ids. *)
+
+val high_water_mark : t -> int
+(** Largest vCPU id ever assigned + 1 = number of per-CPU caches TCMalloc has
+    had to populate. *)

@@ -1,0 +1,104 @@
+open Wsc_substrate
+
+type addr = int
+
+type hugepage_state = {
+  mutable huge : bool;  (* false once broken by subrelease *)
+  mutable subreleased_pages : int;
+}
+
+type t = {
+  mutable next_addr : addr;
+  hugepages : (addr, hugepage_state) Hashtbl.t;  (* keyed by hugepage base *)
+  mutable mmap_calls : int;
+  mutable munmap_calls : int;
+  mutable subrelease_calls : int;
+  (* Incremental aggregates so per-epoch sampling stays O(1). *)
+  mutable mapped_count : int;
+  mutable huge_count : int;
+  mutable subreleased_total : int;
+}
+
+let hugepage_size = Units.hugepage_size
+let page_size = Units.tcmalloc_page_size
+let hugepage_base a = a - (a mod hugepage_size)
+
+let create () =
+  {
+    (* Start away from 0 so address 0 never aliases a valid object. *)
+    next_addr = 16 * hugepage_size;
+    hugepages = Hashtbl.create 1024;
+    mmap_calls = 0;
+    munmap_calls = 0;
+    subrelease_calls = 0;
+    mapped_count = 0;
+    huge_count = 0;
+    subreleased_total = 0;
+  }
+
+let mmap t ~hugepages =
+  if hugepages <= 0 then invalid_arg "Vm.mmap: hugepages must be positive";
+  let base = t.next_addr in
+  t.next_addr <- base + (hugepages * hugepage_size);
+  for i = 0 to hugepages - 1 do
+    Hashtbl.replace t.hugepages
+      (base + (i * hugepage_size))
+      { huge = true; subreleased_pages = 0 }
+  done;
+  t.mapped_count <- t.mapped_count + hugepages;
+  t.huge_count <- t.huge_count + hugepages;
+  t.mmap_calls <- t.mmap_calls + 1;
+  base
+
+let munmap t addr ~hugepages =
+  if addr mod hugepage_size <> 0 then invalid_arg "Vm.munmap: misaligned address";
+  for i = 0 to hugepages - 1 do
+    let hp = addr + (i * hugepage_size) in
+    match Hashtbl.find_opt t.hugepages hp with
+    | None -> invalid_arg "Vm.munmap: range not mapped"
+    | Some s ->
+      t.mapped_count <- t.mapped_count - 1;
+      if s.huge then t.huge_count <- t.huge_count - 1;
+      t.subreleased_total <- t.subreleased_total - s.subreleased_pages;
+      Hashtbl.remove t.hugepages hp
+  done;
+  t.munmap_calls <- t.munmap_calls + 1
+
+let state_exn t addr op =
+  match Hashtbl.find_opt t.hugepages (hugepage_base addr) with
+  | Some s -> s
+  | None -> invalid_arg (op ^ ": hugepage not mapped")
+
+let pages_per_hugepage = hugepage_size / page_size
+
+let subrelease t addr ~pages =
+  let s = state_exn t addr "Vm.subrelease" in
+  if s.huge then begin
+    s.huge <- false;
+    t.huge_count <- t.huge_count - 1
+  end;
+  let before = s.subreleased_pages in
+  s.subreleased_pages <- min pages_per_hugepage (s.subreleased_pages + pages);
+  t.subreleased_total <- t.subreleased_total + (s.subreleased_pages - before);
+  t.subrelease_calls <- t.subrelease_calls + 1
+
+let reclaim t addr ~pages =
+  let s = state_exn t addr "Vm.reclaim" in
+  let before = s.subreleased_pages in
+  s.subreleased_pages <- max 0 (s.subreleased_pages - pages);
+  t.subreleased_total <- t.subreleased_total - (before - s.subreleased_pages)
+
+let is_mapped t addr = Hashtbl.mem t.hugepages (hugepage_base addr)
+
+let is_huge_backed t addr =
+  match Hashtbl.find_opt t.hugepages (hugepage_base addr) with
+  | Some s -> s.huge
+  | None -> false
+
+let mapped_bytes t = t.mapped_count * hugepage_size
+let resident_bytes t = (t.mapped_count * hugepage_size) - (t.subreleased_total * page_size)
+let huge_backed_bytes t = t.huge_count * hugepage_size
+
+let mmap_calls t = t.mmap_calls
+let munmap_calls t = t.munmap_calls
+let subrelease_calls t = t.subrelease_calls

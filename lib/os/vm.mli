@@ -1,0 +1,60 @@
+(** Simulated per-process virtual memory with transparent hugepages.
+
+    The pageheap requests hugepage-aligned blocks via {!mmap}; the kernel
+    model backs each mapped 2 MiB region with a transparent hugepage.  A
+    region loses its hugepage backing when the allocator {!subrelease}s part
+    of it (returning non-hugepage-aligned pieces to the OS breaks the THP,
+    Sec. 2.1/4.4) and regains it only if unmapped and remapped.
+
+    Addresses are plain integers in a flat 63-bit space; nothing is ever
+    actually stored at them — the simulator tracks placement, not contents. *)
+
+type addr = int
+
+type t
+
+val create : unit -> t
+
+val mmap : t -> hugepages:int -> addr
+(** Map a run of [hugepages] contiguous, 2 MiB-aligned hugepages and return
+    the base address.  Each hugepage starts intact (THP-backed).
+    @raise Invalid_argument when [hugepages <= 0]. *)
+
+val munmap : t -> addr -> hugepages:int -> unit
+(** Unmap whole hugepages previously obtained from {!mmap}.  [addr] must be
+    hugepage-aligned and every hugepage in the run must currently be mapped.
+    @raise Invalid_argument on misaligned or unmapped ranges. *)
+
+val subrelease : t -> addr -> pages:int -> unit
+(** Return [pages] TCMalloc pages inside the hugepage containing [addr] to
+    the OS without unmapping the hugepage.  Breaks that hugepage's THP
+    backing permanently (until remapped).  The pages remain addressable (the
+    allocator may re-use them) but are not counted as resident.
+    @raise Invalid_argument if the hugepage is not mapped. *)
+
+val reclaim : t -> addr -> pages:int -> unit
+(** Fault back [pages] previously subreleased pages of the hugepage
+    containing [addr] (the allocator reused them).  The hugepage stays
+    broken. *)
+
+val is_mapped : t -> addr -> bool
+(** Whether the hugepage containing [addr] is mapped. *)
+
+val is_huge_backed : t -> addr -> bool
+(** Whether the hugepage containing [addr] is mapped and still THP-backed. *)
+
+val mapped_bytes : t -> int
+(** Total bytes in mapped hugepages (whether intact or broken). *)
+
+val resident_bytes : t -> int
+(** Mapped bytes minus subreleased ones: the RSS the kernel would report. *)
+
+val huge_backed_bytes : t -> int
+(** Bytes residing in intact (THP-backed) hugepages. *)
+
+val mmap_calls : t -> int
+val munmap_calls : t -> int
+val subrelease_calls : t -> int
+
+val hugepage_base : addr -> addr
+(** Round an address down to its containing hugepage boundary. *)

@@ -1,0 +1,30 @@
+(** A binary min-heap keyed by float priority.
+
+    The workload driver keeps every pending [free] as a future event ordered
+    by its deallocation timestamp; peak heaps reach millions of entries, so
+    the implementation is an array-backed d=2 heap with O(log n) operations
+    and no per-element allocation beyond the payload pair. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t key v] inserts [v] with priority [key]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. *)
+
+val pop_until : 'a t -> float -> (float * 'a) list
+(** [pop_until t key] removes every entry with priority [<= key], in
+    ascending order. *)
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> (float -> 'a -> unit) -> unit
+(** Iterate in unspecified order (heap order, not sorted). *)

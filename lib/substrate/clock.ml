@@ -1,0 +1,43 @@
+type ticker = { id : int; period : float; action : float -> unit; mutable live : bool }
+
+type t = {
+  mutable now : float;
+  queue : ticker Binheap.t;
+  mutable next_id : int;
+}
+
+let create () = { now = 0.0; queue = Binheap.create (); next_id = 0 }
+let now t = t.now
+
+let advance_to t target =
+  if target > t.now then begin
+    (* Fire tickers in deadline order up to the target, rescheduling each as
+       it fires so interleaved periods stay correctly ordered. *)
+    let rec drain () =
+      match Binheap.peek t.queue with
+      | Some (deadline, ticker) when deadline <= target ->
+        ignore (Binheap.pop t.queue);
+        if ticker.live then begin
+          t.now <- Float.max t.now deadline;
+          ticker.action t.now;
+          Binheap.push t.queue (deadline +. ticker.period) ticker
+        end;
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ();
+    t.now <- target
+  end
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Clock.advance: negative step";
+  advance_to t (t.now +. dt)
+
+let every t ~period action =
+  if period <= 0.0 then invalid_arg "Clock.every: period must be positive";
+  let ticker = { id = t.next_id; period; action; live = true } in
+  t.next_id <- t.next_id + 1;
+  Binheap.push t.queue (t.now +. period) ticker;
+  ticker
+
+let cancel _t ticker = ticker.live <- false

@@ -1,0 +1,177 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Lognormal of float * float
+  | Pareto of float * float
+  | Mixture of (float * t) array
+  (* cumulative weights paired with components *)
+  | Empirical of float array * float array
+  (* quantiles, values; both sorted ascending *)
+  | Shifted of float * t
+  | Scaled of float * t
+  | Clamped of float * float * t
+
+let constant v = Constant v
+let uniform ~lo ~hi = Uniform (lo, hi)
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean must be positive";
+  Exponential mean
+
+let lognormal ~mu ~sigma = Lognormal (mu, sigma)
+
+let pareto ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Dist.pareto: positive params required";
+  Pareto (scale, shape)
+
+let mixture parts =
+  if parts = [] then invalid_arg "Dist.mixture: empty";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+  if total <= 0.0 then invalid_arg "Dist.mixture: nonpositive total weight";
+  let cumulative = ref 0.0 in
+  let arr =
+    List.map
+      (fun (w, d) ->
+        cumulative := !cumulative +. (w /. total);
+        (!cumulative, d))
+      parts
+    |> Array.of_list
+  in
+  Mixture arr
+
+let empirical points =
+  if List.length points < 2 then invalid_arg "Dist.empirical: need >= 2 points";
+  let sorted = List.sort (fun (q1, _) (q2, _) -> compare q1 q2) points in
+  List.iter
+    (fun (q, v) ->
+      if q < 0.0 || q > 1.0 then invalid_arg "Dist.empirical: quantile out of [0,1]";
+      if v <= 0.0 then invalid_arg "Dist.empirical: values must be positive")
+    sorted;
+  let qs = Array.of_list (List.map fst sorted) in
+  let vs = Array.of_list (List.map snd sorted) in
+  Empirical (qs, vs)
+
+let shifted delta d = Shifted (delta, d)
+
+let scaled factor d =
+  if factor <= 0.0 then invalid_arg "Dist.scaled: factor must be positive";
+  Scaled (factor, d)
+
+let clamped ~lo ~hi d =
+  if lo > hi then invalid_arg "Dist.clamped: lo > hi";
+  Clamped (lo, hi, d)
+
+(* Box–Muller; one value per call keeps the generator stateless. *)
+let standard_normal rng =
+  let u1 = 1.0 -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rec sample d rng =
+  match d with
+  | Constant v -> v
+  | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+  | Exponential mean -> -.mean *. log (1.0 -. Rng.unit_float rng)
+  | Lognormal (mu, sigma) -> exp (mu +. (sigma *. standard_normal rng))
+  | Pareto (scale, shape) ->
+    scale /. ((1.0 -. Rng.unit_float rng) ** (1.0 /. shape))
+  | Mixture parts ->
+    let u = Rng.unit_float rng in
+    let rec pick i =
+      if i = Array.length parts - 1 then snd parts.(i)
+      else if u <= fst parts.(i) then snd parts.(i)
+      else pick (i + 1)
+    in
+    sample (pick 0) rng
+  | Empirical (qs, vs) ->
+    let u = Rng.unit_float rng in
+    let n = Array.length qs in
+    if u <= qs.(0) then vs.(0)
+    else if u >= qs.(n - 1) then vs.(n - 1)
+    else begin
+      (* binary search for the bracketing segment *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if qs.(mid) <= u then lo := mid else hi := mid
+      done;
+      let q0 = qs.(!lo) and q1 = qs.(!hi) in
+      let v0 = vs.(!lo) and v1 = vs.(!hi) in
+      if q1 -. q0 <= 0.0 then v0
+      else begin
+        let frac = (u -. q0) /. (q1 -. q0) in
+        (* log-linear interpolation suits size/lifetime scales spanning
+           many orders of magnitude *)
+        exp (log v0 +. (frac *. (log v1 -. log v0)))
+      end
+    end
+  | Shifted (delta, inner) -> delta +. sample inner rng
+  | Scaled (factor, inner) -> factor *. sample inner rng
+  | Clamped (lo, hi, inner) -> Float.min hi (Float.max lo (sample inner rng))
+
+let mean_estimate d rng ~n =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. sample d rng
+  done;
+  !acc /. float_of_int n
+
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+(* Memoize the cumulative Zipf table per (n, s). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cumulative ~n ~s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some table -> table
+  | None ->
+    let weights = zipf_weights ~n ~s in
+    let cumulative = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. w;
+        cumulative.(i) <- !acc)
+      weights;
+    Hashtbl.replace zipf_tables (n, s) cumulative;
+    cumulative
+
+let search_cumulative cumulative u =
+  let n = Array.length cumulative in
+  if u <= cumulative.(0) then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < u then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+let zipf rng ~n ~s =
+  let cumulative = zipf_cumulative ~n ~s in
+  search_cumulative cumulative (Rng.unit_float rng)
+
+let categorical rng weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Dist.categorical: nonpositive total";
+  let u = Rng.float rng total in
+  let acc = ref 0.0 in
+  let result = ref (n - 1) in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc +. weights.(i);
+       if u < !acc then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,63 @@
+(** Probability distributions for workload synthesis.
+
+    Application profiles (object sizes, lifetimes, request inter-arrival
+    times, thread counts) are expressed as samplers over these distributions.
+    Every sampler draws from an {!Rng.t} so simulations stay deterministic. *)
+
+type t
+(** A real-valued distribution. *)
+
+val constant : float -> t
+(** Point mass at the given value. *)
+
+val uniform : lo:float -> hi:float -> t
+(** Continuous uniform on [\[lo, hi)]. *)
+
+val exponential : mean:float -> t
+(** Exponential with the given mean (rate [1/mean]). *)
+
+val lognormal : mu:float -> sigma:float -> t
+(** Log-normal: [exp(N(mu, sigma^2))]. *)
+
+val pareto : scale:float -> shape:float -> t
+(** Pareto (type I) with minimum [scale] and tail index [shape]. *)
+
+val mixture : (float * t) list -> t
+(** Weighted mixture; weights are normalized and must sum to a positive
+    value.  @raise Invalid_argument on an empty list or nonpositive total. *)
+
+val empirical : (float * float) list -> t
+(** [empirical points] interpolates an inverse-CDF from [(quantile, value)]
+    pairs with quantiles in [\[0, 1\]]; pairs are sorted internally.  Sampling
+    inverts a uniform draw through piecewise log-linear interpolation on the
+    values (values must be positive).
+    @raise Invalid_argument on fewer than two points. *)
+
+val shifted : float -> t -> t
+(** [shifted delta d] adds [delta] to every sample. *)
+
+val scaled : float -> t -> t
+(** [scaled factor d] multiplies every sample by [factor > 0]. *)
+
+val clamped : lo:float -> hi:float -> t -> t
+(** Clamp samples into [\[lo, hi\]]. *)
+
+val sample : t -> Rng.t -> float
+(** Draw one sample. *)
+
+val mean_estimate : t -> Rng.t -> n:int -> float
+(** Monte-Carlo mean of [n] samples (used by tests). *)
+
+(** {2 Discrete helpers} *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** One Zipf(s) draw over ranks [\[0, n)]; rank 0 is the most popular.
+    Sampling is by inversion over precomputed partial sums would be costly to
+    rebuild per call, so this uses rejection-free inversion on the harmonic
+    CDF computed once per [n,s] pair (memoized). *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** Normalized Zipf(s) probability vector of length [n]. *)
+
+val categorical : Rng.t -> float array -> int
+(** Draw an index proportionally to the (non-negative) weights. *)

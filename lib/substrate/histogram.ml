@@ -1,0 +1,100 @@
+type t = {
+  base : float;
+  log_base : float;
+  lo : float;
+  n_bins : int;
+  weights : float array;
+  mutable count : int;
+  mutable total : float;
+}
+
+let create ?(base = 2.0) ?(lo = 1.0) ?(hi = 1.125899906842624e15 (* 2^50 *)) () =
+  if base <= 1.0 then invalid_arg "Histogram.create: base must exceed 1";
+  if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create: need 0 < lo < hi";
+  let log_base = log base in
+  let n_bins = 1 + int_of_float (ceil (log (hi /. lo) /. log_base)) in
+  { base; log_base; lo; n_bins; weights = Array.make n_bins 0.0; count = 0; total = 0.0 }
+
+let bin_index t v =
+  if v <= t.lo then 0
+  else begin
+    let idx = int_of_float (Float.floor (log (v /. t.lo) /. t.log_base)) in
+    if idx < 0 then 0 else if idx >= t.n_bins then t.n_bins - 1 else idx
+  end
+
+let bin_lower t i = t.lo *. (t.base ** float_of_int i)
+let bin_upper t i = bin_lower t (i + 1)
+
+let add t ?(weight = 1.0) v =
+  let idx = bin_index t v in
+  t.weights.(idx) <- t.weights.(idx) +. weight;
+  t.count <- t.count + 1;
+  t.total <- t.total +. weight
+
+let total_weight t = t.total
+let count t = t.count
+
+let bins t =
+  let acc = ref [] in
+  for i = t.n_bins - 1 downto 0 do
+    if t.weights.(i) > 0.0 then acc := (bin_lower t i, t.weights.(i)) :: !acc
+  done;
+  Array.of_list !acc
+
+let cdf t =
+  if t.total <= 0.0 then [||]
+  else begin
+    let acc = ref 0.0 in
+    let out = ref [] in
+    for i = 0 to t.n_bins - 1 do
+      if t.weights.(i) > 0.0 then begin
+        acc := !acc +. t.weights.(i);
+        out := (bin_upper t i, !acc /. t.total) :: !out
+      end
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let fraction_below t v =
+  if t.total <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to t.n_bins - 1 do
+      if bin_upper t i <= v then acc := !acc +. t.weights.(i)
+    done;
+    !acc /. t.total
+  end
+
+let fraction_above t v = 1.0 -. fraction_below t v
+
+let quantile t q =
+  if t.total <= 0.0 then invalid_arg "Histogram.quantile: empty";
+  let target = q *. t.total in
+  let acc = ref 0.0 in
+  let result = ref (bin_lower t (t.n_bins - 1)) in
+  (try
+     for i = 0 to t.n_bins - 1 do
+       acc := !acc +. t.weights.(i);
+       if !acc >= target && t.weights.(i) > 0.0 then begin
+         result := bin_lower t i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let merge a b =
+  if a.base <> b.base || a.lo <> b.lo || a.n_bins <> b.n_bins then
+    invalid_arg "Histogram.merge: geometry mismatch";
+  let merged =
+    {
+      base = a.base;
+      log_base = a.log_base;
+      lo = a.lo;
+      n_bins = a.n_bins;
+      weights = Array.mapi (fun i w -> w +. b.weights.(i)) a.weights;
+      count = a.count + b.count;
+      total = a.total +. b.total;
+    }
+  in
+  merged

@@ -1,0 +1,40 @@
+(** Log-binned histograms and CDF extraction.
+
+    The paper's figures bin object sizes and lifetimes on logarithmic axes
+    (e.g. Fig. 7 sizes from 32 B to 1 TiB, Fig. 8 lifetimes from under 1 us
+    to over 7 days).  A histogram here maps positive values to power-law bins
+    [base^k] and supports weighted counts so the same structure serves both
+    "number of objects" and "bytes of memory" views. *)
+
+type t
+
+val create : ?base:float -> ?lo:float -> ?hi:float -> unit -> t
+(** [create ~base ~lo ~hi ()] covers [\[lo, hi\]] with bins at powers of
+    [base] (default [base = 2.0], [lo = 1.0], [hi = 2^50]).  Values outside
+    the range clamp into the edge bins. *)
+
+val add : t -> ?weight:float -> float -> unit
+(** Record one observation with the given weight (default 1.0). *)
+
+val total_weight : t -> float
+val count : t -> int
+
+val bins : t -> (float * float) array
+(** [(lower_bound, weight)] for each non-empty bin, ascending. *)
+
+val cdf : t -> (float * float) array
+(** [(upper_bound, cumulative_fraction)] per non-empty bin; the final
+    fraction is 1.0 (empty histogram yields [||]). *)
+
+val fraction_below : t -> float -> float
+(** Fraction of total weight in bins whose upper bound is <= the argument. *)
+
+val fraction_above : t -> float -> float
+(** [1 - fraction_below]. *)
+
+val quantile : t -> float -> float
+(** Approximate value at the given cumulative fraction (bin lower bound). *)
+
+val merge : t -> t -> t
+(** Sum of two histograms with identical geometry.
+    @raise Invalid_argument on mismatched geometry. *)

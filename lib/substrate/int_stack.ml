@@ -1,0 +1,36 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(initial_capacity = 8) () =
+  { data = Array.make (max 1 initial_capacity) 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Int_stack.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let pop_opt t = if t.len = 0 then None else Some (pop t)
+let peek_opt t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let pop_up_to t n =
+  let k = min n t.len in
+  let rec take acc i = if i = k then List.rev acc else take (pop t :: acc) (i + 1) in
+  take [] 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let clear t = t.len <- 0

@@ -1,0 +1,26 @@
+(** A growable stack of unboxed ints.
+
+    The allocator front-end stores object addresses in per-(vCPU, size-class)
+    stacks that are pushed/popped on every simulated malloc/free; an
+    int-array stack avoids list cells on that hot path. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> int -> unit
+
+val pop : t -> int
+(** @raise Invalid_argument when empty. *)
+
+val pop_opt : t -> int option
+val peek_opt : t -> int option
+
+val pop_up_to : t -> int -> int list
+(** [pop_up_to t n] removes at most [n] elements, most-recent first. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Bottom-to-top iteration. *)
+
+val clear : t -> unit

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulator must be reproducible: the fleet A/B experiment framework
+    relies on running the control and experiment arms from identical seeds.
+    This module provides a small, fast, splittable PRNG (SplitMix64 used to
+    seed xoshiro256starstar) so that independent subsystems (machines, processes,
+    threads) can draw from statistically independent streams derived from a
+    single root seed. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed via SplitMix64. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of [t]'s
+    future output.  Advances [t]. *)
+
+val copy : t -> t
+(** Snapshot the state; the copy evolves independently. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

@@ -1,0 +1,47 @@
+type t = { title : string; columns : string array; mutable rows : string array list }
+
+let create ~title ~columns = { title; columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.columns in
+  let row = Array.make n "" in
+  List.iteri (fun i cell -> if i < n then row.(i) <- cell) cells;
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.columns in
+  let widths = Array.map String.length t.columns in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer ("== " ^ t.title ^ " ==\n");
+  let pad i s =
+    let extra = widths.(i) - String.length s in
+    if i = 0 then s ^ String.make extra ' ' else String.make extra ' ' ^ s
+  in
+  let render_row row =
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string buffer "  ";
+      Buffer.add_string buffer (pad i row.(i))
+    done;
+    Buffer.add_char buffer '\n'
+  in
+  render_row t.columns;
+  let rule_width = Array.fold_left ( + ) (2 * (n - 1)) widths in
+  Buffer.add_string buffer (String.make rule_width '-');
+  Buffer.add_char buffer '\n';
+  List.iter render_row rows;
+  Buffer.contents buffer
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_pct ?(decimals = 2) v = Printf.sprintf "%.*f%%" decimals v
+let cell_signed_pct ?(decimals = 2) v = Printf.sprintf "%+.*f%%" decimals v
+let cell_bytes b = Units.bytes_to_string b
+let cell_duration t = Units.duration_to_string t

@@ -1,0 +1,36 @@
+(** Plain-text table rendering for the bench harness.
+
+    Every reproduced table/figure is printed as an aligned ASCII table so the
+    bench output can be diffed against EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells and long rows
+    truncated to the column count. *)
+
+val render : t -> string
+(** The full table, including title, header rule and rows. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+(** {2 Cell formatting helpers} *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Fixed-point float cell (default 2 decimals). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Percentage cell with a [%] suffix, e.g. ["1.40%"]. *)
+
+val cell_signed_pct : ?decimals:int -> float -> string
+(** Percentage with an explicit sign, e.g. ["+1.40%"], ["-0.82%"]. *)
+
+val cell_bytes : int -> string
+(** Binary-unit byte cell via {!Units.pp_bytes}. *)
+
+val cell_duration : float -> string
+(** Adaptive time cell via {!Units.pp_duration}. *)

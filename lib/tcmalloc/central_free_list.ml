@@ -1,0 +1,172 @@
+type addr = int
+
+(* Each occupancy list is a LIFO stack of spans with lazy invalidation: a
+   span entry is live only while the span's [list_index] still names this
+   list and the span has free objects.  Baseline mode uses a single list, so
+   allocation draws from whatever span was touched most recently — the
+   occupancy-oblivious behaviour Sec. 4.3 identifies as the fragmentation
+   source. *)
+type span_list = { mutable stack : Span.t list }
+
+type class_state = {
+  lists : span_list array;
+  spans : (int, Span.t) Hashtbl.t;  (* every span owned by this class *)
+  mutable free_objects : int;
+}
+
+type t = {
+  config : Config.t;
+  pageheap : Pageheap.t;
+  span_stats : Span_stats.t option;
+  classes : class_state array;
+}
+
+let create ?(config = Config.baseline) ?span_stats pageheap =
+  let n_lists = if config.Config.span_prioritization then config.Config.cfl_lists else 1 in
+  let make_class _ =
+    {
+      lists = Array.init n_lists (fun _ -> { stack = [] });
+      spans = Hashtbl.create 16;
+      free_objects = 0;
+    }
+  in
+  { config; pageheap; span_stats; classes = Array.init Size_class.count make_class }
+
+(* List housing a span with [a] outstanding objects: fuller spans in lower
+   indices (allocated from first), nearly-free spans in higher indices
+   (left alone to drain).  Paper formula: max(0, L - log2 A), clamped. *)
+let target_index t span =
+  if Span.free_objects span = 0 then -1
+  else if not t.config.Config.span_prioritization then 0
+  else begin
+    let l = t.config.Config.cfl_lists in
+    let a = span.Span.outstanding in
+    if a <= 0 then l - 1
+    else begin
+      let log2 =
+        let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+        go a 0
+      in
+      max 0 (min (l - 1) (l - 1 - log2))
+    end
+  end
+
+let push_to_list cs span idx =
+  Span.set_list_index span idx;
+  if idx >= 0 then begin
+    let list = cs.lists.(idx) in
+    list.stack <- span :: list.stack
+  end
+
+(* Re-home a span after its occupancy changed.  Skips the push when the
+   span is already validly listed at its target index. *)
+let relist t cs span ~force =
+  let idx = target_index t span in
+  if force || idx <> span.Span.list_index then push_to_list cs span idx
+
+let rec pop_valid cs idx =
+  let list = cs.lists.(idx) in
+  match list.stack with
+  | [] -> None
+  | span :: rest ->
+    list.stack <- rest;
+    if span.Span.list_index = idx && Span.free_objects span > 0 then Some span
+    else pop_valid cs idx
+
+let pick_span cs =
+  let n = Array.length cs.lists in
+  let rec scan idx =
+    if idx = n then None
+    else begin
+      match pop_valid cs idx with Some span -> Some span | None -> scan (idx + 1)
+    end
+  in
+  scan 0
+
+let note_created t span ~now =
+  match t.span_stats with
+  | None -> ()
+  | Some stats ->
+    Span_stats.note_created stats ~span_id:span.Span.id ~cls:span.Span.size_class ~now
+
+let note_released t span ~now =
+  match t.span_stats with
+  | None -> ()
+  | Some stats ->
+    Span_stats.note_released stats ~span_id:span.Span.id ~cls:span.Span.size_class ~now
+
+let remove_objects t ~cls ~n ~now =
+  let cs = t.classes.(cls) in
+  let mmaps = ref 0 in
+  let out = ref [] in
+  let need = ref n in
+  while !need > 0 do
+    let span =
+      match pick_span cs with
+      | Some span -> span
+      | None ->
+        let span, m = Pageheap.new_small_span t.pageheap ~size_class:cls ~now in
+        mmaps := !mmaps + m;
+        Hashtbl.replace cs.spans span.Span.id span;
+        cs.free_objects <- cs.free_objects + span.Span.capacity;
+        note_created t span ~now;
+        Span.set_list_index span (-1);
+        span
+    in
+    let take = min !need (Span.free_objects span) in
+    let addrs = Span.pop_objects span ~n:take in
+    cs.free_objects <- cs.free_objects - take;
+    need := !need - take;
+    out := List.rev_append addrs !out;
+    (* The span left its list when popped (or was never listed if fresh);
+       always re-push if it still has capacity. *)
+    relist t cs span ~force:(Span.free_objects span > 0)
+  done;
+  (!out, !mmaps)
+
+let return_objects t ~cls ~addrs ~now =
+  let cs = t.classes.(cls) in
+  List.iter
+    (fun a ->
+      let span =
+        match Pageheap.span_of_addr t.pageheap a with
+        | Some span -> span
+        | None -> invalid_arg "Central_free_list.return_objects: wild pointer"
+      in
+      if span.Span.size_class <> cls then
+        invalid_arg "Central_free_list.return_objects: class mismatch";
+      let was_exhausted = Span.free_objects span = 0 in
+      Span.push_object span a;
+      cs.free_objects <- cs.free_objects + 1;
+      if Span.is_idle span then begin
+        cs.free_objects <- cs.free_objects - span.Span.capacity;
+        Hashtbl.remove cs.spans span.Span.id;
+        Span.set_list_index span (-1);
+        note_released t span ~now;
+        Pageheap.free_span t.pageheap span
+      end
+      else relist t cs span ~force:was_exhausted)
+    addrs
+
+let fragmented_bytes t =
+  let total = ref 0 in
+  Array.iteri
+    (fun cls cs -> total := !total + (cs.free_objects * Size_class.size cls))
+    t.classes;
+  !total
+
+let span_count t ~cls = Hashtbl.length t.classes.(cls).spans
+let total_span_count t = Array.fold_left (fun acc cs -> acc + Hashtbl.length cs.spans) 0 t.classes
+
+let snapshot t ~now =
+  match t.span_stats with
+  | None -> ()
+  | Some stats ->
+    Array.iteri
+      (fun cls cs ->
+        Hashtbl.iter
+          (fun _ span ->
+            Span_stats.observe stats ~span_id:span.Span.id ~cls
+              ~outstanding:span.Span.outstanding ~now)
+          cs.spans)
+      t.classes

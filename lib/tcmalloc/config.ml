@@ -1,0 +1,76 @@
+open Wsc_substrate
+
+type front_end_mode = Per_cpu_caches | Per_thread_caches
+
+type t = {
+  max_small_size : int;
+  front_end : front_end_mode;
+  per_cpu_cache_bytes : int;
+  per_cpu_class_cap_objects : int;
+  dynamic_per_cpu_caches : bool;
+  resize_interval_ns : float;
+  resize_grow_candidates : int;
+  resize_step_bytes : int;
+  nuca_aware_transfer_cache : bool;
+  transfer_cache_bytes_per_class : int;
+  transfer_release_interval_ns : float;
+  span_prioritization : bool;
+  cfl_lists : int;
+  lifetime_aware_filler : bool;
+  lifetime_capacity_threshold : int;
+  pageheap_release_interval_ns : float;
+  pageheap_release_fraction : float;
+  sample_period_bytes : int;
+}
+
+let baseline =
+  {
+    max_small_size = 256 * Units.kib;
+    front_end = Per_cpu_caches;
+    per_cpu_cache_bytes = 3 * Units.mib;
+    per_cpu_class_cap_objects = 2048;
+    dynamic_per_cpu_caches = false;
+    resize_interval_ns = 5.0 *. Units.sec;
+    resize_grow_candidates = 5;
+    resize_step_bytes = 64 * Units.kib;
+    nuca_aware_transfer_cache = false;
+    transfer_cache_bytes_per_class = 64 * Units.kib;
+    transfer_release_interval_ns = 1.0 *. Units.sec;
+    span_prioritization = false;
+    cfl_lists = 8;
+    lifetime_aware_filler = false;
+    lifetime_capacity_threshold = 16;
+    pageheap_release_interval_ns = 1.0 *. Units.sec;
+    pageheap_release_fraction = 0.2;
+    sample_period_bytes = 2 * Units.mib;
+  }
+
+let legacy_per_thread = { baseline with front_end = Per_thread_caches }
+
+let with_dynamic_per_cpu enabled t =
+  {
+    t with
+    dynamic_per_cpu_caches = enabled;
+    per_cpu_cache_bytes = (if enabled then 3 * Units.mib / 2 else 3 * Units.mib);
+  }
+
+let with_nuca_transfer_cache enabled t = { t with nuca_aware_transfer_cache = enabled }
+let with_span_prioritization enabled t = { t with span_prioritization = enabled }
+let with_lifetime_aware_filler enabled t = { t with lifetime_aware_filler = enabled }
+
+let all_optimizations =
+  baseline
+  |> with_dynamic_per_cpu true
+  |> with_nuca_transfer_cache true
+  |> with_span_prioritization true
+  |> with_lifetime_aware_filler true
+
+let describe t =
+  let flag name enabled = if enabled then name else "no-" ^ name in
+  String.concat ", "
+    [
+      flag "dynamic-cpu-caches" t.dynamic_per_cpu_caches;
+      flag "nuca-transfer-cache" t.nuca_aware_transfer_cache;
+      flag "span-prioritization" t.span_prioritization;
+      flag "lifetime-filler" t.lifetime_aware_filler;
+    ]

@@ -1,0 +1,75 @@
+(** Allocator configuration and the four optimization flags.
+
+    [baseline] reproduces the state of TCMalloc before the paper's changes:
+    statically sized 3 MiB per-CPU caches, one centralized transfer cache,
+    singly-listed central free lists, and the OSDI'21 hugepage-aware filler.
+    Each Sec. 4 optimization is an independent flag so fleet A/B experiments
+    can toggle exactly one dimension. *)
+
+type front_end_mode =
+  | Per_cpu_caches
+      (** Modern TCMalloc: caches indexed by dense vCPU id (Sec. 2.1). *)
+  | Per_thread_caches
+      (** The legacy design the paper's footnote 2 retires: one cache per
+          software thread.  Inaccessible to other threads, such caches
+          strand memory when their thread goes idle, and scale poorly in
+          applications with thousands of threads. *)
+
+type t = {
+  (* Sizes and structural constants *)
+  max_small_size : int;  (** Largest size served by the cache hierarchy: 256 KiB. *)
+  front_end : front_end_mode;
+  (* Sec. 4.1 — per-CPU cache *)
+  per_cpu_cache_bytes : int;
+      (** Capacity budget of one per-CPU cache (3 MiB static / 1.5 MiB when
+          dynamic resizing is on). *)
+  per_cpu_class_cap_objects : int;
+      (** Upper bound on objects one (vCPU, size-class) list may hold
+          (TCMalloc's per-class capacity, 2048); overflow past it spills a
+          batch to the transfer cache even when the byte budget has room. *)
+  dynamic_per_cpu_caches : bool;  (** Heterogeneous usage-based sizing. *)
+  resize_interval_ns : float;  (** 5 s between resize passes. *)
+  resize_grow_candidates : int;  (** Top-k missing caches that grow: 5. *)
+  resize_step_bytes : int;  (** Capacity moved per victim per pass. *)
+  (* Sec. 4.2 — transfer cache *)
+  nuca_aware_transfer_cache : bool;
+  transfer_cache_bytes_per_class : int;
+      (** Per-size-class object capacity of a transfer cache shard. *)
+  transfer_release_interval_ns : float;
+      (** Period of the background release that drains NUCA shards to the
+          central transfer cache to prevent stranding. *)
+  (* Sec. 4.3 — central free list *)
+  span_prioritization : bool;
+  cfl_lists : int;  (** L, number of occupancy-indexed lists: 8. *)
+  (* Sec. 4.4 — pageheap *)
+  lifetime_aware_filler : bool;
+  lifetime_capacity_threshold : int;
+      (** C: spans with capacity < C are treated as short-lived: 16. *)
+  pageheap_release_interval_ns : float;
+  pageheap_release_fraction : float;
+      (** Fraction of the free backlog released to the OS per release tick;
+          the paper notes TCMalloc "releases memory gradually". *)
+  (* Telemetry *)
+  sample_period_bytes : int;  (** One sampled allocation per 2 MiB allocated. *)
+}
+
+val baseline : t
+(** All four optimizations off; per-CPU front-end. *)
+
+val legacy_per_thread : t
+(** [baseline] with the retired per-thread front-end (footnote 2), for the
+    stranded-memory ablation. *)
+
+val all_optimizations : t
+(** All four optimizations on (Sec. 4.5 "putting it all together"). *)
+
+val with_dynamic_per_cpu : bool -> t -> t
+(** Toggle Sec. 4.1; when enabling, also halves the per-CPU budget to
+    1.5 MiB as the paper's deployment did. *)
+
+val with_nuca_transfer_cache : bool -> t -> t
+val with_span_prioritization : bool -> t -> t
+val with_lifetime_aware_filler : bool -> t -> t
+
+val describe : t -> string
+(** One-line summary of which optimizations are enabled. *)

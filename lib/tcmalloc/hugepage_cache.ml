@@ -1,0 +1,60 @@
+open Wsc_substrate
+
+type addr = int
+type run = { base : addr; hugepages : int }
+type t = {
+  vm : Wsc_os.Vm.t;
+  mutable runs : run list;
+  mutable cached : int;
+  mutable low_watermark : int;  (* fewest cached hugepages since last release *)
+}
+
+let create vm = { vm; runs = []; cached = 0; low_watermark = 0 }
+
+type grant = { base : addr; fresh : bool }
+
+let allocate t ~hugepages =
+  if hugepages <= 0 then invalid_arg "Hugepage_cache.allocate: need positive count";
+  let rec take acc = function
+    | [] -> None
+    | run :: rest when run.hugepages >= hugepages ->
+      let leftover =
+        if run.hugepages = hugepages then []
+        else
+          [ { base = run.base + (hugepages * Units.hugepage_size);
+              hugepages = run.hugepages - hugepages } ]
+      in
+      t.runs <- List.rev_append acc (leftover @ rest);
+      t.cached <- t.cached - hugepages;
+      if t.cached < t.low_watermark then t.low_watermark <- t.cached;
+      Some run.base
+    | run :: rest -> take (run :: acc) rest
+  in
+  match take [] t.runs with
+  | Some base -> { base; fresh = false }
+  | None -> { base = Wsc_os.Vm.mmap t.vm ~hugepages; fresh = true }
+
+let free t base ~hugepages =
+  t.runs <- { base; hugepages } :: t.runs;
+  t.cached <- t.cached + hugepages
+
+let release t ~max_hugepages =
+  let max_hugepages = min max_hugepages t.low_watermark in
+  let sorted = List.sort (fun a b -> compare b.hugepages a.hugepages) t.runs in
+  let rec drop released kept = function
+    | [] -> (released, kept)
+    | run :: rest ->
+      if released + run.hugepages <= max_hugepages then begin
+        Wsc_os.Vm.munmap t.vm run.base ~hugepages:run.hugepages;
+        drop (released + run.hugepages) kept rest
+      end
+      else drop released (run :: kept) rest
+  in
+  let released, kept = drop 0 [] sorted in
+  t.runs <- kept;
+  t.cached <- t.cached - released;
+  t.low_watermark <- t.cached;
+  released
+
+let cached_hugepages t = t.cached
+let cached_bytes t = t.cached * Units.hugepage_size

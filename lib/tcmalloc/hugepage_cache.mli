@@ -1,0 +1,33 @@
+(** The hugepage cache (Sec. 4.4).
+
+    Holds runs of completely-free hugepages.  Whole-hugepage allocations are
+    served from cached runs (splitting larger runs) before asking the kernel
+    for fresh memory; freed runs re-enter the cache instead of being
+    unmapped immediately, and a background policy gradually returns cached
+    runs to the OS (the "release memory gradually" behaviour of Sec. 3). *)
+
+type addr = int
+
+type t
+
+val create : Wsc_os.Vm.t -> t
+
+type grant = { base : addr; fresh : bool  (** [true] if the run came from mmap. *) }
+
+val allocate : t -> hugepages:int -> grant
+(** A run of [hugepages] contiguous hugepages: reused from the cache when a
+    cached run is large enough (first fit, splitting), otherwise mmapped. *)
+
+val free : t -> addr -> hugepages:int -> unit
+(** Insert a fully-free run into the cache. *)
+
+val release : t -> max_hugepages:int -> int
+(** Unmap up to [max_hugepages] cached hugepages back to the OS, largest
+    runs first, but never more than the cache's low watermark — the
+    portion of the cache that went untouched since the previous release is
+    surplus; the rest is working set about to be reused (TCMalloc's
+    HugeCache demand-based release).  Returns hugepages actually
+    released. *)
+
+val cached_hugepages : t -> int
+val cached_bytes : t -> int

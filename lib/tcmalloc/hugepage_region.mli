@@ -1,0 +1,31 @@
+(** The hugepage region (Sec. 4.4).
+
+    Serves allocations that slightly exceed a whole number of hugepages
+    (e.g. 2.1 MiB): rounding them up in the hugepage cache would waste most
+    of a hugepage each, so they are instead packed first-fit onto shared
+    contiguous runs of hugepages ("regions"), where allocations may straddle
+    hugepage boundaries. *)
+
+type addr = int
+
+type t
+
+val create : Wsc_os.Vm.t -> hugepages_per_region:int -> t
+(** Regions are carved from [hugepages_per_region]-hugepage mappings. *)
+
+val allocate : t -> pages:int -> addr
+(** First-fit a run of [pages] into an existing region, mapping a new region
+    when none fits.  @raise Invalid_argument if [pages] exceeds one region. *)
+
+val free : t -> addr -> pages:int -> unit
+(** Return a run.  Fully-empty regions are unmapped.  @raise
+    Invalid_argument if the run is not currently allocated. *)
+
+val regions : t -> int
+val used_pages : t -> int
+val free_pages : t -> int
+val used_bytes : t -> int
+val free_bytes : t -> int
+
+val iter_hugepages : t -> (base:addr -> used_pages:int -> unit) -> unit
+(** Per-hugepage used-page counts across all regions (for coverage). *)

@@ -1,0 +1,276 @@
+open Wsc_substrate
+module Cost_model = Wsc_hw.Cost_model
+module Topology = Wsc_hw.Topology
+module Vm = Wsc_os.Vm
+module Vcpu = Wsc_os.Vcpu
+
+type addr = int
+
+type t = {
+  config : Config.t;
+  topology : Topology.t;
+  clock : Clock.t;
+  vm : Vm.t;
+  vcpus : Vcpu.t;
+  pcc : Per_cpu_cache.t;
+  tc : Transfer_cache.t;
+  cfl : Central_free_list.t;
+  pageheap : Pageheap.t;
+  sampler : Sampler.t;
+  telemetry : Telemetry.t;
+  span_stats : Span_stats.t;
+  mutable vcpu_domain : int array;  (* vcpu -> LLC domain of its physical CPU *)
+}
+
+let page_size = Units.tcmalloc_page_size
+
+let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clock () =
+  let vm = Vm.create () in
+  let pageheap = Pageheap.create ~config vm in
+  let span_stats = Span_stats.create () in
+  let cfl = Central_free_list.create ~config ~span_stats pageheap in
+  let tc = Transfer_cache.create ~config ~topology cfl in
+  let pcc = Per_cpu_cache.create ~config () in
+  let t =
+    {
+      config;
+      topology;
+      clock;
+      vm;
+      vcpus = Vcpu.create ();
+      pcc;
+      tc;
+      cfl;
+      pageheap;
+      sampler = Sampler.create ~period_bytes:config.Config.sample_period_bytes;
+      telemetry = Telemetry.create ();
+      span_stats;
+      vcpu_domain = Array.make 16 0;
+    }
+  in
+  if config.Config.dynamic_per_cpu_caches then begin
+    let resize now =
+      let evict ~vcpu ~cls ~addrs =
+        let domain =
+          if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0
+        in
+        ignore (Transfer_cache.insert t.tc ~cls ~addrs ~domain ~now)
+      in
+      Per_cpu_cache.resize t.pcc ~evict
+    in
+    ignore (Clock.every clock ~period:config.Config.resize_interval_ns resize)
+  end;
+  let decay now =
+    let evict ~vcpu ~cls ~addrs =
+      let domain = if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0 in
+      ignore (Transfer_cache.insert t.tc ~cls ~addrs ~domain ~now)
+    in
+    Per_cpu_cache.decay_tick t.pcc ~evict
+  in
+  ignore (Clock.every clock ~period:Units.sec decay);
+  let release now = Transfer_cache.release_tick t.tc ~now in
+  ignore (Clock.every clock ~period:config.Config.transfer_release_interval_ns release);
+  let pageheap_release _now = Pageheap.background_release t.pageheap in
+  ignore (Clock.every clock ~period:config.Config.pageheap_release_interval_ns pageheap_release);
+  (match span_snapshot_interval_ns with
+  | None -> ()
+  | Some period ->
+    let snapshot now = Central_free_list.snapshot t.cfl ~now in
+    ignore (Clock.every clock ~period snapshot));
+  t
+
+let remember_domain t ~vcpu ~cpu =
+  let n = Array.length t.vcpu_domain in
+  if vcpu >= n then begin
+    let bigger = Array.make (max (vcpu + 1) (2 * n)) 0 in
+    Array.blit t.vcpu_domain 0 bigger 0 n;
+    t.vcpu_domain <- bigger
+  end;
+  t.vcpu_domain.(vcpu) <- Topology.domain_of_cpu t.topology cpu
+
+let charge t tier = Telemetry.charge_tier t.telemetry tier (Cost_model.tier_hit_ns tier)
+
+let maybe_sample t a ~size ~now =
+  if Sampler.on_alloc t.sampler a ~size ~now then
+    Telemetry.charge_sampled t.telemetry Cost_model.sampling_ns
+
+let record_sampled_free t a ~now =
+  match Sampler.on_free t.sampler a ~now with
+  | None -> ()
+  | Some (size, lifetime_ns) -> Telemetry.record_lifetime t.telemetry ~size ~lifetime_ns
+
+let malloc_large t ~size ~now =
+  let pages = (size + page_size - 1) / page_size in
+  let span, mmaps = Pageheap.new_large_span t.pageheap ~pages ~now in
+  charge t Cost_model.Pageheap;
+  if mmaps > 0 then begin
+    Telemetry.charge_tier t.telemetry Cost_model.Mmap
+      (float_of_int mmaps *. Cost_model.mmap_ns);
+    Telemetry.record_hit t.telemetry Cost_model.Mmap
+  end
+  else Telemetry.record_hit t.telemetry Cost_model.Pageheap;
+  let a = Span.pop_object span in
+  Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(pages * page_size);
+  maybe_sample t a ~size ~now;
+  a
+
+(* Refill the per-CPU cache from the transfer cache, recording where the
+   batch actually came from and the locality of reused objects. *)
+let refill t ~cls ~domain ~now =
+  let batch = Size_class.batch cls in
+  let result = Transfer_cache.remove t.tc ~cls ~n:batch ~domain ~now in
+  charge t Cost_model.Transfer_cache;
+  for _ = 1 to result.Transfer_cache.local_reuse do
+    Telemetry.record_object_reuse t.telemetry ~remote:false
+  done;
+  for _ = 1 to result.Transfer_cache.remote_reuse do
+    Telemetry.record_object_reuse t.telemetry ~remote:true
+  done;
+  let deepest =
+    if result.Transfer_cache.mmaps > 0 then begin
+      Telemetry.charge_tier t.telemetry Cost_model.Mmap
+        (float_of_int result.Transfer_cache.mmaps *. Cost_model.mmap_ns);
+      charge t Cost_model.Central_free_list;
+      Cost_model.Mmap
+    end
+    else if result.Transfer_cache.from_cfl > 0 then begin
+      charge t Cost_model.Central_free_list;
+      Cost_model.Central_free_list
+    end
+    else Cost_model.Transfer_cache
+  in
+  (result.Transfer_cache.addrs, deepest)
+
+(* Front-end cache index: dense vCPU id normally; raw thread id in the
+   legacy per-thread mode (footnote 2), where idle threads strand their
+   caches because no other thread may touch them. *)
+let cache_index t ~thread ~cpu =
+  match (t.config.Config.front_end, thread) with
+  | Config.Per_thread_caches, Some thread -> thread
+  | Config.Per_thread_caches, None | Config.Per_cpu_caches, _ ->
+    Vcpu.acquire t.vcpus ~phys_cpu:cpu
+
+let malloc ?thread t ~cpu ~size =
+  if size <= 0 then invalid_arg "Malloc.malloc: size must be positive";
+  let now = Clock.now t.clock in
+  Telemetry.charge_prefetch t.telemetry Cost_model.prefetch_ns;
+  match Size_class.of_size size with
+  | None -> malloc_large t ~size ~now
+  | Some cls ->
+    let vcpu = cache_index t ~thread ~cpu in
+    remember_domain t ~vcpu ~cpu;
+    charge t Cost_model.Per_cpu_cache;
+    let a =
+      match Per_cpu_cache.alloc t.pcc ~vcpu ~cls with
+      | Some a ->
+        Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
+        a
+      | None ->
+        Telemetry.record_front_end_miss t.telemetry ~vcpu;
+        Telemetry.charge_other t.telemetry 0.4;
+        let domain = Topology.domain_of_cpu t.topology cpu in
+        let addrs, deepest = refill t ~cls ~domain ~now in
+        Telemetry.record_hit t.telemetry deepest;
+        (match addrs with
+        | [] -> assert false
+        | first :: rest ->
+          let rejected = Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest in
+          if rejected <> [] then
+            ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
+          first)
+    in
+    Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(Size_class.size cls);
+    maybe_sample t a ~size ~now;
+    a
+
+let free_large t a ~size ~now =
+  match Pageheap.span_of_addr t.pageheap a with
+  | None -> invalid_arg "Malloc.free: wild pointer"
+  | Some span ->
+    if not (Span.is_large span) then
+      invalid_arg "Malloc.free: size does not match a large allocation";
+    charge t Cost_model.Pageheap;
+    record_sampled_free t a ~now;
+    Telemetry.record_free t.telemetry ~requested:size
+      ~rounded:(span.Span.pages * page_size);
+    Span.push_object span a;
+    Pageheap.free_span t.pageheap span
+
+let free ?thread t ~cpu a ~size =
+  if size <= 0 then invalid_arg "Malloc.free: size must be positive";
+  let now = Clock.now t.clock in
+  match Size_class.of_size size with
+  | None -> free_large t a ~size ~now
+  | Some cls ->
+    let vcpu = cache_index t ~thread ~cpu in
+    remember_domain t ~vcpu ~cpu;
+    charge t Cost_model.Per_cpu_cache;
+    record_sampled_free t a ~now;
+    Telemetry.record_free t.telemetry ~requested:size ~rounded:(Size_class.size cls);
+    if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then begin
+      (* Deallocation miss: flush a batch (including this object) to the
+         transfer cache. *)
+      Telemetry.record_front_end_miss t.telemetry ~vcpu;
+      Telemetry.charge_other t.telemetry 0.4;
+      let domain = Topology.domain_of_cpu t.topology cpu in
+      let batch = Size_class.batch cls in
+      let flushed = Per_cpu_cache.flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1) in
+      charge t Cost_model.Transfer_cache;
+      let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
+      if overflow > 0 then charge t Cost_model.Central_free_list
+    end
+
+let cpu_idle t ~cpu = Vcpu.release t.vcpus ~phys_cpu:cpu
+
+type heap_stats = {
+  live_requested_bytes : int;
+  live_rounded_bytes : int;
+  front_end_cached_bytes : int;
+  transfer_cached_bytes : int;
+  cfl_fragmented_bytes : int;
+  pageheap_fragmented_bytes : int;
+  internal_fragmentation_bytes : int;
+  external_fragmentation_bytes : int;
+  resident_bytes : int;
+}
+
+let heap_stats t =
+  let front_end = Per_cpu_cache.cached_bytes t.pcc in
+  let transfer = Transfer_cache.cached_bytes t.tc in
+  let cfl = Central_free_list.fragmented_bytes t.cfl in
+  let ph = Pageheap.fragmented_bytes t.pageheap in
+  {
+    live_requested_bytes = Telemetry.live_requested_bytes t.telemetry;
+    live_rounded_bytes = Telemetry.live_rounded_bytes t.telemetry;
+    front_end_cached_bytes = front_end;
+    transfer_cached_bytes = transfer;
+    cfl_fragmented_bytes = cfl;
+    pageheap_fragmented_bytes = ph;
+    internal_fragmentation_bytes = Telemetry.internal_fragmentation_bytes t.telemetry;
+    external_fragmentation_bytes = front_end + transfer + cfl + ph;
+    resident_bytes = Vm.resident_bytes t.vm;
+  }
+
+let hugepage_coverage t = Pageheap.hugepage_coverage t.pageheap
+
+let fragmentation_ratio stats =
+  if stats.live_requested_bytes <= 0 then 0.0
+  else begin
+    let fragmented =
+      stats.external_fragmentation_bytes + stats.internal_fragmentation_bytes
+    in
+    float_of_int fragmented /. float_of_int stats.live_requested_bytes
+  end
+
+let telemetry t = t.telemetry
+let span_stats t = t.span_stats
+let per_cpu_caches t = t.pcc
+let transfer_cache t = t.tc
+let central_free_list t = t.cfl
+let pageheap t = t.pageheap
+let vm t = t.vm
+let vcpus t = t.vcpus
+let sampler t = t.sampler
+let config t = t.config
+let topology t = t.topology
+let snapshot_spans t = Central_free_list.snapshot t.cfl ~now:(Clock.now t.clock)

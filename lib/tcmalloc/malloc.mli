@@ -1,0 +1,81 @@
+(** The allocator facade: TCMalloc's public malloc/free, wired through the
+    full cache hierarchy (Fig. 1).
+
+    [malloc] rounds small requests (<= 256 KiB) to a size class and serves
+    them per-CPU cache -> transfer cache -> central free list -> pageheap,
+    charging the calibrated per-tier latencies (Fig. 4) into {!Telemetry}.
+    Large requests go straight to the pageheap.  [free] retraces the same
+    path downward.  Callers identify the physical CPU issuing each call; the
+    facade maps it to a dense vCPU id and maintains every background
+    activity (dynamic cache resizing, NUCA shard release, gradual pageheap
+    release) as tickers on the supplied {!Wsc_substrate.Clock}. *)
+
+type addr = int
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?span_snapshot_interval_ns:float ->
+  topology:Wsc_hw.Topology.t ->
+  clock:Wsc_substrate.Clock.t ->
+  unit ->
+  t
+(** A fresh allocator instance (one simulated process).  When
+    [span_snapshot_interval_ns] is given, central-free-list span occupancy
+    is observed periodically into {!span_stats} (Figs. 13/16). *)
+
+val malloc : ?thread:int -> t -> cpu:int -> size:int -> addr
+(** Allocate [size > 0] bytes from a thread running on physical [cpu].
+    [thread] identifies the calling software thread; it is only consulted
+    by the legacy {!Config.Per_thread_caches} front-end, which indexes its
+    caches by thread instead of vCPU (and without it falls back to vCPU
+    indexing). *)
+
+val free : ?thread:int -> t -> cpu:int -> addr -> size:int -> unit
+(** Free a block previously returned by {!malloc} with the same [size].
+    @raise Invalid_argument on wild or double frees. *)
+
+val cpu_idle : t -> cpu:int -> unit
+(** Tell the allocator a physical CPU stopped running this process's
+    threads (its vCPU id becomes reusable; its cache contents strand until
+    reused or resized away). *)
+
+(** {2 Introspection} *)
+
+type heap_stats = {
+  live_requested_bytes : int;  (** Application-requested live bytes. *)
+  live_rounded_bytes : int;  (** Live bytes after size-class rounding. *)
+  front_end_cached_bytes : int;
+  transfer_cached_bytes : int;
+  cfl_fragmented_bytes : int;
+  pageheap_fragmented_bytes : int;
+  internal_fragmentation_bytes : int;
+  external_fragmentation_bytes : int;  (** Sum of the four cache tiers. *)
+  resident_bytes : int;  (** Simulated RSS. *)
+}
+
+val heap_stats : t -> heap_stats
+(** Cheap (O(size classes + vCPUs)) snapshot, safe to sample every epoch. *)
+
+val hugepage_coverage : t -> float
+(** Fraction of in-use bytes on intact hugepages (Fig. 17a).  Walks every
+    hugepage and span placement — call sparingly. *)
+
+val fragmentation_ratio : heap_stats -> float
+(** (external + internal) / live requested — the Fig. 5b metric. *)
+
+val telemetry : t -> Telemetry.t
+val span_stats : t -> Span_stats.t
+val per_cpu_caches : t -> Per_cpu_cache.t
+val transfer_cache : t -> Transfer_cache.t
+val central_free_list : t -> Central_free_list.t
+val pageheap : t -> Pageheap.t
+val vm : t -> Wsc_os.Vm.t
+val vcpus : t -> Wsc_os.Vcpu.t
+val sampler : t -> Sampler.t
+val config : t -> Config.t
+val topology : t -> Wsc_hw.Topology.t
+
+val snapshot_spans : t -> unit
+(** Manually record one span-occupancy observation pass. *)

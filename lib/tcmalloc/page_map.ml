@@ -1,0 +1,32 @@
+open Wsc_substrate
+
+type t = { pages : (int, Span.t) Hashtbl.t; mutable spans : int }
+
+let page_size = Units.tcmalloc_page_size
+let create () = { pages = Hashtbl.create 4096; spans = 0 }
+
+let register t span =
+  let first = span.Span.base / page_size in
+  for page = first to first + span.Span.pages - 1 do
+    if Hashtbl.mem t.pages page then invalid_arg "Page_map.register: page already owned";
+    Hashtbl.replace t.pages page span
+  done;
+  t.spans <- t.spans + 1
+
+let unregister t span =
+  let first = span.Span.base / page_size in
+  for page = first to first + span.Span.pages - 1 do
+    match Hashtbl.find_opt t.pages page with
+    | Some owner when owner.Span.id = span.Span.id -> Hashtbl.remove t.pages page
+    | Some _ | None -> invalid_arg "Page_map.unregister: page not owned by span"
+  done;
+  t.spans <- t.spans - 1
+
+let lookup t addr = Hashtbl.find_opt t.pages (addr / page_size)
+
+let lookup_exn t addr =
+  match lookup t addr with
+  | Some span -> span
+  | None -> invalid_arg "Page_map.lookup_exn: address not in any span"
+
+let span_count t = t.spans

@@ -1,0 +1,220 @@
+open Wsc_substrate
+
+type addr = int
+
+type cpu_cache = {
+  stacks : Int_stack.t array;
+  low_watermark : int array;  (* fewest objects held since the last decay tick *)
+  mutable used_bytes : int;
+  mutable capacity_bytes : int;
+  mutable interval_misses : int;
+  mutable total_misses : int;
+}
+
+type t = {
+  config : Config.t;
+  mutable caches : cpu_cache option array;
+  mutable populated : int;
+  mutable next_victim : int;  (* round-robin rotation for capacity stealing *)
+}
+
+let min_capacity_bytes = 128 * 1024
+
+(* Per-(vCPU, class) object cap: the hard per-class limit, further bounded
+   so no single class can monopolize more than half the byte budget. *)
+let class_cap config cls =
+  let size = Size_class.size cls in
+  let byte_bound = max (Size_class.batch cls) (config.Config.per_cpu_cache_bytes / 2 / size) in
+  min config.Config.per_cpu_class_cap_objects byte_bound
+
+let create ?(config = Config.baseline) () =
+  { config; caches = Array.make 8 None; populated = 0; next_victim = 0 }
+
+let cache_of t vcpu =
+  let n = Array.length t.caches in
+  if vcpu >= n then begin
+    let bigger = Array.make (max (vcpu + 1) (2 * n)) None in
+    Array.blit t.caches 0 bigger 0 n;
+    t.caches <- bigger
+  end;
+  match t.caches.(vcpu) with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        stacks = Array.init Size_class.count (fun _ -> Int_stack.create ());
+        low_watermark = Array.make Size_class.count 0;
+        used_bytes = 0;
+        capacity_bytes = t.config.Config.per_cpu_cache_bytes;
+        interval_misses = 0;
+        total_misses = 0;
+      }
+    in
+    t.caches.(vcpu) <- Some c;
+    t.populated <- t.populated + 1;
+    c
+
+let miss c =
+  c.interval_misses <- c.interval_misses + 1;
+  c.total_misses <- c.total_misses + 1
+
+let alloc t ~vcpu ~cls =
+  let c = cache_of t vcpu in
+  match Int_stack.pop_opt c.stacks.(cls) with
+  | Some a ->
+    c.used_bytes <- c.used_bytes - Size_class.size cls;
+    let len = Int_stack.length c.stacks.(cls) in
+    if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
+    Some a
+  | None ->
+    miss c;
+    None
+
+let dealloc t ~vcpu ~cls a =
+  let c = cache_of t vcpu in
+  let size = Size_class.size cls in
+  if
+    c.used_bytes + size <= c.capacity_bytes
+    && Int_stack.length c.stacks.(cls) < class_cap t.config cls
+  then begin
+    Int_stack.push c.stacks.(cls) a;
+    c.used_bytes <- c.used_bytes + size;
+    true
+  end
+  else begin
+    miss c;
+    false
+  end
+
+let flush_batch t ~vcpu ~cls ~n =
+  let c = cache_of t vcpu in
+  let popped = Int_stack.pop_up_to c.stacks.(cls) n in
+  c.used_bytes <- c.used_bytes - (List.length popped * Size_class.size cls);
+  let len = Int_stack.length c.stacks.(cls) in
+  if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
+  popped
+
+let fill t ~vcpu ~cls ~addrs =
+  let c = cache_of t vcpu in
+  let size = Size_class.size cls in
+  let cap = class_cap t.config cls in
+  let rejected = ref [] in
+  List.iter
+    (fun a ->
+      if c.used_bytes + size <= c.capacity_bytes && Int_stack.length c.stacks.(cls) < cap
+      then begin
+        Int_stack.push c.stacks.(cls) a;
+        c.used_bytes <- c.used_bytes + size
+      end
+      else rejected := a :: !rejected)
+    addrs;
+  !rejected
+
+(* Shrink a cache to its (reduced) budget by evicting whole stacks of the
+   largest classes first — the paper prioritizes shrinking larger size
+   classes since small objects dominate the allocation mix. *)
+let enforce_budget c ~vcpu ~evict =
+  let cls = ref (Size_class.count - 1) in
+  while c.used_bytes > c.capacity_bytes && !cls >= 0 do
+    let stack = c.stacks.(!cls) in
+    if not (Int_stack.is_empty stack) then begin
+      let size = Size_class.size !cls in
+      let excess_objects =
+        ((c.used_bytes - c.capacity_bytes + size - 1) / size) |> min (Int_stack.length stack)
+      in
+      let addrs = Int_stack.pop_up_to stack excess_objects in
+      c.used_bytes <- c.used_bytes - (List.length addrs * size);
+      evict ~vcpu ~cls:!cls ~addrs
+    end;
+    decr cls
+  done
+
+let decay_tick t ~evict =
+  Array.iteri
+    (fun vcpu slot ->
+      match slot with
+      | None -> ()
+      | Some c ->
+        Array.iteri
+          (fun cls stack ->
+            (* Objects below the class's low watermark went untouched the
+               whole interval: surplus capacity to give back (TCMalloc's
+               demand-based per-class capacity shrinking). *)
+            let n = min (c.low_watermark.(cls) / 2) (Int_stack.length stack) in
+            if n > 0 then begin
+              let addrs = Int_stack.pop_up_to stack n in
+              c.used_bytes <- c.used_bytes - (List.length addrs * Size_class.size cls);
+              evict ~vcpu ~cls ~addrs
+            end;
+            c.low_watermark.(cls) <- Int_stack.length stack)
+          c.stacks)
+    t.caches
+
+let populated_list t =
+  let out = ref [] in
+  Array.iteri
+    (fun vcpu slot -> match slot with Some c -> out := (vcpu, c) :: !out | None -> ())
+    t.caches;
+  List.rev !out
+
+let resize t ~evict =
+  if t.config.Config.dynamic_per_cpu_caches then begin
+    let caches = populated_list t in
+    let by_misses =
+      List.sort (fun (_, a) (_, b) -> compare b.interval_misses a.interval_misses) caches
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | (vcpu, c) :: rest ->
+        if c.interval_misses > 0 then (vcpu, c) :: take (n - 1) rest else []
+    in
+    let growers = take t.config.Config.resize_grow_candidates by_misses in
+    if growers <> [] then begin
+      let grower_ids = List.map fst growers in
+      let victims =
+        List.filter
+          (fun (vcpu, c) ->
+            (not (List.mem vcpu grower_ids))
+            && c.capacity_bytes - t.config.Config.resize_step_bytes >= min_capacity_bytes)
+          caches
+      in
+      if victims <> [] then begin
+        let victims = Array.of_list victims in
+        let n_victims = Array.length victims in
+        List.iter
+          (fun (_, grower) ->
+            let vcpu_v, victim = victims.(t.next_victim mod n_victims) in
+            t.next_victim <- t.next_victim + 1;
+            if victim.capacity_bytes - t.config.Config.resize_step_bytes >= min_capacity_bytes
+            then begin
+              victim.capacity_bytes <-
+                victim.capacity_bytes - t.config.Config.resize_step_bytes;
+              grower.capacity_bytes <-
+                grower.capacity_bytes + t.config.Config.resize_step_bytes;
+              enforce_budget victim ~vcpu:vcpu_v ~evict
+            end)
+          growers
+      end
+    end;
+    List.iter (fun (_, c) -> c.interval_misses <- 0) caches
+  end
+
+let slot t vcpu = if vcpu < 0 || vcpu >= Array.length t.caches then None else t.caches.(vcpu)
+let used_bytes t ~vcpu = match slot t vcpu with Some c -> c.used_bytes | None -> 0
+let capacity_bytes t ~vcpu = match slot t vcpu with Some c -> c.capacity_bytes | None -> 0
+
+let cached_bytes t =
+  Array.fold_left
+    (fun acc slot -> match slot with Some c -> acc + c.used_bytes | None -> acc)
+    0 t.caches
+
+let capacity_total t =
+  Array.fold_left
+    (fun acc slot -> match slot with Some c -> acc + c.capacity_bytes | None -> acc)
+    0 t.caches
+
+let populated_caches t = t.populated
+
+let misses_per_vcpu t =
+  Array.map (function Some c -> c.total_misses | None -> 0) t.caches

@@ -1,0 +1,59 @@
+(** The per-CPU (front-end) caches (Sec. 2.1 item 1, Sec. 4.1).
+
+    One cache per virtual CPU, indexed by the dense vCPU ids of
+    {!Wsc_os.Vcpu}; each holds per-size-class stacks of object pointers and
+    serves the lock-free fast path (3.1 ns in Fig. 4).  A cache is populated
+    lazily the first time its vCPU allocates, with a byte budget of
+    {!Config.t.per_cpu_cache_bytes} (statically 3 MiB).
+
+    An allocation miss means the class stack is empty; a deallocation miss
+    means the cache is at its byte budget.  Both spill to the transfer
+    cache and are counted per vCPU — the skew of these counts across vCPU
+    ids is Fig. 9b.
+
+    With {b dynamic sizing} ({!Config.t.dynamic_per_cpu_caches}), a
+    background pass every 5 s grows the budgets of the
+    {!Config.t.resize_grow_candidates} caches with the most misses in the
+    last interval, stealing budget round-robin from the others and evicting
+    from their largest size classes first (small objects dominate
+    allocations, Fig. 7). *)
+
+type addr = int
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val alloc : t -> vcpu:int -> cls:int -> addr option
+(** Fast-path allocation; [None] is a front-end miss (counted). *)
+
+val dealloc : t -> vcpu:int -> cls:int -> addr -> bool
+(** Fast-path deallocation; [false] means the cache is full (counted as a
+    miss) and the caller must flush a batch to the transfer cache. *)
+
+val flush_batch : t -> vcpu:int -> cls:int -> n:int -> addr list
+(** Pop up to [n] cached objects of a class (used on deallocation misses). *)
+
+val fill : t -> vcpu:int -> cls:int -> addrs:addr list -> addr list
+(** Insert refilled objects; returns those that did not fit the budget. *)
+
+val decay_tick : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> unit
+(** Demand-based capacity decay (TCMalloc shrinks per-class capacity that
+    goes unused): flush half of each (vCPU, class) stack's low watermark —
+    the objects that sat untouched for the whole previous interval.  Runs
+    in both baseline and optimized configs. *)
+
+val resize : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> unit
+(** One dynamic-sizing pass (no-op when the config disables it).  Evicted
+    objects from shrunk caches are handed to [evict] for routing to the
+    transfer cache.  Resets the per-interval miss counters. *)
+
+val used_bytes : t -> vcpu:int -> int
+val capacity_bytes : t -> vcpu:int -> int
+val cached_bytes : t -> int
+(** Total bytes cached across vCPUs (front-end external fragmentation). *)
+
+val capacity_total : t -> int
+val populated_caches : t -> int
+val misses_per_vcpu : t -> int array
+(** Cumulative (allocation + deallocation) misses per vCPU id. *)

@@ -1,0 +1,47 @@
+type addr = int
+
+type t = {
+  period : int;
+  mutable bytes_until_sample : int;
+  tracked : (addr, int * float) Hashtbl.t;  (* addr -> size, alloc time *)
+  mutable sampled : int;
+}
+
+let create ~period_bytes =
+  if period_bytes <= 0 then invalid_arg "Sampler.create: period must be positive";
+  { period = period_bytes; bytes_until_sample = period_bytes; tracked = Hashtbl.create 256; sampled = 0 }
+
+let on_alloc t a ~size ~now =
+  t.bytes_until_sample <- t.bytes_until_sample - size;
+  if t.bytes_until_sample <= 0 then begin
+    t.bytes_until_sample <- t.bytes_until_sample + t.period;
+    (* Very large single allocations may cross several periods at once. *)
+    if t.bytes_until_sample <= 0 then
+      t.bytes_until_sample <- t.period - (-t.bytes_until_sample mod t.period);
+    Hashtbl.replace t.tracked a (size, now);
+    t.sampled <- t.sampled + 1;
+    true
+  end
+  else false
+
+let on_free t a ~now =
+  match Hashtbl.find_opt t.tracked a with
+  | None -> None
+  | Some (size, born) ->
+    Hashtbl.remove t.tracked a;
+    Some (size, now -. born)
+
+let sampled_count t = t.sampled
+let live_tracked t = Hashtbl.length t.tracked
+let live_heap_estimate_bytes t = Hashtbl.length t.tracked * t.period
+
+let live_profile t =
+  let bins = Hashtbl.create 48 in
+  Hashtbl.iter
+    (fun _ (size, _) ->
+      let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+      let bin = 1 lsl log2 (max 1 size) 0 in
+      Hashtbl.replace bins bin (1 + Option.value ~default:0 (Hashtbl.find_opt bins bin)))
+    t.tracked;
+  Hashtbl.fold (fun bin n acc -> (bin, n) :: acc) bins []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,65 @@
+(** Spans: contiguous runs of TCMalloc pages carved into same-class objects
+    (Sec. 2.1, Fig. 2).
+
+    A small-object span belongs to exactly one size class and tracks which
+    of its [capacity] object slots are outstanding.  "Outstanding" counts
+    objects held anywhere above the central free list — by the application
+    *or* cached in the per-CPU/transfer tiers; only objects returned to the
+    central free list are free within the span.  A span whose outstanding
+    count drops to zero may be returned to the pageheap.
+
+    A large span (one allocation > 256 KiB) bypasses the object machinery:
+    it has no size class and is returned whole. *)
+
+type addr = int
+
+type t = private {
+  id : int;
+  base : addr;
+  pages : int;
+  size_class : int;  (** -1 for large spans. *)
+  obj_size : int;  (** Class object size; for large spans, the span bytes. *)
+  capacity : int;  (** Objects per span; 1 for large spans. *)
+  mutable outstanding : int;  (** Objects currently extracted from the span. *)
+  free_slots : Wsc_substrate.Int_stack.t;  (** Free object indices. *)
+  slot_taken : Bytes.t;  (** Per-slot occupancy, for double-free detection. *)
+  mutable list_index : int;  (** Central-free-list bucket, -1 if not listed. *)
+  birth_time : float;  (** Simulated creation time (for lifetime studies). *)
+}
+
+val create_small : id:int -> base:addr -> size_class:int -> birth_time:float -> t
+(** A fresh, fully-free span of the given class (geometry from
+    {!Size_class}). *)
+
+val create_large : id:int -> base:addr -> pages:int -> birth_time:float -> t
+
+val span_bytes : t -> int
+val is_large : t -> bool
+
+val free_objects : t -> int
+(** [capacity - outstanding]. *)
+
+val is_exhausted : t -> bool
+(** No free object slots remain. *)
+
+val is_idle : t -> bool
+(** No outstanding objects; the span can return to the pageheap. *)
+
+val pop_object : t -> addr
+(** Extract one object.  @raise Invalid_argument when exhausted. *)
+
+val pop_objects : t -> n:int -> addr list
+(** Extract up to [n] objects. *)
+
+val push_object : t -> addr -> unit
+(** Return an object to the span.  @raise Invalid_argument if the address
+    does not belong to this span, is misaligned, or the slot is already
+    free (double free). *)
+
+val contains : t -> addr -> bool
+
+val fragmented_bytes : t -> int
+(** Free object slots x object size — the external fragmentation this span
+    contributes while sitting in the central free list. *)
+
+val set_list_index : t -> int -> unit

@@ -1,0 +1,77 @@
+open Wsc_substrate
+
+type observation = { span_id : int; cls : int; outstanding : int; time : float }
+
+type t = {
+  mutable observations : observation list;
+  mutable observation_count : int;
+  release_times : (int, float) Hashtbl.t;
+  created : (int, int) Hashtbl.t;  (* cls -> count *)
+  released : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    observations = [];
+    observation_count = 0;
+    release_times = Hashtbl.create 4096;
+    created = Hashtbl.create 64;
+    released = Hashtbl.create 64;
+  }
+
+let bump table key =
+  Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let note_created t ~span_id:_ ~cls ~now:_ = bump t.created cls
+
+let note_released t ~span_id ~cls ~now =
+  Hashtbl.replace t.release_times span_id now;
+  bump t.released cls
+
+let observe t ~span_id ~cls ~outstanding ~now =
+  t.observations <- { span_id; cls; outstanding; time = now } :: t.observations;
+  t.observation_count <- t.observation_count + 1
+
+let observation_count t = t.observation_count
+let spans_created t ~cls = Option.value ~default:0 (Hashtbl.find_opt t.created cls)
+let spans_released t ~cls = Option.value ~default:0 (Hashtbl.find_opt t.released cls)
+
+let return_rate_by_live_allocations t ~cls ~window_ns ~bucket =
+  if bucket <= 0 then invalid_arg "Span_stats: bucket must be positive";
+  let totals : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun obs ->
+      if obs.cls = cls then begin
+        let key = obs.outstanding / bucket * bucket in
+        let returned =
+          match Hashtbl.find_opt t.release_times obs.span_id with
+          | Some release -> release >= obs.time && release -. obs.time <= window_ns
+          | None -> false
+        in
+        let n, r = Option.value ~default:(0, 0) (Hashtbl.find_opt totals key) in
+        Hashtbl.replace totals key (n + 1, if returned then r + 1 else r)
+      end)
+    t.observations;
+  Hashtbl.fold
+    (fun key (n, r) acc -> (key, float_of_int r /. float_of_int n, n) :: acc)
+    totals []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let return_rate_by_class t =
+  Hashtbl.fold
+    (fun cls created acc ->
+      if created = 0 then acc
+      else begin
+        let released = spans_released t ~cls in
+        (cls, float_of_int released /. float_of_int created, created) :: acc
+      end)
+    t.created []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let capacity_return_correlation t =
+  let pairs =
+    List.map
+      (fun (cls, rate, _) -> (float_of_int (Size_class.capacity cls), rate))
+      (return_rate_by_class t)
+  in
+  if List.length pairs < 2 then 0.0 else Stats.spearman pairs

@@ -1,0 +1,36 @@
+(** Span lifecycle telemetry for the Sec. 4.3/4.4 correlation studies.
+
+    Fig. 13 relates the number of live allocations observed on a span to the
+    probability the span is returned to the pageheap soon after; Fig. 16
+    relates a span's object capacity to its overall return rate.  The
+    collector records periodic (span, live-allocation) observations plus
+    creation/release events and computes both correlations post hoc. *)
+
+type t
+
+val create : unit -> t
+
+val note_created : t -> span_id:int -> cls:int -> now:float -> unit
+val note_released : t -> span_id:int -> cls:int -> now:float -> unit
+
+val observe : t -> span_id:int -> cls:int -> outstanding:int -> now:float -> unit
+(** One periodic snapshot of a live span. *)
+
+val observation_count : t -> int
+val spans_created : t -> cls:int -> int
+val spans_released : t -> cls:int -> int
+
+val return_rate_by_live_allocations :
+  t -> cls:int -> window_ns:float -> bucket:int -> (int * float * int) list
+(** For the given size class: [(live_allocation_bucket_lower, return_rate,
+    observations)] where [return_rate] is the fraction of observations whose
+    span was released within [window_ns]; live allocations are grouped in
+    buckets of width [bucket]. *)
+
+val return_rate_by_class : t -> (int * float * int) list
+(** [(cls, lifetime_return_rate, spans_created)] for classes with at least
+    one span, where the rate is [released / created] over the whole run. *)
+
+val capacity_return_correlation : t -> float
+(** Spearman correlation between span capacity and per-class return rate
+    (the paper reports about -0.75, Fig. 16). *)

@@ -1,0 +1,167 @@
+open Wsc_substrate
+module Cost_model = Wsc_hw.Cost_model
+
+let tier_slot = function
+  | Cost_model.Per_cpu_cache -> 0
+  | Cost_model.Transfer_cache -> 1
+  | Cost_model.Central_free_list -> 2
+  | Cost_model.Pageheap -> 3
+  | Cost_model.Mmap -> 4
+
+type t = {
+  tier_ns : float array;
+  mutable prefetch_ns : float;
+  mutable sampled_ns : float;
+  mutable other_ns : float;
+  tier_hits : int array;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable live_requested : int;
+  mutable live_rounded : int;
+  size_count : Histogram.t;
+  size_bytes : Histogram.t;
+  (* lifetime histograms keyed by log2 size bin *)
+  lifetimes : (int, Histogram.t) Hashtbl.t;
+  mutable vcpu_misses : int array;
+  mutable remote_reuses : int;
+  mutable local_reuses : int;
+  (* measurement-window baselines (snapshot at [mark]) *)
+  mark_tier_ns : float array;
+  mutable mark_prefetch_ns : float;
+  mutable mark_sampled_ns : float;
+  mutable mark_other_ns : float;
+}
+
+let size_hist () = Histogram.create ~base:2.0 ~lo:8.0 ~hi:1.1e12 ()
+let lifetime_hist () = Histogram.create ~base:10.0 ~lo:100.0 ~hi:1e15 ()
+
+let create () =
+  {
+    tier_ns = Array.make 5 0.0;
+    prefetch_ns = 0.0;
+    sampled_ns = 0.0;
+    other_ns = 0.0;
+    tier_hits = Array.make 5 0;
+    allocs = 0;
+    frees = 0;
+    live_requested = 0;
+    live_rounded = 0;
+    size_count = size_hist ();
+    size_bytes = size_hist ();
+    lifetimes = Hashtbl.create 48;
+    vcpu_misses = Array.make 8 0;
+    remote_reuses = 0;
+    local_reuses = 0;
+    mark_tier_ns = Array.make 5 0.0;
+    mark_prefetch_ns = 0.0;
+    mark_sampled_ns = 0.0;
+    mark_other_ns = 0.0;
+  }
+
+let charge_tier t tier ns = t.tier_ns.(tier_slot tier) <- t.tier_ns.(tier_slot tier) +. ns
+let charge_prefetch t ns = t.prefetch_ns <- t.prefetch_ns +. ns
+let charge_sampled t ns = t.sampled_ns <- t.sampled_ns +. ns
+let charge_other t ns = t.other_ns <- t.other_ns +. ns
+let tier_ns t tier = t.tier_ns.(tier_slot tier)
+let prefetch_ns t = t.prefetch_ns
+let sampled_ns t = t.sampled_ns
+let other_ns t = t.other_ns
+
+let total_malloc_ns t =
+  Array.fold_left ( +. ) 0.0 t.tier_ns +. t.prefetch_ns +. t.sampled_ns +. t.other_ns
+
+let mark t =
+  Array.blit t.tier_ns 0 t.mark_tier_ns 0 5;
+  t.mark_prefetch_ns <- t.prefetch_ns;
+  t.mark_sampled_ns <- t.sampled_ns;
+  t.mark_other_ns <- t.other_ns
+
+let tier_ns_since_mark t tier = t.tier_ns.(tier_slot tier) -. t.mark_tier_ns.(tier_slot tier)
+let prefetch_ns_since_mark t = t.prefetch_ns -. t.mark_prefetch_ns
+let sampled_ns_since_mark t = t.sampled_ns -. t.mark_sampled_ns
+let other_ns_since_mark t = t.other_ns -. t.mark_other_ns
+
+let total_malloc_ns_since_mark t =
+  let tiers = ref 0.0 in
+  for i = 0 to 4 do
+    tiers := !tiers +. t.tier_ns.(i) -. t.mark_tier_ns.(i)
+  done;
+  !tiers +. prefetch_ns_since_mark t +. sampled_ns_since_mark t +. other_ns_since_mark t
+
+let record_alloc t ~requested ~rounded =
+  t.allocs <- t.allocs + 1;
+  t.live_requested <- t.live_requested + requested;
+  t.live_rounded <- t.live_rounded + rounded;
+  let fsize = float_of_int requested in
+  Histogram.add t.size_count fsize;
+  Histogram.add t.size_bytes ~weight:fsize fsize
+
+let record_free t ~requested ~rounded =
+  t.frees <- t.frees + 1;
+  t.live_requested <- t.live_requested - requested;
+  t.live_rounded <- t.live_rounded - rounded
+
+let record_hit t tier = t.tier_hits.(tier_slot tier) <- t.tier_hits.(tier_slot tier) + 1
+let alloc_count t = t.allocs
+let free_count t = t.frees
+let live_requested_bytes t = t.live_requested
+let live_rounded_bytes t = t.live_rounded
+let internal_fragmentation_bytes t = t.live_rounded - t.live_requested
+let hits t tier = t.tier_hits.(tier_slot tier)
+let size_histogram_count t = t.size_count
+let size_histogram_bytes t = t.size_bytes
+
+let size_bin_of size =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 (max 1 size) 0
+
+let record_lifetime t ~size ~lifetime_ns =
+  let bin = size_bin_of size in
+  let hist =
+    match Hashtbl.find_opt t.lifetimes bin with
+    | Some h -> h
+    | None ->
+      let h = lifetime_hist () in
+      Hashtbl.replace t.lifetimes bin h;
+      h
+  in
+  Histogram.add hist lifetime_ns
+
+let lifetime_bins t =
+  Hashtbl.fold (fun bin h acc -> ((1 lsl bin), h) :: acc) t.lifetimes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let lifetime_fraction t ~size_min ~size_max ~lifetime_below_ns =
+  let total = ref 0.0 and below = ref 0.0 in
+  Hashtbl.iter
+    (fun bin h ->
+      let size = 1 lsl bin in
+      if size >= size_min && size <= size_max then begin
+        total := !total +. Histogram.total_weight h;
+        below :=
+          !below +. (Histogram.fraction_below h lifetime_below_ns *. Histogram.total_weight h)
+      end)
+    t.lifetimes;
+  if !total <= 0.0 then 0.0 else !below /. !total
+
+let record_front_end_miss t ~vcpu =
+  let n = Array.length t.vcpu_misses in
+  if vcpu >= n then begin
+    let bigger = Array.make (max (vcpu + 1) (2 * n)) 0 in
+    Array.blit t.vcpu_misses 0 bigger 0 n;
+    t.vcpu_misses <- bigger
+  end;
+  t.vcpu_misses.(vcpu) <- t.vcpu_misses.(vcpu) + 1
+
+let front_end_misses t = Array.copy t.vcpu_misses
+
+let record_object_reuse t ~remote =
+  if remote then t.remote_reuses <- t.remote_reuses + 1
+  else t.local_reuses <- t.local_reuses + 1
+
+let remote_reuses t = t.remote_reuses
+let local_reuses t = t.local_reuses
+
+let remote_reuse_fraction t =
+  let total = t.remote_reuses + t.local_reuses in
+  if total = 0 then 0.0 else float_of_int t.remote_reuses /. float_of_int total

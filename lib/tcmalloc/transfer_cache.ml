@@ -1,0 +1,172 @@
+open Wsc_substrate
+
+type addr = int
+
+(* Parallel stacks: object address and the LLC domain that freed it. *)
+type class_slot = {
+  addrs : Int_stack.t;
+  homes : Int_stack.t;
+  capacity : int;
+  mutable low_watermark : int;  (* fewest objects held since the last release tick *)
+}
+type shard = { slots : class_slot array; mutable cached_bytes : int }
+
+type t = {
+  config : Config.t;
+  cfl : Central_free_list.t;
+  central : shard;
+  domain_shards : shard array;  (* empty when NUCA-awareness is off *)
+}
+
+let slot_capacity config cls =
+  let size = Size_class.size cls in
+  max
+    (2 * Size_class.batch cls)
+    (config.Config.transfer_cache_bytes_per_class / size)
+
+let make_shard config =
+  {
+    slots =
+      Array.init Size_class.count (fun cls ->
+          {
+            addrs = Int_stack.create ();
+            homes = Int_stack.create ();
+            capacity = slot_capacity config cls;
+            low_watermark = 0;
+          });
+    cached_bytes = 0;
+  }
+
+let create ?(config = Config.baseline) ~topology cfl =
+  let domain_shards =
+    if config.Config.nuca_aware_transfer_cache then
+      Array.init (Wsc_hw.Topology.num_domains topology) (fun _ -> make_shard config)
+    else [||]
+  in
+  { config; cfl; central = make_shard config; domain_shards }
+
+let shard_push shard cls a home =
+  let slot = shard.slots.(cls) in
+  Int_stack.push slot.addrs a;
+  Int_stack.push slot.homes home;
+  shard.cached_bytes <- shard.cached_bytes + Size_class.size cls
+
+let shard_pop shard cls =
+  let slot = shard.slots.(cls) in
+  match Int_stack.pop_opt slot.addrs with
+  | None -> None
+  | Some a ->
+    let home = Int_stack.pop slot.homes in
+    shard.cached_bytes <- shard.cached_bytes - Size_class.size cls;
+    let len = Int_stack.length slot.addrs in
+    if len < slot.low_watermark then slot.low_watermark <- len;
+    Some (a, home)
+
+let shard_room shard cls =
+  let slot = shard.slots.(cls) in
+  slot.capacity - Int_stack.length slot.addrs
+
+type remove_result = {
+  addrs : addr list;
+  local_reuse : int;
+  remote_reuse : int;
+  from_cfl : int;
+  mmaps : int;
+}
+
+let remove t ~cls ~n ~domain ~now =
+  let out = ref [] in
+  let local = ref 0 and remote = ref 0 in
+  let need = ref n in
+  let drain shard =
+    let continue = ref true in
+    while !need > 0 && !continue do
+      match shard_pop shard cls with
+      | None -> continue := false
+      | Some (a, home) ->
+        out := a :: !out;
+        decr need;
+        if home = domain then incr local else incr remote
+    done
+  in
+  if Array.length t.domain_shards > 0 then drain t.domain_shards.(domain);
+  if !need > 0 then drain t.central;
+  let from_cfl = !need in
+  let mmaps =
+    if !need > 0 then begin
+      let addrs, mmaps = Central_free_list.remove_objects t.cfl ~cls ~n:!need ~now in
+      out := List.rev_append addrs !out;
+      need := 0;
+      mmaps
+    end
+    else 0
+  in
+  { addrs = !out; local_reuse = !local; remote_reuse = !remote; from_cfl; mmaps }
+
+let insert t ~cls ~addrs ~domain ~now =
+  let overflow = ref [] in
+  let store shard a =
+    if shard_room shard cls > 0 then begin
+      shard_push shard cls a domain;
+      true
+    end
+    else false
+  in
+  List.iter
+    (fun a ->
+      let stored =
+        if Array.length t.domain_shards > 0 then
+          store t.domain_shards.(domain) a || store t.central a
+        else store t.central a
+      in
+      if not stored then overflow := a :: !overflow)
+    addrs;
+  let n_overflow = List.length !overflow in
+  if n_overflow > 0 then Central_free_list.return_objects t.cfl ~cls ~addrs:!overflow ~now;
+  n_overflow
+
+(* Objects a slot never dipped into since the previous tick are surplus:
+   NUCA shards drain half of that low watermark to the central cache (so
+   idle domains do not strand memory while busy shards keep their working
+   sets local); the central cache drains its own surplus down to the
+   central free list, letting idle-class objects rejoin their spans. *)
+let release_tick t ~now =
+  Array.iter
+    (fun shard ->
+      Array.iteri
+        (fun cls (slot : class_slot) ->
+          let drain = min (slot.low_watermark / 2) (Int_stack.length slot.addrs) in
+          for _ = 1 to drain do
+            match shard_pop shard cls with
+            | None -> ()
+            | Some (a, home) ->
+              if shard_room t.central cls > 0 then shard_push t.central cls a home
+              else Central_free_list.return_objects t.cfl ~cls ~addrs:[ a ] ~now
+          done;
+          slot.low_watermark <- Int_stack.length slot.addrs)
+        shard.slots)
+    t.domain_shards;
+  Array.iteri
+    (fun cls (slot : class_slot) ->
+      let drain = min (slot.low_watermark / 2) (Int_stack.length slot.addrs) in
+      let drained = ref [] in
+      for _ = 1 to drain do
+        match shard_pop t.central cls with
+        | None -> ()
+        | Some (a, _) -> drained := a :: !drained
+      done;
+      if !drained <> [] then Central_free_list.return_objects t.cfl ~cls ~addrs:!drained ~now;
+      slot.low_watermark <- Int_stack.length slot.addrs)
+    t.central.slots
+
+let cached_bytes t =
+  t.central.cached_bytes
+  + Array.fold_left (fun acc shard -> acc + shard.cached_bytes) 0 t.domain_shards
+
+let cached_objects t ~cls =
+  Int_stack.length t.central.slots.(cls).addrs
+  + Array.fold_left
+      (fun acc shard -> acc + Int_stack.length shard.slots.(cls).addrs)
+      0 t.domain_shards
+
+let shard_count t = Array.length t.domain_shards

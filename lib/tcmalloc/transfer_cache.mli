@@ -1,0 +1,56 @@
+(** The transfer cache (Sec. 2.1 item 2, Sec. 4.2).
+
+    A mutex-protected flat array of free-object pointers per size class,
+    letting memory flow rapidly between per-CPU caches (CPU 0 frees what
+    CPU 1 later allocates).  Objects are moved in batches.
+
+    The legacy design is one machine-wide (per-process) cache; on chiplet
+    platforms it silently hands objects across LLC domains, so the consumer
+    pays the ~2x inter-domain transfer latency on first touch.  The
+    {b NUCA-aware} design ({!Config.t.nuca_aware_transfer_cache}) shards the
+    cache per LLC domain, serving each domain's traffic from objects freed
+    in that domain, with the legacy central cache retained as a second level
+    (still cheaper than the central free list).  A periodic release tick
+    drains half of each shard into the central cache so objects cannot
+    strand in idle domains.
+
+    Every cached entry remembers the LLC domain that freed it; removals
+    report how many reused objects were domain-local vs remote, which feeds
+    the locality/MPKI model behind Table 1. *)
+
+type addr = int
+
+type t
+
+val create :
+  ?config:Config.t -> topology:Wsc_hw.Topology.t -> Central_free_list.t -> t
+
+type remove_result = {
+  addrs : addr list;
+  local_reuse : int;  (** Objects reused from the requesting LLC domain. *)
+  remote_reuse : int;  (** Objects that must migrate across domains. *)
+  from_cfl : int;  (** Objects that fell through to the central free list. *)
+  mmaps : int;  (** mmap calls incurred below the central free list. *)
+}
+
+val remove : t -> cls:int -> n:int -> domain:int -> now:float -> remove_result
+(** Fetch [n] objects of a class for a consumer in [domain]. *)
+
+val insert : t -> cls:int -> addrs:addr list -> domain:int -> now:float -> int
+(** Store freed objects coming from [domain]; returns how many overflowed
+    to the central free list (0 when the cache had room). *)
+
+val release_tick : t -> now:float -> unit
+(** Background release: every NUCA shard drains half of its untouched
+    surplus (low watermark) to the central cache, and the central cache
+    drains half of its own untouched surplus to the central free list —
+    TCMalloc's defense against idle size classes stranding memory in the
+    middle tier.  Runs in both legacy and NUCA modes. *)
+
+val cached_bytes : t -> int
+(** Bytes of objects currently cached (external fragmentation in this
+    tier). *)
+
+val cached_objects : t -> cls:int -> int
+val shard_count : t -> int
+(** Number of NUCA shards (0 for the legacy design). *)

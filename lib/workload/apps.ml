@@ -1,0 +1,446 @@
+open Wsc_substrate
+module Productivity = Wsc_hw.Productivity
+
+let kib = Units.kib
+let exp_ms mean_ms = Dist.exponential ~mean:(mean_ms *. Units.ms)
+let exp_s mean_s = Dist.exponential ~mean:(mean_s *. Units.sec)
+
+(* A three-band size-conditioned lifetime table with seconds-scale tails:
+   [short_ms] governs the small-object churn, [pin_frac] the share of
+   objects that pin memory for ~[pin_s]. *)
+let lifetimes ~short_ms ~pin_s ~pin_frac =
+  assert (pin_frac >= 0.0 && pin_frac <= 0.2);
+  let short = exp_ms short_ms in
+  let mid = exp_ms (short_ms *. 50.0) in
+  let long = exp_ms (short_ms *. 2000.0) in
+  let pin = exp_s pin_s in
+  [
+    ( kib,
+      Dist.mixture
+        [ (0.50, short); (0.28, mid); (0.22 -. pin_frac, long); (pin_frac, pin) ] );
+    ( 256 * kib,
+      (* Mid-size buffers churn with the request flow; spans of these
+         classes have low object capacity and drain quickly (Fig. 16). *)
+      Dist.mixture
+        [
+          (0.35, short);
+          (0.35, mid);
+          (0.30 -. (pin_frac /. 2.0), long);
+          (pin_frac /. 2.0, pin);
+        ] );
+    ( max_int,
+      (* Fig. 8: the larger the object, the longer it lives — big buffers
+         are mostly pinned for the whole load phase. *)
+      Dist.mixture
+        [ (0.10, short); (0.30, mid); (0.40, long); (0.20, Dist.scaled 1.5 pin) ] );
+  ]
+
+(* Instructions per request are derived, not free: with ~9 ns of allocator
+   work per alloc/free pair (per-CPU fast paths plus amortized refills), the
+   request's total CPU is fixed by the app's malloc cycle share (Fig. 5a),
+   and instructions follow from CPI at 3 GHz.  This keeps the productivity
+   model self-consistent, so the GWP profiler's measured malloc cycle
+   fractions land near the paper's. *)
+let malloc_ns_per_pair = 9.0
+
+let productivity ~base_cpi ~mpki ~locality_share ~walk_pct ~allocs_per_request
+    ~malloc_frac =
+  let walk = walk_pct /. 100.0 in
+  let cpi = (base_cpi +. (mpki /. 1000.0 *. 60.0)) /. (1.0 -. walk) in
+  let malloc_ns_per_request = allocs_per_request *. malloc_ns_per_pair in
+  let cpu_ns_per_request = malloc_ns_per_request /. malloc_frac in
+  let instr = cpu_ns_per_request *. 3.0 /. cpi in
+  {
+    Productivity.base_cpi;
+    llc_mpki = mpki;
+    llc_miss_penalty = 60.0;
+    alloc_locality_share = locality_share;
+    dtlb_walk_fraction = walk;
+    instructions_per_request = instr;
+    malloc_cycle_fraction = malloc_frac;
+  }
+
+(* Runnable fleet-aggregate profile: the Fig. 7 size mix with the extreme
+   (>96 MiB) tail capped and lifetimes compressed to the simulated horizon,
+   suitable for A/B experiments. *)
+let fleet =
+  {
+    Profile.name = "fleet";
+    size_dist = Dist.clamped ~lo:1.0 ~hi:1.6e7 Profile.fleet_size_dist;
+    lifetime_table = lifetimes ~short_ms:0.5 ~pin_s:12.0 ~pin_frac:0.08;
+    allocs_per_request = 12.0;
+    requests_per_thread_per_sec = 100.0;
+    cross_thread_free_fraction = 0.25;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 0;
+    threads = Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:8.0 ~max_threads:16 ();
+    productivity =
+      productivity ~base_cpi:0.85 ~mpki:2.52 ~locality_share:0.06 ~walk_pct:9.16
+        ~allocs_per_request:12.0 ~malloc_frac:0.043;
+  }
+
+(* Spanner: distributed SQL node with an in-memory cache of storage data
+   that adapts to provisioned memory — block-sized mid/large objects with a
+   pinned cache component. *)
+let spanner =
+  {
+    Profile.name = "spanner";
+    size_dist =
+      Dist.mixture
+        [
+          (0.80, Dist.empirical [ (0.0, 16.0); (0.6, 96.0); (1.0, 1024.0) ]);
+          (0.17, Dist.empirical [ (0.0, 1024.0); (0.7, 8192.0); (1.0, 65536.0) ]);
+          (0.02, Dist.constant 524288.0 (* cache block *));
+          (0.01, Dist.constant 2.25e6 (* compaction buffer, slightly over a hugepage *));
+        ];
+    lifetime_table = lifetimes ~short_ms:0.5 ~pin_s:10.0 ~pin_frac:0.08;
+    allocs_per_request = 20.0;
+    requests_per_thread_per_sec = 25.0;
+    cross_thread_free_fraction = 0.30;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 2_000;
+    threads = Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:10.0 ~max_threads:20 ();
+    productivity =
+      productivity ~base_cpi:0.90 ~mpki:3.80 ~locality_share:0.20 ~walk_pct:7.92
+        ~allocs_per_request:20.0 ~malloc_frac:0.058;
+  }
+
+(* Monarch: planet-scale in-memory time-series store — huge numbers of
+   small, long-lived stream points; the paper's highest malloc share and
+   fragmentation. *)
+let monarch =
+  {
+    Profile.name = "monarch";
+    size_dist =
+      Dist.mixture
+        [
+          (0.92, Dist.empirical [ (0.0, 16.0); (0.5, 48.0); (0.9, 192.0); (1.0, 1024.0) ]);
+          (0.07, Dist.empirical [ (0.0, 1024.0); (1.0, 32768.0) ]);
+          (0.01, Dist.empirical [ (0.0, 32768.0); (1.0, 2.0e6) ]);
+        ];
+    lifetime_table = lifetimes ~short_ms:0.3 ~pin_s:12.0 ~pin_frac:0.18;
+    allocs_per_request = 30.0;
+    requests_per_thread_per_sec = 60.0;
+    cross_thread_free_fraction = 0.35;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 1_000;
+    threads = Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:12.0 ~max_threads:24 ();
+    productivity =
+      productivity ~base_cpi:0.80 ~mpki:2.64 ~locality_share:0.13 ~walk_pct:20.34
+        ~allocs_per_request:30.0 ~malloc_frac:0.101;
+  }
+
+(* Bigtable: tablet server — SSTable blocks and small index entries,
+   moderate churn from compactions. *)
+let bigtable =
+  {
+    Profile.name = "bigtable";
+    size_dist =
+      Dist.mixture
+        [
+          (0.75, Dist.empirical [ (0.0, 24.0); (0.7, 256.0); (1.0, 1024.0) ]);
+          (0.22, Dist.empirical [ (0.0, 1024.0); (0.6, 16384.0); (1.0, 65536.0) ]);
+          (0.02, Dist.constant 262144.0 (* SSTable block *));
+          (0.01, Dist.constant 2.25e6 (* compaction buffer, slightly over a hugepage *));
+        ];
+    lifetime_table = lifetimes ~short_ms:0.8 ~pin_s:8.0 ~pin_frac:0.10;
+    allocs_per_request = 16.0;
+    requests_per_thread_per_sec = 35.0;
+    cross_thread_free_fraction = 0.28;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 1_500;
+    threads = Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:10.0 ~max_threads:20 ();
+    productivity =
+      productivity ~base_cpi:0.85 ~mpki:2.09 ~locality_share:0.08 ~walk_pct:17.25
+        ~allocs_per_request:16.0 ~malloc_frac:0.065;
+  }
+
+(* F1 query: distributed query engine — RPC-dominated, bursty, short-lived
+   row buffers. *)
+let f1_query =
+  {
+    Profile.name = "f1-query";
+    size_dist =
+      Dist.mixture
+        [
+          (0.85, Dist.empirical [ (0.0, 16.0); (0.6, 128.0); (1.0, 2048.0) ]);
+          (0.145, Dist.empirical [ (0.0, 2048.0); (1.0, 65536.0) ]);
+          (0.005, Dist.constant 1.048576e6 (* row batch buffer *));
+        ];
+    lifetime_table = lifetimes ~short_ms:0.4 ~pin_s:10.0 ~pin_frac:0.08;
+    allocs_per_request = 40.0;
+    requests_per_thread_per_sec = 40.0;
+    cross_thread_free_fraction = 0.40;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 500;
+    threads =
+      Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:8.0 ~max_threads:32
+        ~noise:0.25 ~spike_probability:0.03 ();
+    productivity =
+      productivity ~base_cpi:0.90 ~mpki:2.28 ~locality_share:0.074 ~walk_pct:9.62
+        ~allocs_per_request:40.0 ~malloc_frac:0.049;
+  }
+
+(* Disk: low-level distributed storage — big short-lived I/O buffers, the
+   lowest malloc cycle share of the top five. *)
+let disk =
+  {
+    Profile.name = "disk";
+    size_dist =
+      Dist.mixture
+        [
+          (0.82, Dist.empirical [ (0.0, 32.0); (1.0, 512.0) ]);
+          (0.12, Dist.constant 65536.0 (* standard block buffer *));
+          (0.05, Dist.constant 1.048576e6 (* standard 1 MiB I/O buffer *));
+          (0.01, Dist.constant 4.194304e6 (* readahead buffer *));
+        ];
+    lifetime_table = lifetimes ~short_ms:1.0 ~pin_s:12.0 ~pin_frac:0.05;
+    allocs_per_request = 6.0;
+    requests_per_thread_per_sec = 80.0;
+    cross_thread_free_fraction = 0.45;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 200;
+    threads =
+      Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~amplitude:0.15 ~base:8.0
+        ~max_threads:16 ();
+    productivity =
+      productivity ~base_cpi:0.75 ~mpki:4.60 ~locality_share:0.17 ~walk_pct:8.42
+        ~allocs_per_request:6.0 ~malloc_frac:0.036;
+  }
+
+(* Redis v7.0.8 under redis-benchmark: single-threaded, 500 connections,
+   100K ops of 1000 B values. *)
+let redis =
+  {
+    Profile.name = "redis";
+    size_dist =
+      Dist.mixture
+        [
+          (0.55, Dist.empirical [ (0.0, 16.0); (1.0, 128.0) ]);
+          (0.45, Dist.constant 1000.0);
+        ];
+    lifetime_table = lifetimes ~short_ms:0.2 ~pin_s:8.0 ~pin_frac:0.12;
+    allocs_per_request = 3.0;
+    requests_per_thread_per_sec = 3000.0;
+    cross_thread_free_fraction = 0.0;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 300_000 (* the keyspace; 3 objects per key *);
+    threads = Threads.steady ~threads:1;
+    productivity =
+      productivity ~base_cpi:0.70 ~mpki:1.20 ~locality_share:0.0 ~walk_pct:10.34
+        ~allocs_per_request:3.0 ~malloc_frac:0.030;
+  }
+
+(* Data-processing pipeline: word count over 1 GB / 100M words in one
+   process — torrents of tiny, short-lived strings. *)
+let data_pipeline =
+  {
+    Profile.name = "data-pipeline";
+    size_dist =
+      Dist.mixture
+        [
+          (0.94, Dist.empirical [ (0.0, 8.0); (0.7, 32.0); (1.0, 256.0) ]);
+          (0.055, Dist.empirical [ (0.0, 256.0); (1.0, 8192.0) ]);
+          (0.005, Dist.empirical [ (0.0, 8192.0); (1.0, 1.0e6) ]);
+        ];
+    lifetime_table = lifetimes ~short_ms:0.1 ~pin_s:8.0 ~pin_frac:0.04;
+    allocs_per_request = 50.0;
+    requests_per_thread_per_sec = 60.0;
+    cross_thread_free_fraction = 0.50;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 100_000 (* the word-count dictionary *);
+    threads = Threads.steady ~threads:8;
+    productivity =
+      productivity ~base_cpi:0.80 ~mpki:1.82 ~locality_share:0.31 ~walk_pct:5.36
+        ~allocs_per_request:50.0 ~malloc_frac:0.070;
+  }
+
+(* Image-processing server: concurrent image filter/transform requests —
+   MiB-scale short-lived frame buffers plus request metadata. *)
+let image_processing =
+  {
+    Profile.name = "image-processing";
+    size_dist =
+      Dist.mixture
+        [
+          (0.78, Dist.empirical [ (0.0, 32.0); (1.0, 1024.0) ]);
+          (0.16, Dist.empirical [ (0.0, 16384.0); (1.0, 262144.0) ]);
+          (0.04, Dist.constant 2.359296e6 (* 1024x768 RGB frame *));
+          (0.02, Dist.constant 6.291456e6 (* 2MP RGB frame *));
+        ];
+    lifetime_table = lifetimes ~short_ms:2.0 ~pin_s:5.0 ~pin_frac:0.02;
+    allocs_per_request = 12.0;
+    requests_per_thread_per_sec = 40.0;
+    cross_thread_free_fraction = 0.35;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 100;
+    threads = Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:8.0 ~max_threads:16 ();
+    productivity =
+      productivity ~base_cpi:0.90 ~mpki:0.81 ~locality_share:0.46 ~walk_pct:1.46
+        ~allocs_per_request:12.0 ~malloc_frac:0.050;
+  }
+
+(* TensorFlow Serving running InceptionV3 — Eigen's tensor buffers: large
+   power-of-two-ish blocks with complex reuse. *)
+let tensorflow =
+  {
+    Profile.name = "tensorflow";
+    size_dist =
+      Dist.mixture
+        [
+          (0.68, Dist.empirical [ (0.0, 32.0); (1.0, 2048.0) ]);
+          (0.24, Dist.empirical [ (0.0, 4096.0); (1.0, 131072.0) ]);
+          (0.05, Dist.constant 1.048576e6 (* 35x35x256 activations *));
+          (0.025, Dist.constant 4.194304e6 (* 17x17x1024 activations *));
+          (0.005, Dist.constant 1.2582912e7 (* batch input tensor *));
+        ];
+    lifetime_table = lifetimes ~short_ms:1.5 ~pin_s:8.0 ~pin_frac:0.06;
+    allocs_per_request = 25.0;
+    requests_per_thread_per_sec = 20.0;
+    cross_thread_free_fraction = 0.40;
+    size_drift_amplitude = 0.4;
+    size_drift_period_ns = 25.0 *. Units.sec;
+    startup_burst_allocs = 2_000;
+    threads = Threads.steady ~threads:8;
+    productivity =
+      productivity ~base_cpi:0.95 ~mpki:1.88 ~locality_share:0.32 ~walk_pct:6.79
+        ~allocs_per_request:25.0 ~malloc_frac:0.060;
+  }
+
+(* SPEC CPU2006 contrast: allocate the working set at startup, then almost
+   no steady-state churn, with bimodal lifetimes (Sec. 3: unsuitable for
+   allocator studies). *)
+let spec2006 =
+  {
+    Profile.name = "spec2006";
+    size_dist =
+      Dist.mixture
+        [
+          (0.85, Dist.empirical [ (0.0, 16.0); (1.0, 4096.0) ]);
+          (0.15, Dist.empirical [ (0.0, 8192.0); (1.0, 262144.0) ]);
+        ];
+    lifetime_table =
+      [
+        ( max_int,
+          Dist.mixture [ (0.55, exp_ms 0.2); (0.45, Dist.constant 1e17) ] );
+      ];
+    allocs_per_request = 1.0;
+    requests_per_thread_per_sec = 50.0 (* near-zero churn relative to SPEC compute *);
+    cross_thread_free_fraction = 0.0;
+    size_drift_amplitude = 0.0;
+    size_drift_period_ns = 30.0 *. Units.sec;
+    startup_burst_allocs = 20_000;
+    threads = Threads.steady ~threads:1;
+    productivity =
+      productivity ~base_cpi:0.9 ~mpki:3.0 ~locality_share:0.0 ~walk_pct:4.0
+        ~allocs_per_request:1.0 ~malloc_frac:0.004;
+  }
+
+(* The middle-tier search service whose worker-thread dynamics the paper
+   plots in Fig. 9a. *)
+let search_middle_tier =
+  {
+    fleet with
+    Profile.name = "search-middle-tier";
+    threads =
+      Threads.diurnal ~period_ns:(40.0 *. Units.sec) ~base:14.0 ~max_threads:48
+        ~amplitude:0.65 ~noise:0.3 ~spike_probability:0.03 ();
+    cross_thread_free_fraction = 0.3;
+  }
+
+(* The productivity helper assumed 9 ns of allocator work per alloc/free
+   pair, which is right for size-class traffic but not for large objects
+   that ride the pageheap (137 ns each way) and occasionally mmap.  Estimate
+   each profile's true expected pair cost by sampling its size mix, and
+   rescale instructions-per-request so the modeled malloc cycle share still
+   matches the target. *)
+let expected_pair_cost_ns profile =
+  let rng = Rng.create 0x5eed in
+  let samples = 20_000 in
+  let total = ref 0.0 in
+  let large_pair_cost = 2500.0 (* 2x pageheap + amortized mmap *) in
+  for _ = 1 to samples do
+    let size = Profile.sample_size profile rng in
+    total :=
+      !total
+      +. (if size <= Wsc_tcmalloc.Size_class.max_size then malloc_ns_per_pair
+          else large_pair_cost)
+  done;
+  !total /. float_of_int samples
+
+let calibrate profile =
+  let p = profile.Profile.productivity in
+  let scale = expected_pair_cost_ns profile /. malloc_ns_per_pair in
+  {
+    profile with
+    Profile.productivity =
+      {
+        p with
+        Productivity.instructions_per_request =
+          p.Productivity.instructions_per_request *. scale;
+      };
+  }
+
+let fleet = calibrate fleet
+let spanner = calibrate spanner
+let monarch = calibrate monarch
+let bigtable = calibrate bigtable
+let f1_query = calibrate f1_query
+let disk = calibrate disk
+let redis = calibrate redis
+let data_pipeline = calibrate data_pipeline
+let image_processing = calibrate image_processing
+let tensorflow = calibrate tensorflow
+let spec2006 = calibrate spec2006
+let search_middle_tier = calibrate search_middle_tier
+
+(* Full-tail fleet profile for the Fig. 7/8 characterization: keeps the
+   multi-GiB object tail and the day-scale lifetime diversity (objects that
+   outlive the simulation simply stay live, as they would over a profiling
+   window much shorter than their lifetime). *)
+let fleet_characterization =
+  calibrate
+    {
+      fleet with
+      Profile.name = "fleet-characterization";
+      size_dist = Profile.fleet_size_dist;
+      lifetime_table = Profile.fleet_lifetime_table;
+    }
+
+let top5 = [ spanner; monarch; bigtable; f1_query; disk ]
+let benchmarks = [ redis; data_pipeline; image_processing; tensorflow ]
+
+let all =
+  fleet :: search_middle_tier :: spec2006 :: (top5 @ benchmarks)
+
+let by_name name =
+  match List.find_opt (fun p -> p.Profile.name = name) all with
+  | Some p -> p
+  | None -> raise Not_found
+
+(* The fleet's long tail (Fig. 3): popularity and footprint shrink with
+   rank; a mild per-rank perturbation keeps the binaries distinguishable. *)
+let fleet_binary ~rank =
+  if rank < 0 then invalid_arg "Apps.fleet_binary: negative rank";
+  let scale = 1.0 /. (1.0 +. (0.05 *. float_of_int rank)) in
+  {
+    fleet with
+    Profile.name = Printf.sprintf "binary-%03d" rank;
+    requests_per_thread_per_sec = fleet.Profile.requests_per_thread_per_sec *. scale;
+    allocs_per_request =
+      fleet.Profile.allocs_per_request *. (0.8 +. (0.4 *. Float.rem (float_of_int rank) 3.0 /. 3.0));
+    threads =
+      Threads.diurnal
+        ~base:(Float.max 2.0 (16.0 *. scale))
+        ~max_threads:(max 4 (int_of_float (48.0 *. scale)))
+        ();
+  }

@@ -1,0 +1,58 @@
+(** Application profiles (Sec. 2.3).
+
+    Five production workloads with the fleet's highest malloc usage —
+    Spanner (distributed SQL node), Monarch (in-memory time-series store),
+    Bigtable (tablet server), F1 query (distributed query engine), Disk
+    (distributed storage server) — plus the four dedicated-server
+    benchmarks (Redis, a data-processing pipeline, an image-processing
+    server, TensorFlow Serving), a SPEC CPU2006-style contrast profile, a
+    fleet-aggregate profile, and the middle-tier search service whose
+    thread dynamics appear in Fig. 9a.
+
+    Allocation mixes are synthetic but shaped to each system's published
+    behaviour (e.g. Monarch holds stream data in memory — long-lived small
+    objects and the highest fragmentation; Redis is single-threaded with
+    ~1000 B values; the data pipeline churns tiny short-lived strings).
+    Productivity parameters come from the paper's "Before" columns (LLC
+    MPKI from Table 1, dTLB walk % from Table 2).
+
+    App lifetime tables use seconds-scale tails so that 10–60 s simulations
+    reach quasi-steady state; the [fleet] profile keeps the day-scale tails
+    of Fig. 8 for characterization runs. *)
+
+val fleet : Profile.t
+(** Runnable fleet-aggregate profile (tail capped at ~96 MiB, lifetimes
+    compressed to the simulation horizon) for A/B experiments. *)
+
+val fleet_characterization : Profile.t
+(** Full-tail, day-scale-lifetime fleet profile for the Fig. 7/8
+    characterization runs. *)
+
+val spanner : Profile.t
+val monarch : Profile.t
+val bigtable : Profile.t
+val f1_query : Profile.t
+val disk : Profile.t
+val redis : Profile.t
+val data_pipeline : Profile.t
+val image_processing : Profile.t
+val tensorflow : Profile.t
+val spec2006 : Profile.t
+val search_middle_tier : Profile.t
+
+val top5 : Profile.t list
+(** The five production workloads, in the paper's order. *)
+
+val benchmarks : Profile.t list
+(** The four dedicated-server benchmarks, in the paper's order. *)
+
+val all : Profile.t list
+(** Every profile above. *)
+
+val by_name : string -> Profile.t
+(** @raise Not_found for unknown names. *)
+
+val fleet_binary : rank:int -> Profile.t
+(** Synthetic binary number [rank] of the fleet's long tail (Fig. 3): a
+    perturbed variant of the fleet profile whose allocation intensity and
+    footprint shrink with rank. *)

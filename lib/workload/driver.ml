@@ -1,0 +1,229 @@
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Sched = Wsc_os.Sched
+
+type pending = { addr : int; size : int; thread : int }
+
+type t = {
+  profile : Profile.t;
+  sched : Sched.t;
+  malloc : Malloc.t;
+  clock : Clock.t;
+  rng : Rng.t;
+  pending_frees : pending Binheap.t;
+  mutable active_threads : int;
+  mutable active_cpus : int list;
+  (* Thread slots hold OS thread identities; a slot vacated by a pool
+     shrink gets a *fresh* thread id when the pool regrows (thread pools
+     kill and respawn workers), which is what strands per-thread caches. *)
+  mutable thread_ids : int array;
+  mutable next_thread_id : int;
+  mutable requests : float;
+  mutable allocs : int;
+  mutable started : bool;
+  lifetime_sample_every : int;
+  mutable lifetime_countdown : int;
+  mutable thread_series_rev : (float * int) list;
+  mutable next_thread_update : float;
+  mutable rss_stats : Stats.Running.t;
+  mutable frag_stats : Stats.Running.t;
+  mutable coverage_stats : Stats.Running.t;
+  mutable next_coverage_sample : float;
+  mutable peak_rss : int;
+  mutable malloc_ns_at_reset : float;
+}
+
+let create ?(seed = 1) ?(lifetime_sample_every = 64) ~profile ~sched ~malloc ~clock () =
+  {
+    profile;
+    sched;
+    malloc;
+    clock;
+    rng = Rng.create seed;
+    pending_frees = Binheap.create ();
+    active_threads = 1;
+    active_cpus = [];
+    thread_ids = [| 0 |];
+    next_thread_id = 1;
+    requests = 0.0;
+    allocs = 0;
+    started = false;
+    lifetime_sample_every;
+    lifetime_countdown = lifetime_sample_every;
+    thread_series_rev = [];
+    next_thread_update = 0.0;
+    rss_stats = Stats.Running.create ();
+    frag_stats = Stats.Running.create ();
+    coverage_stats = Stats.Running.create ();
+    next_coverage_sample = 0.0;
+    peak_rss = 0;
+    malloc_ns_at_reset = 0.0;
+  }
+
+let cpus_for t n_threads =
+  let module IntSet = Set.Make (Int) in
+  let set = ref IntSet.empty in
+  for thread = 0 to n_threads - 1 do
+    set := IntSet.add (Sched.cpu_of_thread t.sched ~thread) !set
+  done;
+  IntSet.elements !set
+
+(* Worker pools resize on control-plane timescales, not per epoch. *)
+let thread_update_interval = 0.25 *. Units.sec
+
+let update_threads t ~now =
+  if now < t.next_thread_update && t.active_cpus <> [] then ()
+  else begin
+  t.next_thread_update <- now +. thread_update_interval;
+  let n = Threads.count t.profile.Profile.threads t.rng ~now in
+  if n <> t.active_threads || t.active_cpus = [] then begin
+    if n > Array.length t.thread_ids then begin
+      let old = t.thread_ids in
+      t.thread_ids <- Array.make n 0;
+      Array.blit old 0 t.thread_ids 0 (Array.length old);
+      for slot = Array.length old to n - 1 do
+        t.thread_ids.(slot) <- t.next_thread_id;
+        t.next_thread_id <- t.next_thread_id + 1
+      done
+    end
+    else if n > t.active_threads then
+      (* Regrown slots within the array get fresh worker identities. *)
+      for slot = t.active_threads to n - 1 do
+        t.thread_ids.(slot) <- t.next_thread_id;
+        t.next_thread_id <- t.next_thread_id + 1
+      done;
+    let new_cpus = cpus_for t n in
+    (* Release vCPUs for cores the shrunken pool no longer touches. *)
+    List.iter
+      (fun cpu -> if not (List.mem cpu new_cpus) then Malloc.cpu_idle t.malloc ~cpu)
+      t.active_cpus;
+    t.active_threads <- n;
+    t.active_cpus <- new_cpus
+  end;
+  t.thread_series_rev <- (now, t.active_threads) :: t.thread_series_rev
+  end
+
+let record_lifetime_sample t ~size ~lifetime =
+  t.lifetime_countdown <- t.lifetime_countdown - 1;
+  (* Large objects are rare but carry the interesting lifetime tail
+     (Fig. 8's >1 GiB rows); record all of them, and every k-th small one. *)
+  if t.lifetime_countdown <= 0 || size >= 1_048_576 then begin
+    if t.lifetime_countdown <= 0 then t.lifetime_countdown <- t.lifetime_sample_every;
+    Telemetry.record_lifetime (Malloc.telemetry t.malloc) ~size ~lifetime_ns:lifetime
+  end
+
+let allocate_one t ~now =
+  let thread = Rng.int t.rng t.active_threads in
+  let cpu = Sched.cpu_of_thread t.sched ~thread in
+  let size = Profile.sample_size ~now t.profile t.rng in
+  let addr = Malloc.malloc ~thread:t.thread_ids.(thread) t.malloc ~cpu ~size in
+  let lifetime = Profile.sample_lifetime t.profile t.rng ~size in
+  record_lifetime_sample t ~size ~lifetime;
+  Binheap.push t.pending_frees (now +. lifetime) { addr; size; thread };
+  t.allocs <- t.allocs + 1
+
+let startup_burst t =
+  (* Startup allocations live "forever": model them with a free time far
+     beyond any simulation horizon so they pin memory like SPEC's
+     allocate-once working sets. *)
+  let far_future = 1e18 in
+  for _ = 1 to t.profile.Profile.startup_burst_allocs do
+    let thread = Rng.int t.rng t.active_threads in
+    let cpu = Sched.cpu_of_thread t.sched ~thread in
+    let size = Profile.sample_size t.profile t.rng in
+    let addr = Malloc.malloc ~thread:t.thread_ids.(thread) t.malloc ~cpu ~size in
+    record_lifetime_sample t ~size ~lifetime:far_future;
+    Binheap.push t.pending_frees far_future { addr; size; thread };
+    t.allocs <- t.allocs + 1
+  done
+
+let execute_free t p =
+  let cross = Rng.bernoulli t.rng t.profile.Profile.cross_thread_free_fraction in
+  let thread = if cross then Rng.int t.rng t.active_threads else p.thread mod t.active_threads in
+  let cpu = Sched.cpu_of_thread t.sched ~thread in
+  Malloc.free ~thread:t.thread_ids.(thread) t.malloc ~cpu p.addr ~size:p.size
+
+(* Hugepage coverage requires a full pageheap walk; sample it coarsely. *)
+let coverage_sample_interval = 0.5 *. Units.sec
+
+let observe_memory t ~now =
+  let stats = Malloc.heap_stats t.malloc in
+  let rss = stats.Malloc.resident_bytes in
+  Stats.Running.add t.rss_stats (float_of_int rss);
+  if rss > t.peak_rss then t.peak_rss <- rss;
+  Stats.Running.add t.frag_stats (Malloc.fragmentation_ratio stats);
+  if now >= t.next_coverage_sample then begin
+    t.next_coverage_sample <- now +. coverage_sample_interval;
+    Stats.Running.add t.coverage_stats (Malloc.hugepage_coverage t.malloc)
+  end
+
+let step t ~dt =
+  let now = Clock.now t.clock in
+  update_threads t ~now;
+  if not t.started then begin
+    t.started <- true;
+    if t.profile.Profile.startup_burst_allocs > 0 then startup_burst t
+  end;
+  (* Retire frees that came due during this epoch. *)
+  List.iter (fun (_, p) -> execute_free t p) (Binheap.pop_until t.pending_frees now);
+  (* Issue the epoch's allocations. *)
+  let rate =
+    t.profile.Profile.requests_per_thread_per_sec
+    *. t.profile.Profile.allocs_per_request
+    *. float_of_int t.active_threads
+  in
+  let expected = rate *. dt /. Units.sec in
+  let n =
+    let whole = int_of_float expected in
+    whole + (if Rng.bernoulli t.rng (expected -. float_of_int whole) then 1 else 0)
+  in
+  for _ = 1 to n do
+    allocate_one t ~now
+  done;
+  t.requests <- t.requests +. (float_of_int n /. t.profile.Profile.allocs_per_request);
+  observe_memory t ~now
+
+let run t ~duration_ns ~epoch_ns =
+  let until = Clock.now t.clock +. duration_ns in
+  while Clock.now t.clock < until do
+    let dt = Float.min epoch_ns (until -. Clock.now t.clock) in
+    Clock.advance t.clock dt;
+    step t ~dt
+  done
+
+let requests_completed t = t.requests
+let allocations t = t.allocs
+let live_objects t = Binheap.length t.pending_frees
+let thread_series t = List.rev t.thread_series_rev
+let avg_rss_bytes t = Stats.Running.mean t.rss_stats
+let peak_rss_bytes t = t.peak_rss
+let avg_fragmentation_ratio t = Stats.Running.mean t.frag_stats
+
+let avg_hugepage_coverage t =
+  if Stats.Running.count t.coverage_stats = 0 then Malloc.hugepage_coverage t.malloc
+  else Stats.Running.mean t.coverage_stats
+let profile t = t.profile
+let malloc t = t.malloc
+
+let reset_measurements t =
+  t.requests <- 0.0;
+  t.rss_stats <- Stats.Running.create ();
+  t.frag_stats <- Stats.Running.create ();
+  t.coverage_stats <- Stats.Running.create ();
+  t.peak_rss <- 0;
+  Telemetry.mark (Malloc.telemetry t.malloc);
+  t.malloc_ns_at_reset <- Telemetry.total_malloc_ns (Malloc.telemetry t.malloc)
+
+let measured_malloc_ns t =
+  Telemetry.total_malloc_ns (Malloc.telemetry t.malloc) -. t.malloc_ns_at_reset
+
+let drain t =
+  let rec go () =
+    match Binheap.pop t.pending_frees with
+    | None -> ()
+    | Some (_, p) ->
+      execute_free t p;
+      go ()
+  in
+  go ()

@@ -1,0 +1,74 @@
+(** The workload driver: turns a {!Profile} into a live allocation stream
+    against one allocator instance.
+
+    The driver is a discrete-event simulation: every allocated object draws
+    a lifetime and is entered into a pending-free heap; each [step] first
+    retires the frees that came due, then issues the epoch's new allocations
+    from the currently-active worker threads (whose count follows the
+    profile's {!Threads} model, releasing vCPUs when the pool shrinks).
+    Cross-thread frees happen with the profile's configured probability and
+    are what drives traffic through the transfer cache.
+
+    Besides driving the allocator, the driver records the observability
+    streams the paper's figures need: thread-count time series (Fig. 9a),
+    RSS and fragmentation averages (Figs. 10/14, Tables 1/2), and sampled
+    (size, lifetime) pairs fed into the allocator's telemetry (Fig. 8 —
+    drawn lifetimes are recorded so that lifetimes longer than the simulated
+    horizon are represented; the in-allocator sampler only sees frees that
+    actually happen). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?lifetime_sample_every:int ->
+  profile:Profile.t ->
+  sched:Wsc_os.Sched.t ->
+  malloc:Wsc_tcmalloc.Malloc.t ->
+  clock:Wsc_substrate.Clock.t ->
+  unit ->
+  t
+(** The startup burst (if the profile has one) is issued on the first
+    step. *)
+
+val step : t -> dt:float -> unit
+(** Process one epoch ending at the clock's current time: the caller (or
+    {!run}) must have advanced the shared clock by [dt] beforehand. *)
+
+val run : t -> duration_ns:float -> epoch_ns:float -> unit
+(** Convenience for single-process experiments: repeatedly advance the
+    driver's clock by [epoch_ns] and step, for [duration_ns]. *)
+
+(** {2 Results} *)
+
+val requests_completed : t -> float
+val allocations : t -> int
+val live_objects : t -> int
+(** Objects allocated and not yet freed (pending-free heap size). *)
+
+val thread_series : t -> (float * int) list
+(** [(time, active_threads)] samples, ascending. *)
+
+val avg_rss_bytes : t -> float
+val peak_rss_bytes : t -> int
+val avg_fragmentation_ratio : t -> float
+
+val avg_hugepage_coverage : t -> float
+(** Time-averaged hugepage coverage (sampled every 0.5 s of simulated
+    time); falls back to the instantaneous value before the first sample. *)
+
+val profile : t -> Profile.t
+val malloc : t -> Wsc_tcmalloc.Malloc.t
+
+val reset_measurements : t -> unit
+(** Zero the request counter and the RSS/fragmentation accumulators
+    (call after a warmup phase so steady-state metrics exclude the
+    transient heap build-up).  The allocator state itself is untouched. *)
+
+val measured_malloc_ns : t -> float
+(** Allocator CPU time accumulated since the last {!reset_measurements}
+    (or since creation). *)
+
+val drain : t -> unit
+(** Free every pending object immediately (end-of-run cleanup for leak
+    checks in tests). *)

@@ -1,0 +1,46 @@
+open Wsc_substrate
+
+type t = {
+  base : float;
+  amplitude : float;
+  period_ns : float;
+  noise : float;
+  spike_probability : float;
+  spike_multiplier : float;
+  max_threads : int;
+}
+
+let steady ~threads =
+  {
+    base = float_of_int threads;
+    amplitude = 0.0;
+    period_ns = Units.day;
+    noise = 0.0;
+    spike_probability = 0.0;
+    spike_multiplier = 1.0;
+    max_threads = threads;
+  }
+
+let diurnal ?(amplitude = 0.35) ?(noise = 0.15) ?(spike_probability = 0.01)
+    ?(period_ns = 24.0 *. Units.hour) ~base ~max_threads () =
+  {
+    base;
+    amplitude;
+    period_ns;
+    noise;
+    spike_probability;
+    spike_multiplier = 1.8;
+    max_threads;
+  }
+
+let count t rng ~now =
+  let phase = 2.0 *. Float.pi *. now /. t.period_ns in
+  let diurnal_factor = 1.0 +. (t.amplitude *. sin phase) in
+  let noise_factor = 1.0 +. (t.noise *. ((2.0 *. Rng.unit_float rng) -. 1.0)) in
+  let spike_factor =
+    if t.spike_probability > 0.0 && Rng.bernoulli rng t.spike_probability then
+      t.spike_multiplier
+    else 1.0
+  in
+  let n = t.base *. diurnal_factor *. noise_factor *. spike_factor in
+  max 1 (min t.max_threads (int_of_float (Float.round n)))

@@ -1,0 +1,34 @@
+(** Worker-thread count dynamics (Fig. 9a).
+
+    WSC applications handle dynamic load by varying the number of worker
+    threads: the paper's middle-tier search service fluctuates constantly
+    with diurnal swings, noise, and occasional load spikes.  The model is a
+    sinusoid with multiplicative noise plus rare spikes, evaluated at any
+    simulated time. *)
+
+type t = {
+  base : float;  (** Mean thread count. *)
+  amplitude : float;  (** Diurnal swing as a fraction of [base] (0..1). *)
+  period_ns : float;  (** Diurnal period (24 h for real services; scaled
+                           down for short simulations). *)
+  noise : float;  (** Multiplicative noise amplitude (0..1). *)
+  spike_probability : float;  (** Per-evaluation chance of a load spike. *)
+  spike_multiplier : float;  (** Thread multiplier during a spike. *)
+  max_threads : int;
+}
+
+val steady : threads:int -> t
+(** A constant thread count (benchmarks on a dedicated server). *)
+
+val diurnal :
+  ?amplitude:float ->
+  ?noise:float ->
+  ?spike_probability:float ->
+  ?period_ns:float ->
+  base:float ->
+  max_threads:int ->
+  unit ->
+  t
+
+val count : t -> Wsc_substrate.Rng.t -> now:float -> int
+(** Active worker threads at [now]; always in [\[1, max_threads\]]. *)

@@ -1,0 +1,185 @@
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+
+type event =
+  | Alloc of { id : int; size : int; cpu : int }
+  | Free of { id : int; cpu : int }
+  | Advance of { dt_ns : float }
+
+type t = { events : event list; length : int }
+
+let validate events =
+  let live = Hashtbl.create 1024 in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Alloc { id; size; cpu } ->
+        if size <= 0 then invalid_arg (Printf.sprintf "Trace: event %d: size <= 0" i);
+        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i);
+        if Hashtbl.mem live id then
+          invalid_arg (Printf.sprintf "Trace: event %d: id %d already live" i id);
+        Hashtbl.replace live id ()
+      | Free { id; cpu } ->
+        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i);
+        if not (Hashtbl.mem live id) then
+          invalid_arg (Printf.sprintf "Trace: event %d: free of unknown id %d" i id);
+        Hashtbl.remove live id
+      | Advance { dt_ns } ->
+        if dt_ns < 0.0 then invalid_arg (Printf.sprintf "Trace: event %d: negative dt" i))
+    events
+
+let of_events events =
+  validate events;
+  { events; length = List.length events }
+
+let events t = t.events
+let length t = t.length
+
+(* Mirror the driver's event generation, but emit events instead of calling
+   the allocator.  Object ids are allocation ordinals. *)
+let synthesize ?(seed = 1) ?(epoch_ns = Units.ms) ~profile ~duration_ns () =
+  let rng = Rng.create seed in
+  let pending : (int * int) Binheap.t = Binheap.create () (* (id, thread) *) in
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let next_id = ref 0 in
+  let now = ref 0.0 in
+  let active_threads = ref 1 in
+  let next_thread_update = ref 0.0 in
+  let cpu_of_thread thread = thread mod 64 in
+  let allocate () =
+    let thread = Rng.int rng !active_threads in
+    let size = Profile.sample_size ~now:!now profile rng in
+    let id = !next_id in
+    incr next_id;
+    emit (Alloc { id; size; cpu = cpu_of_thread thread });
+    let lifetime = Profile.sample_lifetime profile rng ~size in
+    Binheap.push pending (!now +. lifetime) (id, thread)
+  in
+  while !now < duration_ns do
+    now := !now +. epoch_ns;
+    emit (Advance { dt_ns = epoch_ns });
+    if !now >= !next_thread_update then begin
+      next_thread_update := !now +. (0.25 *. Units.sec);
+      active_threads := Threads.count profile.Profile.threads rng ~now:!now
+    end;
+    List.iter
+      (fun (_, (id, thread)) ->
+        let cross = Rng.bernoulli rng profile.Profile.cross_thread_free_fraction in
+        let thread = if cross then Rng.int rng !active_threads else thread in
+        emit (Free { id; cpu = cpu_of_thread thread }))
+      (Binheap.pop_until pending !now);
+    let rate =
+      profile.Profile.requests_per_thread_per_sec
+      *. profile.Profile.allocs_per_request
+      *. float_of_int !active_threads
+    in
+    let expected = rate *. epoch_ns /. Units.sec in
+    let n =
+      let whole = int_of_float expected in
+      whole + (if Rng.bernoulli rng (expected -. float_of_int whole) then 1 else 0)
+    in
+    for _ = 1 to n do
+      allocate ()
+    done
+  done;
+  (* Close the trace: free every live object so replays end balanced. *)
+  Binheap.iter pending (fun _ (id, thread) ->
+      emit (Free { id; cpu = cpu_of_thread thread }));
+  let events = List.rev !out in
+  { events; length = List.length events }
+
+type replay_result = {
+  allocations : int;
+  frees : int;
+  peak_rss_bytes : int;
+  final_stats : Malloc.heap_stats;
+  malloc_ns : float;
+}
+
+let replay ?(config = Wsc_tcmalloc.Config.baseline)
+    ?(topology = Wsc_hw.Topology.default) t =
+  let clock = Clock.create () in
+  let malloc = Malloc.create ~config ~topology ~clock () in
+  let num_cpus = Wsc_hw.Topology.num_cpus topology in
+  let addr_of_id = Hashtbl.create 4096 in
+  let peak = ref 0 in
+  let allocations = ref 0 and frees = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Alloc { id; size; cpu } ->
+        let addr = Malloc.malloc malloc ~cpu:(cpu mod num_cpus) ~size in
+        Hashtbl.replace addr_of_id id (addr, size);
+        incr allocations
+      | Free { id; cpu } ->
+        let addr, size =
+          match Hashtbl.find_opt addr_of_id id with
+          | Some entry -> entry
+          | None -> invalid_arg "Trace.replay: free of unknown id"
+        in
+        Hashtbl.remove addr_of_id id;
+        Malloc.free malloc ~cpu:(cpu mod num_cpus) addr ~size;
+        incr frees
+      | Advance { dt_ns } ->
+        Clock.advance clock dt_ns;
+        let rss = (Malloc.heap_stats malloc).Malloc.resident_bytes in
+        if rss > !peak then peak := rss)
+    t.events;
+  {
+    allocations = !allocations;
+    frees = !frees;
+    peak_rss_bytes = !peak;
+    final_stats = Malloc.heap_stats malloc;
+    malloc_ns = Telemetry.total_malloc_ns (Malloc.telemetry malloc);
+  }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# wsc-alloc trace v1\n";
+      List.iter
+        (fun ev ->
+          match ev with
+          | Alloc { id; size; cpu } -> Printf.fprintf oc "a %d %d %d\n" id size cpu
+          | Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
+          | Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns)
+        t.events)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then begin
+             let fail () =
+               invalid_arg (Printf.sprintf "Trace.load: parse error at line %d" !line_no)
+             in
+             match String.split_on_char ' ' line with
+             | [ "a"; id; size; cpu ] -> (
+               match (int_of_string_opt id, int_of_string_opt size, int_of_string_opt cpu) with
+               | Some id, Some size, Some cpu -> out := Alloc { id; size; cpu } :: !out
+               | _ -> fail ())
+             | [ "f"; id; cpu ] -> (
+               match (int_of_string_opt id, int_of_string_opt cpu) with
+               | Some id, Some cpu -> out := Free { id; cpu } :: !out
+               | _ -> fail ())
+             | [ "t"; dt ] -> (
+               match float_of_string_opt dt with
+               | Some dt_ns -> out := Advance { dt_ns } :: !out
+               | None -> fail ())
+             | _ -> fail ()
+           end
+         done
+       with End_of_file -> ());
+      of_events (List.rev !out))

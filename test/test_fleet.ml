@@ -1,0 +1,205 @@
+(* Tests for wsc_fleet: machines, the fleet builder, GWP aggregation and
+   the A/B experiment framework. *)
+
+open Wsc_substrate
+open Wsc_fleet
+module Config = Wsc_tcmalloc.Config
+module Malloc = Wsc_tcmalloc.Malloc
+module Apps = Wsc_workload.Apps
+module Profile = Wsc_workload.Profile
+module Driver = Wsc_workload.Driver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let small_machine ?(config = Config.baseline) ?(jobs = [ Apps.redis ]) () =
+  Machine.create ~seed:5 ~config ~platform:Wsc_hw.Topology.default ~jobs ()
+
+(* {1 Machine} *)
+
+let test_machine_runs_jobs () =
+  let m = small_machine ~jobs:[ Apps.redis; Apps.disk ] () in
+  Machine.run m ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let jobs = Machine.jobs m in
+  check_int "two jobs" 2 (List.length jobs);
+  List.iter
+    (fun job ->
+      if Driver.allocations job.Machine.driver = 0 then
+        Alcotest.failf "%s did no work" job.Machine.profile.Profile.name)
+    jobs
+
+let test_machine_shared_clock () =
+  let m = small_machine ~jobs:[ Apps.redis; Apps.redis ] () in
+  Machine.run m ~duration_ns:(1.0 *. Units.sec) ~epoch_ns:Units.ms;
+  check_close "clock advanced" 1e-3 (1.0 *. Units.sec) (Clock.now (Machine.clock m))
+
+let test_machine_total_rss () =
+  let m = small_machine () in
+  Machine.run m ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let total = Machine.total_rss m in
+  let by_job =
+    List.fold_left
+      (fun acc j -> acc + (Malloc.heap_stats j.Machine.malloc).Malloc.resident_bytes)
+      0 (Machine.jobs m)
+  in
+  check_int "total rss = sum of jobs" by_job total
+
+(* {1 Fleet} *)
+
+let test_fleet_shape () =
+  let fleet = Fleet.create ~seed:1 ~num_machines:5 ~num_binaries:10 ~jobs_per_machine:2 () in
+  check_int "machines" 5 (List.length (Fleet.machines fleet));
+  check_int "jobs" 10 (List.length (Fleet.jobs fleet));
+  check_int "binaries" 10 (Array.length (Fleet.binary_population fleet))
+
+let test_fleet_popularity_bias () =
+  (* With a strong Zipf, the most popular binaries appear most often. *)
+  let fleet = Fleet.create ~seed:2 ~num_machines:40 ~num_binaries:30 ~zipf_s:1.2 () in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun job ->
+      let n = job.Machine.profile.Profile.name in
+      Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+    (Fleet.jobs fleet);
+  let top = (Fleet.binary_population fleet).(0).Profile.name in
+  let top_count = Option.value ~default:0 (Hashtbl.find_opt counts top) in
+  check_bool "top binary appears often" true (top_count >= 5)
+
+let test_fleet_platform_mix () =
+  let fleet = Fleet.create ~seed:3 ~num_machines:40 () in
+  let generations =
+    List.sort_uniq compare
+      (List.map (fun m -> (Machine.platform m).Wsc_hw.Topology.generation)
+         (Fleet.machines fleet))
+  in
+  check_bool "several platform generations" true (List.length generations >= 3)
+
+let test_fleet_invalid_shape () =
+  Alcotest.check_raises "bad shape" (Invalid_argument "Fleet.create: bad shape")
+    (fun () -> ignore (Fleet.create ~num_machines:0 ()))
+
+(* {1 Gwp} *)
+
+let run_job profile =
+  let m = small_machine ~jobs:[ profile ] () in
+  Machine.run m ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
+  List.hd (Machine.jobs m)
+
+let test_gwp_malloc_fraction_sane () =
+  let job = run_job Apps.monarch in
+  let f = Gwp.malloc_cycle_fraction job in
+  check_bool "fraction in (0, 0.5)" true (f > 0.0 && f < 0.5)
+
+let test_gwp_cycle_breakdown_sums_to_one () =
+  let job = run_job Apps.monarch in
+  let cb = Gwp.cycle_breakdown [ job ] in
+  let total =
+    cb.Gwp.cpu_cache +. cb.Gwp.transfer_cache +. cb.Gwp.central_free_list
+    +. cb.Gwp.pageheap +. cb.Gwp.sampled +. cb.Gwp.prefetch +. cb.Gwp.other
+  in
+  check_close "sums to 1" 1e-6 1.0 total;
+  check_bool "front-end dominates" true (cb.Gwp.cpu_cache > cb.Gwp.transfer_cache)
+
+let test_gwp_fragmentation_breakdown_sums_to_one () =
+  let job = run_job Apps.monarch in
+  let fb = Gwp.fragmentation_breakdown [ job ] in
+  let total =
+    fb.Gwp.fb_cpu_cache +. fb.Gwp.fb_transfer_cache +. fb.Gwp.fb_central_free_list
+    +. fb.Gwp.fb_pageheap +. fb.Gwp.fb_internal
+  in
+  check_close "sums to 1" 1e-6 1.0 total
+
+let test_gwp_merged_histograms () =
+  let a = run_job Apps.redis and b = run_job Apps.disk in
+  let count_h, bytes_h = Gwp.merged_size_histograms [ a; b ] in
+  check_bool "count weight positive" true (Histogram.total_weight count_h > 0.0);
+  check_bool "bytes exceed counts" true
+    (Histogram.total_weight bytes_h > Histogram.total_weight count_h)
+
+let test_gwp_binary_usage_sorted () =
+  let jobs = [ run_job Apps.redis; run_job Apps.monarch ] in
+  match Gwp.binary_usage jobs with
+  | [ first; second ] ->
+    check_bool "descending malloc time" true (first.Gwp.malloc_ns >= second.Gwp.malloc_ns)
+  | other -> Alcotest.failf "expected 2 rows, got %d" (List.length other)
+
+let test_gwp_lifetime_bins_merge () =
+  let a = run_job Apps.monarch in
+  let bins = Gwp.merged_lifetime_bins [ a; a ] in
+  check_bool "bins present" true (bins <> [])
+
+(* {1 Ab_test} *)
+
+let quick_ab experiment =
+  Ab_test.run_app ~seed:9 ~replicas:1 ~warmup_ns:(2.0 *. Units.sec)
+    ~duration_ns:(4.0 *. Units.sec) ~control:Config.baseline ~experiment Apps.redis
+
+let test_ab_null_experiment_is_neutral () =
+  (* Baseline vs baseline must measure exactly zero everywhere. *)
+  let o = quick_ab Config.baseline in
+  check_close "throughput" 1e-9 0.0 o.Ab_test.throughput_change_pct;
+  check_close "memory" 1e-9 0.0 o.Ab_test.memory_change_pct;
+  check_close "cpi" 1e-9 0.0 o.Ab_test.cpi_change_pct;
+  check_close "mpki unchanged" 1e-9 o.Ab_test.mpki_before o.Ab_test.mpki_after;
+  check_close "walk unchanged" 1e-9 o.Ab_test.walk_before_pct o.Ab_test.walk_after_pct
+
+let test_ab_mismatched_profiles_rejected () =
+  let a = run_job Apps.redis and b = run_job Apps.disk in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Ab_test.compare_jobs: mismatched profiles") (fun () ->
+      ignore (Ab_test.compare_jobs ~control:a ~experiment:b))
+
+let test_ab_carries_before_columns () =
+  let o = quick_ab (Config.with_lifetime_aware_filler true Config.baseline) in
+  (* Table 1/2 "Before" columns come straight from the profile. *)
+  check_close "mpki before" 1e-9
+    Apps.redis.Profile.productivity.Wsc_hw.Productivity.llc_mpki o.Ab_test.mpki_before;
+  check_close "walk before" 1e-9
+    (100.0 *. Apps.redis.Profile.productivity.Wsc_hw.Productivity.dtlb_walk_fraction)
+    o.Ab_test.walk_before_pct
+
+let test_ab_fleet_aggregates () =
+  let outcome =
+    Ab_test.run_fleet ~seed:4 ~num_machines:2 ~warmup_ns:(1.0 *. Units.sec)
+      ~duration_ns:(3.0 *. Units.sec) ~control:Config.baseline
+      ~experiment:Config.baseline ()
+  in
+  Alcotest.(check string) "fleet row" "fleet" outcome.Ab_test.fleet.Ab_test.app;
+  check_bool "per-app rows" true (outcome.Ab_test.per_app <> []);
+  check_close "null fleet experiment neutral" 1e-6 0.0
+    outcome.Ab_test.fleet.Ab_test.throughput_change_pct
+
+let suite =
+  [
+    ( "machine",
+      [
+        Alcotest.test_case "runs jobs" `Quick test_machine_runs_jobs;
+        Alcotest.test_case "shared clock" `Quick test_machine_shared_clock;
+        Alcotest.test_case "total rss" `Quick test_machine_total_rss;
+      ] );
+    ( "fleet",
+      [
+        Alcotest.test_case "shape" `Quick test_fleet_shape;
+        Alcotest.test_case "popularity bias" `Quick test_fleet_popularity_bias;
+        Alcotest.test_case "platform mix" `Quick test_fleet_platform_mix;
+        Alcotest.test_case "invalid shape" `Quick test_fleet_invalid_shape;
+      ] );
+    ( "gwp",
+      [
+        Alcotest.test_case "malloc fraction sane" `Quick test_gwp_malloc_fraction_sane;
+        Alcotest.test_case "cycle breakdown sums" `Quick test_gwp_cycle_breakdown_sums_to_one;
+        Alcotest.test_case "frag breakdown sums" `Quick
+          test_gwp_fragmentation_breakdown_sums_to_one;
+        Alcotest.test_case "merged histograms" `Quick test_gwp_merged_histograms;
+        Alcotest.test_case "binary usage sorted" `Quick test_gwp_binary_usage_sorted;
+        Alcotest.test_case "lifetime bins merge" `Quick test_gwp_lifetime_bins_merge;
+      ] );
+    ( "ab_test",
+      [
+        Alcotest.test_case "null experiment neutral" `Quick test_ab_null_experiment_is_neutral;
+        Alcotest.test_case "mismatched profiles" `Quick test_ab_mismatched_profiles_rejected;
+        Alcotest.test_case "before columns" `Quick test_ab_carries_before_columns;
+        Alcotest.test_case "fleet aggregates" `Quick test_ab_fleet_aggregates;
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Tests for wsc_hw: topology, latency classification, cost model, TLB model
+   and the productivity model. *)
+
+open Wsc_hw
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* {1 Topology} *)
+
+let test_topology_counts () =
+  let t = Topology.default in
+  check_int "domains" 16 (Topology.num_domains t);
+  check_int "cpus" (2 * 8 * 9 * 2) (Topology.num_cpus t)
+
+let test_topology_generations () =
+  check_int "five generations" 5 (Array.length Topology.generations);
+  let oldest = Topology.generations.(0) and newest = Topology.generations.(4) in
+  let growth =
+    float_of_int (Topology.num_cpus newest) /. float_of_int (Topology.num_cpus oldest)
+  in
+  check_bool "~4x hyperthread growth" true (growth >= 3.5 && growth <= 4.5);
+  check_bool "newest is chiplet" true (newest.Topology.domains_per_socket > 1);
+  check_bool "oldest is monolithic" true (oldest.Topology.domains_per_socket = 1)
+
+let test_topology_domain_mapping () =
+  let t = Topology.default in
+  let cpus_per_domain = 9 * 2 in
+  check_int "cpu 0 domain" 0 (Topology.domain_of_cpu t 0);
+  check_int "last of domain 0" 0 (Topology.domain_of_cpu t (cpus_per_domain - 1));
+  check_int "first of domain 1" 1 (Topology.domain_of_cpu t cpus_per_domain);
+  check_int "socket of cpu 0" 0 (Topology.socket_of_cpu t 0);
+  check_int "socket of last cpu" 1 (Topology.socket_of_cpu t (Topology.num_cpus t - 1))
+
+let test_topology_cpus_of_domain () =
+  let t = Topology.default in
+  let cpus = Topology.cpus_of_domain t 2 in
+  check_int "domain size" 18 (List.length cpus);
+  List.iter (fun cpu -> check_int "round trip" 2 (Topology.domain_of_cpu t cpu)) cpus
+
+let test_topology_domain_partition () =
+  (* Every CPU belongs to exactly one domain's cpu list. *)
+  let t = Topology.generations.(3) in
+  let all =
+    List.concat_map (Topology.cpus_of_domain t)
+      (List.init (Topology.num_domains t) Fun.id)
+  in
+  check_int "partition covers all" (Topology.num_cpus t) (List.length all);
+  check_int "no duplicates" (Topology.num_cpus t)
+    (List.length (List.sort_uniq compare all))
+
+let test_topology_cycles () =
+  let t = Topology.default in
+  check_close "3GHz: 1ns = 3 cycles" 1e-9 3.0 (Topology.cycles_of_ns t 1.0);
+  check_close "round trip" 1e-9 42.0 (Topology.ns_of_cycles t (Topology.cycles_of_ns t 42.0))
+
+(* {1 Latency} *)
+
+let test_latency_classification () =
+  let t = Topology.default in
+  let d0_a = 0 and d0_b = 1 in
+  let d1 = 18 (* first cpu of domain 1, same socket *) in
+  let other_socket = Topology.num_cpus t - 1 in
+  check_bool "same core" true
+    (Latency.classify t ~src_cpu:d0_a ~dst_cpu:d0_a = Latency.Same_core);
+  check_bool "intra domain" true
+    (Latency.classify t ~src_cpu:d0_a ~dst_cpu:d0_b = Latency.Intra_domain);
+  check_bool "inter domain" true
+    (Latency.classify t ~src_cpu:d0_a ~dst_cpu:d1 = Latency.Inter_domain);
+  check_bool "inter socket" true
+    (Latency.classify t ~src_cpu:d0_a ~dst_cpu:other_socket = Latency.Inter_socket)
+
+let test_latency_ratio () =
+  (* Fig. 11: inter-domain latency is 2.07x intra-domain. *)
+  check_close "2.07x" 1e-6 2.07 (Latency.inter_domain_ns /. Latency.intra_domain_ns)
+
+let test_latency_ordering () =
+  check_bool "monotone" true
+    (Latency.transfer_ns Latency.Same_core < Latency.transfer_ns Latency.Intra_domain
+    && Latency.transfer_ns Latency.Intra_domain < Latency.transfer_ns Latency.Inter_domain
+    && Latency.transfer_ns Latency.Inter_domain < Latency.transfer_ns Latency.Inter_socket)
+
+(* {1 Cost model} *)
+
+let test_cost_model_fig4 () =
+  (* Fig. 4 anchors. *)
+  check_close "per-CPU 3.1ns" 1e-9 3.1 Cost_model.per_cpu_cache_ns;
+  check_close "pageheap 137ns" 1e-9 137.0 Cost_model.pageheap_ns;
+  check_close "mmap 12916.7ns" 1e-9 12916.7 Cost_model.mmap_ns
+
+let test_cost_model_ordering () =
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      Cost_model.tier_hit_ns a < Cost_model.tier_hit_ns b && ordered rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "tiers get slower going down" true (ordered Cost_model.all_tiers)
+
+let test_cost_model_names () =
+  Alcotest.(check string) "name" "CPUCache" (Cost_model.tier_name Cost_model.Per_cpu_cache);
+  Alcotest.(check string) "name" "mmap" (Cost_model.tier_name Cost_model.Mmap)
+
+(* {1 TLB model} *)
+
+let test_tlb_reference_point () =
+  check_close "reference -> 1.0" 1e-9 1.0
+    (Tlb_model.relative_misses ~coverage:Tlb_model.reference_coverage)
+
+let test_tlb_fig17_calibration () =
+  (* Fig. 17: coverage 54.4% -> 56.2% gives relative misses 0.839. *)
+  check_close "0.839 at 56.2%" 1e-6 0.839 (Tlb_model.relative_misses ~coverage:0.562)
+
+let test_tlb_monotone () =
+  let m1 = Tlb_model.relative_misses ~coverage:0.5 in
+  let m2 = Tlb_model.relative_misses ~coverage:0.6 in
+  let m3 = Tlb_model.relative_misses ~coverage:0.7 in
+  check_bool "more coverage, fewer misses" true (m1 > m2 && m2 > m3)
+
+let test_tlb_walk_fraction () =
+  let base = 0.0916 (* fleet, Table 2 *) in
+  let after = Tlb_model.walk_fraction ~base_walk_fraction:base ~coverage:0.562 in
+  check_bool "walk fraction shrinks" true (after < base);
+  check_close "scales with relative misses" 1e-9 (base *. 0.839) after
+
+(* {1 Productivity} *)
+
+let fleet_params =
+  {
+    Productivity.base_cpi = 1.0;
+    llc_mpki = 2.52;
+    llc_miss_penalty = 60.0;
+    alloc_locality_share = 0.12;
+    dtlb_walk_fraction = 0.0916;
+    instructions_per_request = 1.0e6;
+    malloc_cycle_fraction = 0.043;
+  }
+
+let test_productivity_mpki_locality () =
+  let baseline =
+    Productivity.mpki_with_locality fleet_params ~remote_fraction:0.4
+      ~baseline_remote_fraction:0.4
+  in
+  check_close "no change at baseline" 1e-9 fleet_params.Productivity.llc_mpki baseline;
+  let improved =
+    Productivity.mpki_with_locality fleet_params ~remote_fraction:0.1
+      ~baseline_remote_fraction:0.4
+  in
+  check_bool "less remote -> lower mpki" true (improved < baseline);
+  let zero =
+    Productivity.mpki_with_locality fleet_params ~remote_fraction:0.0
+      ~baseline_remote_fraction:0.4
+  in
+  check_close "floor is fixed component" 1e-9 (2.52 *. 0.88) zero
+
+let test_productivity_cpi_monotone () =
+  let c1 = Productivity.cpi fleet_params ~mpki:2.52 ~walk_fraction:0.09 in
+  let c2 = Productivity.cpi fleet_params ~mpki:2.41 ~walk_fraction:0.09 in
+  let c3 = Productivity.cpi fleet_params ~mpki:2.41 ~walk_fraction:0.06 in
+  check_bool "lower mpki -> lower cpi" true (c2 < c1);
+  check_bool "lower walks -> lower cpi" true (c3 < c2)
+
+let test_productivity_throughput_change () =
+  let topo = Topology.default in
+  let change =
+    Productivity.throughput_change_pct topo fleet_params ~mpki_before:2.52
+      ~walk_before:0.0916 ~mpki_after:2.41 ~walk_after:0.0916
+  in
+  (* Table 1 fleet row: ~0.32% throughput from the MPKI improvement. *)
+  check_bool "positive and sub-1%" true (change > 0.1 && change < 1.0)
+
+let test_productivity_throughput_positive () =
+  let topo = Topology.default in
+  let thr =
+    Productivity.throughput_per_core topo fleet_params ~mpki:2.52 ~walk_fraction:0.0916
+  in
+  check_bool "sane RPS" true (thr > 100.0 && thr < 1.0e5)
+
+let suite =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "counts" `Quick test_topology_counts;
+        Alcotest.test_case "generations" `Quick test_topology_generations;
+        Alcotest.test_case "domain mapping" `Quick test_topology_domain_mapping;
+        Alcotest.test_case "cpus of domain" `Quick test_topology_cpus_of_domain;
+        Alcotest.test_case "domain partition" `Quick test_topology_domain_partition;
+        Alcotest.test_case "cycle conversion" `Quick test_topology_cycles;
+      ] );
+    ( "latency",
+      [
+        Alcotest.test_case "classification" `Quick test_latency_classification;
+        Alcotest.test_case "fig11 ratio" `Quick test_latency_ratio;
+        Alcotest.test_case "ordering" `Quick test_latency_ordering;
+      ] );
+    ( "cost_model",
+      [
+        Alcotest.test_case "fig4 anchors" `Quick test_cost_model_fig4;
+        Alcotest.test_case "tier ordering" `Quick test_cost_model_ordering;
+        Alcotest.test_case "names" `Quick test_cost_model_names;
+      ] );
+    ( "tlb_model",
+      [
+        Alcotest.test_case "reference point" `Quick test_tlb_reference_point;
+        Alcotest.test_case "fig17 calibration" `Quick test_tlb_fig17_calibration;
+        Alcotest.test_case "monotone" `Quick test_tlb_monotone;
+        Alcotest.test_case "walk fraction" `Quick test_tlb_walk_fraction;
+      ] );
+    ( "productivity",
+      [
+        Alcotest.test_case "mpki locality" `Quick test_productivity_mpki_locality;
+        Alcotest.test_case "cpi monotone" `Quick test_productivity_cpi_monotone;
+        Alcotest.test_case "throughput change" `Quick test_productivity_throughput_change;
+        Alcotest.test_case "throughput positive" `Quick test_productivity_throughput_positive;
+      ] );
+  ]

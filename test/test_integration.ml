@@ -1,0 +1,251 @@
+(* Cross-cutting integration and property tests: whole-allocator invariants
+   under realistic mixed workloads, optimization-flag interplay, and
+   conservation laws that hold across every tier. *)
+
+open Wsc_substrate
+open Wsc_tcmalloc
+module Topology = Wsc_hw.Topology
+module Vm = Wsc_os.Vm
+module Apps = Wsc_workload.Apps
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+module Machine = Wsc_fleet.Machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* {1 Config} *)
+
+let test_config_flags () =
+  let c = Config.all_optimizations in
+  check_bool "dynamic" true c.Config.dynamic_per_cpu_caches;
+  check_bool "nuca" true c.Config.nuca_aware_transfer_cache;
+  check_bool "span prio" true c.Config.span_prioritization;
+  check_bool "lifetime filler" true c.Config.lifetime_aware_filler;
+  check_int "dynamic halves the budget" (3 * Units.mib / 2) c.Config.per_cpu_cache_bytes;
+  check_bool "baseline has none" false
+    (Config.baseline.Config.dynamic_per_cpu_caches
+    || Config.baseline.Config.nuca_aware_transfer_cache
+    || Config.baseline.Config.span_prioritization
+    || Config.baseline.Config.lifetime_aware_filler)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let test_config_describe () =
+  let s = Config.describe Config.all_optimizations in
+  check_bool "mentions all four" true
+    (List.for_all (contains s)
+       [ "dynamic-cpu-caches"; "nuca-transfer-cache"; "span-prioritization"; "lifetime-filler" ]);
+  check_bool "baseline negates them" true
+    (contains (Config.describe Config.baseline) "no-span-prioritization")
+
+(* {1 Whole-allocator invariants under churn} *)
+
+let churn ~config ~seed ~ops =
+  let clock = Clock.create () in
+  let topology = Topology.default in
+  let malloc = Malloc.create ~config ~topology ~clock () in
+  let rng = Rng.create seed in
+  let live = ref [] in
+  let n_live = ref 0 in
+  for i = 1 to ops do
+    if i mod 50 = 0 then Clock.advance clock (10.0 *. Units.ms);
+    let cpu = Rng.int rng 64 in
+    if (Rng.int rng 100 < 55 || !n_live = 0) && !n_live < 20_000 then begin
+      let size =
+        match Rng.int rng 20 with
+        | 0 -> 1 + Rng.int rng 64
+        | 1 | 2 -> 1 + Rng.int rng 4096
+        | 19 -> 262145 + Rng.int rng (4 * Units.mib) (* large path *)
+        | _ -> 1 + Rng.int rng 1024
+      in
+      let a = Malloc.malloc malloc ~cpu ~size in
+      live := (a, size) :: !live;
+      incr n_live
+    end
+    else begin
+      match !live with
+      | (a, size) :: rest ->
+        Malloc.free malloc ~cpu a ~size;
+        live := rest;
+        decr n_live
+      | [] -> ()
+    end
+  done;
+  (malloc, !live)
+
+let assert_invariants name malloc live =
+  let stats = Malloc.heap_stats malloc in
+  let tel = Malloc.telemetry malloc in
+  let expected_live = List.fold_left (fun acc (_, s) -> acc + s) 0 live in
+  if stats.Malloc.live_requested_bytes <> expected_live then
+    Alcotest.failf "%s: live bytes drifted (%d vs %d)" name
+      stats.Malloc.live_requested_bytes expected_live;
+  if Telemetry.alloc_count tel - Telemetry.free_count tel <> List.length live then
+    Alcotest.failf "%s: alloc/free count mismatch" name;
+  (* Every byte the app holds must be resident. *)
+  if stats.Malloc.resident_bytes < stats.Malloc.live_rounded_bytes then
+    Alcotest.failf "%s: resident < live" name;
+  (* External fragmentation components are all non-negative. *)
+  if
+    stats.Malloc.front_end_cached_bytes < 0
+    || stats.Malloc.transfer_cached_bytes < 0
+    || stats.Malloc.cfl_fragmented_bytes < 0
+    || stats.Malloc.pageheap_fragmented_bytes < 0
+  then Alcotest.failf "%s: negative fragmentation component" name;
+  let coverage = Malloc.hugepage_coverage malloc in
+  if coverage < 0.0 || coverage > 1.0 then Alcotest.failf "%s: coverage out of range" name
+
+let test_churn_invariants_per_config () =
+  List.iter
+    (fun (name, config) ->
+      let malloc, live = churn ~config ~seed:21 ~ops:30_000 in
+      assert_invariants name malloc live;
+      (* Free everything: the allocator must come back to zero. *)
+      List.iter (fun (a, size) -> Malloc.free malloc ~cpu:0 a ~size) live;
+      let stats = Malloc.heap_stats malloc in
+      check_int (name ^ ": empty after full free") 0 stats.Malloc.live_requested_bytes)
+    [
+      ("baseline", Config.baseline);
+      ("dynamic", Config.with_dynamic_per_cpu true Config.baseline);
+      ("nuca", Config.with_nuca_transfer_cache true Config.baseline);
+      ("span-prio", Config.with_span_prioritization true Config.baseline);
+      ("lt-filler", Config.with_lifetime_aware_filler true Config.baseline);
+      ("all", Config.all_optimizations);
+    ]
+
+let test_churn_property =
+  qcheck
+    (QCheck.Test.make ~name:"churn_invariants_random_seeds" ~count:8
+       QCheck.(int_range 1 1000)
+       (fun seed ->
+         let malloc, live = churn ~config:Config.all_optimizations ~seed ~ops:8_000 in
+         let stats = Malloc.heap_stats malloc in
+         let expected = List.fold_left (fun acc (_, s) -> acc + s) 0 live in
+         stats.Malloc.live_requested_bytes = expected
+         && stats.Malloc.resident_bytes >= stats.Malloc.live_rounded_bytes))
+
+let test_background_release_returns_memory () =
+  let clock = Clock.create () in
+  let malloc = Malloc.create ~topology:Topology.default ~clock () in
+  (* Build a big heap, free it all, then let the release tickers run. *)
+  let addrs = List.init 40_000 (fun i -> (Malloc.malloc malloc ~cpu:0 ~size:512, i)) in
+  List.iter (fun (a, _) -> Malloc.free malloc ~cpu:0 a ~size:512) addrs;
+  let before = (Malloc.heap_stats malloc).Malloc.resident_bytes in
+  Clock.advance clock (30.0 *. Units.sec);
+  let after = (Malloc.heap_stats malloc).Malloc.resident_bytes in
+  check_bool "gradual release shrank RSS" true (after < before)
+
+let test_tier_hits_sum_to_allocs () =
+  let malloc, _live = churn ~config:Config.baseline ~seed:5 ~ops:20_000 in
+  let tel = Malloc.telemetry malloc in
+  let hit_total =
+    List.fold_left (fun acc t -> acc + Telemetry.hits tel t) 0 Wsc_hw.Cost_model.all_tiers
+  in
+  check_int "every allocation hit exactly one deepest tier"
+    (Telemetry.alloc_count tel) hit_total
+
+let test_nuca_shards_match_domains () =
+  let clock = Clock.create () in
+  let config = Config.with_nuca_transfer_cache true Config.baseline in
+  let malloc = Malloc.create ~config ~topology:Topology.default ~clock () in
+  check_int "one shard per LLC domain" (Topology.num_domains Topology.default)
+    (Transfer_cache.shard_count (Malloc.transfer_cache malloc));
+  let baseline_malloc = Malloc.create ~topology:Topology.default ~clock () in
+  check_int "legacy has no shards" 0
+    (Transfer_cache.shard_count (Malloc.transfer_cache baseline_malloc))
+
+(* {1 Determinism} *)
+
+let run_machine seed =
+  let machine =
+    Machine.create ~seed ~platform:Topology.default ~jobs:[ Apps.bigtable ] ()
+  in
+  Machine.run machine ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let job = List.hd (Machine.jobs machine) in
+  ( Driver.allocations job.Machine.driver,
+    (Malloc.heap_stats job.Machine.malloc).Malloc.resident_bytes )
+
+let test_machine_determinism () =
+  let a1, r1 = run_machine 33 and a2, r2 = run_machine 33 in
+  check_int "allocations reproducible" a1 a2;
+  check_int "rss reproducible" r1 r2
+
+(* {1 vCPU / scheduling interplay} *)
+
+let test_vcpu_bounded_by_quota () =
+  let machine =
+    Machine.create ~seed:3 ~platform:Topology.default ~jobs:[ Apps.monarch ] ()
+  in
+  Machine.run machine ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let job = List.hd (Machine.jobs machine) in
+  let hwm = Wsc_os.Vcpu.high_water_mark (Malloc.vcpus job.Machine.malloc) in
+  check_bool "vCPU ids stay within the thread ceiling" true
+    (hwm <= Apps.monarch.Profile.threads.Wsc_workload.Threads.max_threads)
+
+(* {1 Pageheap conservation under random span traffic} *)
+
+let test_pageheap_conservation_property =
+  qcheck
+    (QCheck.Test.make ~name:"pageheap_vm_clean_after_all_spans_freed" ~count:20
+       QCheck.(pair (int_range 1 100) (list_of_size (Gen.int_range 1 40) (int_range 1 600)))
+       (fun (seed, page_counts) ->
+         let vm = Vm.create () in
+         let ph = Pageheap.create vm in
+         let rng = Rng.create seed in
+         let spans =
+           List.map
+             (fun pages ->
+               if pages * Units.tcmalloc_page_size <= Size_class.max_size then
+                 fst (Pageheap.new_small_span ph ~size_class:(Rng.int rng Size_class.count) ~now:0.0)
+               else fst (Pageheap.new_large_span ph ~pages ~now:0.0))
+             page_counts
+         in
+         List.iter (fun span -> Pageheap.free_span ph span) spans;
+         (* Everything freed: repeated demand-based release must drain the
+            heap completely. *)
+         for _ = 1 to 10 do
+           ignore (Pageheap.release_memory ph ~max_bytes:max_int)
+         done;
+         Pageheap.spans_outstanding ph = 0 && Vm.mapped_bytes vm = 0))
+
+(* {1 Span statistics} *)
+
+let test_span_stats_synthetic_correlation () =
+  (* Feed a synthetic history where low-capacity classes return and
+     high-capacity ones do not; the Spearman estimate must be negative. *)
+  let stats = Span_stats.create () in
+  let small_cls = 0 (* 8 B, capacity 1024 *) in
+  let large_cls = Size_class.count - 1 (* 256 KiB, capacity 1 *) in
+  for i = 1 to 50 do
+    Span_stats.note_created stats ~span_id:i ~cls:small_cls ~now:0.0;
+    Span_stats.note_created stats ~span_id:(1000 + i) ~cls:large_cls ~now:0.0;
+    Span_stats.note_released stats ~span_id:(1000 + i) ~cls:large_cls ~now:1.0
+  done;
+  check_bool "negative capacity/return correlation" true
+    (Span_stats.capacity_return_correlation stats < 0.0)
+
+let suite =
+  [
+    ( "config",
+      [
+        Alcotest.test_case "flags" `Quick test_config_flags;
+        Alcotest.test_case "describe" `Quick test_config_describe;
+      ] );
+    ( "integration",
+      [
+        Alcotest.test_case "churn invariants x configs" `Slow test_churn_invariants_per_config;
+        test_churn_property;
+        Alcotest.test_case "background release" `Quick test_background_release_returns_memory;
+        Alcotest.test_case "tier hits sum" `Quick test_tier_hits_sum_to_allocs;
+        Alcotest.test_case "nuca shard count" `Quick test_nuca_shards_match_domains;
+        Alcotest.test_case "machine determinism" `Quick test_machine_determinism;
+        Alcotest.test_case "vcpu bounded by quota" `Quick test_vcpu_bounded_by_quota;
+        test_pageheap_conservation_property;
+        Alcotest.test_case "span stats correlation" `Quick test_span_stats_synthetic_correlation;
+      ] );
+  ]

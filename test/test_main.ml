@@ -1,0 +1,18 @@
+(* Test entry point: aggregates every library's suites under one alcotest
+   runner so `dune runtest` exercises the whole stack. *)
+
+let () =
+  Alcotest.run "wsc_alloc"
+    (List.concat
+       [
+         Test_substrate.suite;
+         Test_hw.suite;
+         Test_os.suite;
+         Test_tcmalloc_units.suite;
+         Test_tcmalloc_alloc.suite;
+         Test_workload.suite;
+         Test_fleet.suite;
+         Test_integration.suite;
+         Test_trace.suite;
+         Test_properties.suite;
+       ])

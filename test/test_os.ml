@@ -1,0 +1,218 @@
+(* Tests for wsc_os: virtual memory with THP, vCPU ids, and scheduling. *)
+
+open Wsc_os
+open Wsc_substrate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let hugepage = Units.hugepage_size
+let page = Units.tcmalloc_page_size
+
+(* {1 Vm} *)
+
+let test_vm_mmap_alignment () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:3 in
+  check_int "hugepage aligned" 0 (a mod hugepage);
+  let b = Vm.mmap vm ~hugepages:1 in
+  check_bool "non-overlapping" true (b >= a + (3 * hugepage))
+
+let test_vm_mapped_accounting () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:4 in
+  check_int "mapped" (4 * hugepage) (Vm.mapped_bytes vm);
+  check_int "resident = mapped" (4 * hugepage) (Vm.resident_bytes vm);
+  Vm.munmap vm a ~hugepages:4;
+  check_int "unmapped" 0 (Vm.mapped_bytes vm)
+
+let test_vm_partial_munmap () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:4 in
+  Vm.munmap vm (a + (2 * hugepage)) ~hugepages:2;
+  check_int "half remains" (2 * hugepage) (Vm.mapped_bytes vm);
+  check_bool "front still mapped" true (Vm.is_mapped vm a);
+  check_bool "back unmapped" false (Vm.is_mapped vm (a + (3 * hugepage)))
+
+let test_vm_thp_lifecycle () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:1 in
+  check_bool "fresh hugepage is intact" true (Vm.is_huge_backed vm a);
+  check_int "all bytes huge backed" hugepage (Vm.huge_backed_bytes vm);
+  Vm.subrelease vm a ~pages:10;
+  check_bool "subrelease breaks THP" false (Vm.is_huge_backed vm a);
+  check_int "no huge backed bytes" 0 (Vm.huge_backed_bytes vm);
+  check_int "resident shrinks" (hugepage - (10 * page)) (Vm.resident_bytes vm)
+
+let test_vm_reclaim () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:1 in
+  Vm.subrelease vm a ~pages:20;
+  Vm.reclaim vm a ~pages:5;
+  check_int "reclaimed pages resident again" (hugepage - (15 * page)) (Vm.resident_bytes vm);
+  check_bool "still broken after reclaim" false (Vm.is_huge_backed vm a)
+
+let test_vm_counters () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:1 in
+  let b = Vm.mmap vm ~hugepages:2 in
+  Vm.subrelease vm a ~pages:1;
+  Vm.munmap vm b ~hugepages:2;
+  check_int "mmaps" 2 (Vm.mmap_calls vm);
+  check_int "munmaps" 1 (Vm.munmap_calls vm);
+  check_int "subreleases" 1 (Vm.subrelease_calls vm)
+
+let test_vm_errors () =
+  let vm = Vm.create () in
+  Alcotest.check_raises "mmap zero" (Invalid_argument "Vm.mmap: hugepages must be positive")
+    (fun () -> ignore (Vm.mmap vm ~hugepages:0));
+  let a = Vm.mmap vm ~hugepages:1 in
+  Alcotest.check_raises "misaligned munmap"
+    (Invalid_argument "Vm.munmap: misaligned address") (fun () ->
+      Vm.munmap vm (a + 1) ~hugepages:1);
+  Alcotest.check_raises "double munmap" (Invalid_argument "Vm.munmap: range not mapped")
+    (fun () ->
+      Vm.munmap vm a ~hugepages:1;
+      Vm.munmap vm a ~hugepages:1)
+
+let test_vm_no_overlap_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vm_mmap_never_overlaps" ~count:50
+       QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 8))
+       (fun sizes ->
+         let vm = Vm.create () in
+         let regions = List.map (fun n -> (Vm.mmap vm ~hugepages:n, n)) sizes in
+         let sorted = List.sort compare regions in
+         let rec disjoint = function
+           | (a1, n1) :: ((a2, _) :: _ as rest) ->
+             a1 + (n1 * hugepage) <= a2 && disjoint rest
+           | [ _ ] | [] -> true
+         in
+         disjoint sorted))
+
+(* {1 Vcpu} *)
+
+let test_vcpu_dense_assignment () =
+  let v = Vcpu.create () in
+  check_int "first is 0" 0 (Vcpu.acquire v ~phys_cpu:77);
+  check_int "second is 1" 1 (Vcpu.acquire v ~phys_cpu:3);
+  check_int "idempotent" 0 (Vcpu.acquire v ~phys_cpu:77);
+  check_int "active" 2 (Vcpu.active_count v)
+
+let test_vcpu_reuse_lowest () =
+  let v = Vcpu.create () in
+  ignore (Vcpu.acquire v ~phys_cpu:10);
+  ignore (Vcpu.acquire v ~phys_cpu:11);
+  ignore (Vcpu.acquire v ~phys_cpu:12);
+  Vcpu.release v ~phys_cpu:11;
+  Vcpu.release v ~phys_cpu:10;
+  (* Freed ids 1 then 0; the lowest comes back first. *)
+  check_int "lowest free id reused" 0 (Vcpu.acquire v ~phys_cpu:99);
+  check_int "next free id" 1 (Vcpu.acquire v ~phys_cpu:98)
+
+let test_vcpu_high_water () =
+  let v = Vcpu.create () in
+  for cpu = 0 to 9 do
+    ignore (Vcpu.acquire v ~phys_cpu:cpu)
+  done;
+  for cpu = 0 to 9 do
+    Vcpu.release v ~phys_cpu:cpu
+  done;
+  ignore (Vcpu.acquire v ~phys_cpu:50);
+  check_int "high water persists" 10 (Vcpu.high_water_mark v);
+  check_int "only one active" 1 (Vcpu.active_count v)
+
+let test_vcpu_release_idempotent () =
+  let v = Vcpu.create () in
+  ignore (Vcpu.acquire v ~phys_cpu:1);
+  Vcpu.release v ~phys_cpu:1;
+  Vcpu.release v ~phys_cpu:1;
+  check_int "no double free of ids" 0 (Vcpu.active_count v);
+  check_int "id 0 reusable once" 0 (Vcpu.acquire v ~phys_cpu:2)
+
+let test_vcpu_lookup () =
+  let v = Vcpu.create () in
+  Alcotest.(check (option int)) "missing" None (Vcpu.lookup v ~phys_cpu:4);
+  ignore (Vcpu.acquire v ~phys_cpu:4);
+  Alcotest.(check (option int)) "present" (Some 0) (Vcpu.lookup v ~phys_cpu:4)
+
+let test_vcpu_density_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vcpu_ids_stay_dense" ~count:100
+       QCheck.(list (pair bool (int_range 0 31)))
+       (fun ops ->
+         let v = Vcpu.create () in
+         List.iter
+           (fun (acquire, cpu) ->
+             if acquire then ignore (Vcpu.acquire v ~phys_cpu:cpu)
+             else Vcpu.release v ~phys_cpu:cpu)
+           ops;
+         (* After any op sequence, re-acquiring for all 32 cpus must produce
+            ids 0..31 exactly (density). *)
+         let ids = List.init 32 (fun cpu -> Vcpu.acquire v ~phys_cpu:cpu) in
+         List.sort compare ids = List.init 32 Fun.id))
+
+(* {1 Sched} *)
+
+let test_sched_whole_machine () =
+  let topo = Wsc_hw.Topology.uniprocessor in
+  let s = Sched.whole_machine topo in
+  check_int "quota covers machine" (Wsc_hw.Topology.num_cpus topo) (Sched.quota_size s)
+
+let test_sched_round_robin () =
+  let topo = Wsc_hw.Topology.uniprocessor in
+  let s = Sched.create topo ~quota:[ 2; 3 ] in
+  check_int "thread 0" 2 (Sched.cpu_of_thread s ~thread:0);
+  check_int "thread 1" 3 (Sched.cpu_of_thread s ~thread:1);
+  check_int "thread 2 wraps" 2 (Sched.cpu_of_thread s ~thread:2)
+
+let test_sched_slice_wraps () =
+  let topo = Wsc_hw.Topology.uniprocessor in
+  let s = Sched.slice topo ~first_cpu:3 ~cpus:2 in
+  check_int "wrapped" 0 (Sched.cpu_of_thread s ~thread:1)
+
+let test_sched_domains_used () =
+  let topo = Wsc_hw.Topology.default in
+  let s = Sched.whole_machine topo in
+  (* 18 cpus per domain: 10 threads stay in one domain, 30 span two. *)
+  check_int "few threads one domain" 1 (List.length (Sched.domains_used s ~active_threads:10));
+  check_int "more threads two domains" 2
+    (List.length (Sched.domains_used s ~active_threads:30))
+
+let test_sched_errors () =
+  let topo = Wsc_hw.Topology.uniprocessor in
+  Alcotest.check_raises "empty quota" (Invalid_argument "Sched.create: empty quota")
+    (fun () -> ignore (Sched.create topo ~quota:[]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Sched.create: CPU out of range")
+    (fun () -> ignore (Sched.create topo ~quota:[ 1000 ]))
+
+let suite =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "mmap alignment" `Quick test_vm_mmap_alignment;
+        Alcotest.test_case "mapped accounting" `Quick test_vm_mapped_accounting;
+        Alcotest.test_case "partial munmap" `Quick test_vm_partial_munmap;
+        Alcotest.test_case "thp lifecycle" `Quick test_vm_thp_lifecycle;
+        Alcotest.test_case "reclaim" `Quick test_vm_reclaim;
+        Alcotest.test_case "counters" `Quick test_vm_counters;
+        Alcotest.test_case "errors" `Quick test_vm_errors;
+        test_vm_no_overlap_property;
+      ] );
+    ( "vcpu",
+      [
+        Alcotest.test_case "dense assignment" `Quick test_vcpu_dense_assignment;
+        Alcotest.test_case "reuse lowest" `Quick test_vcpu_reuse_lowest;
+        Alcotest.test_case "high water" `Quick test_vcpu_high_water;
+        Alcotest.test_case "release idempotent" `Quick test_vcpu_release_idempotent;
+        Alcotest.test_case "lookup" `Quick test_vcpu_lookup;
+        test_vcpu_density_property;
+      ] );
+    ( "sched",
+      [
+        Alcotest.test_case "whole machine" `Quick test_sched_whole_machine;
+        Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+        Alcotest.test_case "slice wraps" `Quick test_sched_slice_wraps;
+        Alcotest.test_case "domains used" `Quick test_sched_domains_used;
+        Alcotest.test_case "errors" `Quick test_sched_errors;
+      ] );
+  ]

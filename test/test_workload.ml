@@ -1,0 +1,275 @@
+(* Tests for wsc_workload: thread dynamics, profiles, and the driver. *)
+
+open Wsc_substrate
+open Wsc_workload
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* {1 Threads} *)
+
+let test_threads_steady () =
+  let t = Threads.steady ~threads:7 in
+  let rng = Rng.create 1 in
+  for hour = 0 to 30 do
+    check_int "constant" 7 (Threads.count t rng ~now:(float_of_int hour *. Units.hour))
+  done
+
+let test_threads_bounds () =
+  let t = Threads.diurnal ~base:16.0 ~max_threads:32 () in
+  let rng = Rng.create 2 in
+  for i = 0 to 2000 do
+    let n = Threads.count t rng ~now:(float_of_int i *. Units.minute) in
+    if n < 1 || n > 32 then Alcotest.failf "thread count %d out of bounds" n
+  done
+
+let test_threads_diurnal_swing () =
+  let t =
+    Threads.diurnal ~amplitude:0.5 ~noise:0.0 ~spike_probability:0.0
+      ~period_ns:(24.0 *. Units.hour) ~base:20.0 ~max_threads:64 ()
+  in
+  let rng = Rng.create 3 in
+  (* sin peaks a quarter period in, bottoms at three quarters. *)
+  let peak = Threads.count t rng ~now:(6.0 *. Units.hour) in
+  let trough = Threads.count t rng ~now:(18.0 *. Units.hour) in
+  check_int "peak = base * 1.5" 30 peak;
+  check_int "trough = base * 0.5" 10 trough
+
+let test_threads_fluctuate () =
+  let t = Threads.diurnal ~base:20.0 ~max_threads:48 () in
+  let rng = Rng.create 4 in
+  let counts =
+    List.init 200 (fun i -> Threads.count t rng ~now:(float_of_int i *. Units.sec))
+  in
+  check_bool "not constant" true (List.length (List.sort_uniq compare counts) > 3)
+
+(* {1 Profile} *)
+
+let test_profile_sample_size_positive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"profile_sizes_positive" ~count:100 QCheck.small_int
+       (fun seed ->
+         let rng = Rng.create (seed + 1) in
+         List.for_all
+           (fun p ->
+             let ok = ref true in
+             for _ = 1 to 50 do
+               if Profile.sample_size p rng < 1 then ok := false
+             done;
+             !ok)
+           Apps.all))
+
+let test_profile_lifetime_positive () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun p ->
+      for _ = 1 to 200 do
+        let size = Profile.sample_size p rng in
+        let l = Profile.sample_lifetime p rng ~size in
+        if l < 0.0 then Alcotest.failf "%s: negative lifetime" p.Profile.name
+      done)
+    Apps.all
+
+let test_profile_lifetime_table_band_selection () =
+  let p = Apps.monarch in
+  let d_small = Profile.lifetime_dist p ~size:100 in
+  let d_large = Profile.lifetime_dist p ~size:(10 * Units.mib) in
+  let rng = Rng.create 6 in
+  let mean d = Dist.mean_estimate d rng ~n:20_000 in
+  check_bool "large objects live longer on average" true (mean d_large > mean d_small)
+
+let test_fleet_size_dist_anchors () =
+  (* Fig. 7 anchors: the count CDF and byte split of the fleet mixture. *)
+  let rng = Rng.create 7 in
+  let n = 300_000 in
+  let below_1k = ref 0 in
+  let bytes_total = ref 0.0 and bytes_below_1k = ref 0.0 in
+  let bytes_above_8k = ref 0.0 and bytes_above_256k = ref 0.0 in
+  for _ = 1 to n do
+    let s = Dist.sample Profile.fleet_size_dist rng in
+    if s <= 1024.0 then begin
+      incr below_1k;
+      bytes_below_1k := !bytes_below_1k +. s
+    end;
+    if s > 8192.0 then bytes_above_8k := !bytes_above_8k +. s;
+    if s > 262144.0 then bytes_above_256k := !bytes_above_256k +. s;
+    bytes_total := !bytes_total +. s
+  done;
+  check_close "98% of objects <= 1 KiB" 0.01 0.98 (float_of_int !below_1k /. float_of_int n);
+  check_close "~28% of bytes <= 1 KiB" 0.12 0.28 (!bytes_below_1k /. !bytes_total);
+  check_close "~50% of bytes > 8 KiB" 0.15 0.50 (!bytes_above_8k /. !bytes_total);
+  check_close "~22% of bytes > 256 KiB" 0.15 0.22 (!bytes_above_256k /. !bytes_total)
+
+let test_fleet_lifetime_small_fast () =
+  (* Fig. 8 anchor: 46% of sub-KiB objects die within 1 ms. *)
+  let rng = Rng.create 8 in
+  let d = List.assoc Units.kib Profile.fleet_lifetime_table in
+  let n = 100_000 in
+  let fast = ref 0 in
+  for _ = 1 to n do
+    if Dist.sample d rng < Units.ms then incr fast
+  done;
+  check_close "46% under 1 ms" 0.02 0.46 (float_of_int !fast /. float_of_int n)
+
+let test_scale_lifetimes () =
+  let rng = Rng.create 9 in
+  let table = [ (1024, Dist.constant 100.0) ] in
+  let scaled = Profile.scale_lifetimes 2.5 table in
+  let d = List.assoc 1024 scaled in
+  check_close "scaled" 1e-9 250.0 (Dist.sample d rng)
+
+let test_size_drift_changes_sizes () =
+  let p = { Apps.monarch with Profile.size_drift_amplitude = 0.5 } in
+  let mean_at now =
+    let rng = Rng.create 10 in
+    let acc = ref 0.0 in
+    for _ = 1 to 20_000 do
+      acc := !acc +. float_of_int (Profile.sample_size ~now p rng)
+    done;
+    !acc /. 20_000.0
+  in
+  let quarter = p.Profile.size_drift_period_ns /. 4.0 in
+  check_bool "drift shifts the mean" true (mean_at quarter > 1.2 *. mean_at (3.0 *. quarter))
+
+let test_apps_by_name () =
+  check_bool "monarch resolves" true (Apps.by_name "monarch" == Apps.monarch);
+  Alcotest.check_raises "unknown raises" Not_found (fun () ->
+      ignore (Apps.by_name "no-such-app"))
+
+let test_apps_lists () =
+  check_int "five production workloads" 5 (List.length Apps.top5);
+  check_int "four benchmarks" 4 (List.length Apps.benchmarks);
+  check_bool "redis single threaded" true
+    (Apps.redis.Profile.threads.Threads.max_threads = 1);
+  check_bool "spec has startup burst" true (Apps.spec2006.Profile.startup_burst_allocs > 0)
+
+let test_fleet_binary_variants () =
+  let b0 = Apps.fleet_binary ~rank:5 and b1 = Apps.fleet_binary ~rank:40 in
+  check_bool "distinct names" true (b0.Profile.name <> b1.Profile.name);
+  check_bool "popularity decays" true
+    (b1.Profile.requests_per_thread_per_sec < b0.Profile.requests_per_thread_per_sec)
+
+(* {1 Driver} *)
+
+let make_driver ?(profile = Apps.monarch) ?(seed = 3) () =
+  let clock = Clock.create () in
+  let topology = Wsc_hw.Topology.default in
+  let sched = Wsc_os.Sched.slice topology ~first_cpu:0 ~cpus:24 in
+  let malloc = Malloc.create ~topology ~clock () in
+  let driver = Driver.create ~seed ~profile ~sched ~malloc ~clock () in
+  (clock, malloc, driver)
+
+let test_driver_allocates () =
+  let _, malloc, driver = make_driver () in
+  Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  check_bool "allocations happened" true (Driver.allocations driver > 1000);
+  check_bool "requests counted" true (Driver.requests_completed driver > 0.0);
+  let tel = Malloc.telemetry malloc in
+  check_int "driver and allocator agree" (Driver.allocations driver)
+    (Telemetry.alloc_count tel)
+
+let test_driver_leak_free_after_drain () =
+  let _, malloc, driver = make_driver ~profile:Apps.f1_query () in
+  Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  Driver.drain driver;
+  let stats = Malloc.heap_stats malloc in
+  check_int "no live bytes after drain" 0 stats.Malloc.live_requested_bytes;
+  check_int "alloc count = free count" 0
+    (Telemetry.alloc_count (Malloc.telemetry malloc)
+    - Telemetry.free_count (Malloc.telemetry malloc))
+
+let test_driver_deterministic () =
+  let run () =
+    let _, malloc, driver = make_driver ~seed:77 () in
+    Driver.run driver ~duration_ns:(1.5 *. Units.sec) ~epoch_ns:Units.ms;
+    ( Driver.allocations driver,
+      (Malloc.heap_stats malloc).Malloc.live_requested_bytes )
+  in
+  let a1, l1 = run () and a2, l2 = run () in
+  check_int "same allocations" a1 a2;
+  check_int "same live bytes" l1 l2
+
+let test_driver_seed_matters () =
+  let run seed =
+    let _, _, driver = make_driver ~seed () in
+    Driver.run driver ~duration_ns:(1.0 *. Units.sec) ~epoch_ns:Units.ms;
+    Driver.allocations driver
+  in
+  check_bool "different seeds diverge" true (run 1 <> run 2)
+
+let test_driver_thread_series () =
+  let _, _, driver = make_driver () in
+  Driver.run driver ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let series = Driver.thread_series driver in
+  check_bool "series recorded" true (List.length series >= 3);
+  let times = List.map fst series in
+  check_bool "ascending" true (times = List.sort compare times)
+
+let test_driver_startup_burst () =
+  let _, malloc, driver = make_driver ~profile:Apps.spec2006 () in
+  Driver.run driver ~duration_ns:(0.1 *. Units.sec) ~epoch_ns:Units.ms;
+  check_bool "burst allocated immediately" true
+    (Telemetry.alloc_count (Malloc.telemetry malloc)
+    >= Apps.spec2006.Profile.startup_burst_allocs)
+
+let test_driver_reset_measurements () =
+  let _, _, driver = make_driver () in
+  Driver.run driver ~duration_ns:(1.0 *. Units.sec) ~epoch_ns:Units.ms;
+  check_bool "requests before reset" true (Driver.requests_completed driver > 0.0);
+  Driver.reset_measurements driver;
+  check_close "requests reset" 1e-9 0.0 (Driver.requests_completed driver);
+  check_bool "malloc ns reset" true (Driver.measured_malloc_ns driver < 1.0);
+  Driver.run driver ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+  check_bool "accumulates again" true (Driver.measured_malloc_ns driver > 0.0)
+
+let test_driver_rss_tracking () =
+  let _, _, driver = make_driver () in
+  Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  check_bool "avg rss positive" true (Driver.avg_rss_bytes driver > 0.0);
+  check_bool "peak >= avg" true
+    (float_of_int (Driver.peak_rss_bytes driver) >= Driver.avg_rss_bytes driver)
+
+let test_driver_lifetime_telemetry () =
+  let _, malloc, driver = make_driver () in
+  Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let bins = Telemetry.lifetime_bins (Malloc.telemetry malloc) in
+  check_bool "lifetime samples recorded" true (bins <> [])
+
+let suite =
+  [
+    ( "threads",
+      [
+        Alcotest.test_case "steady" `Quick test_threads_steady;
+        Alcotest.test_case "bounds" `Quick test_threads_bounds;
+        Alcotest.test_case "diurnal swing" `Quick test_threads_diurnal_swing;
+        Alcotest.test_case "fluctuates" `Quick test_threads_fluctuate;
+      ] );
+    ( "profile",
+      [
+        test_profile_sample_size_positive;
+        Alcotest.test_case "lifetimes positive" `Quick test_profile_lifetime_positive;
+        Alcotest.test_case "lifetime bands" `Slow test_profile_lifetime_table_band_selection;
+        Alcotest.test_case "fig7 anchors" `Slow test_fleet_size_dist_anchors;
+        Alcotest.test_case "fig8 small fast" `Slow test_fleet_lifetime_small_fast;
+        Alcotest.test_case "scale lifetimes" `Quick test_scale_lifetimes;
+        Alcotest.test_case "size drift" `Slow test_size_drift_changes_sizes;
+        Alcotest.test_case "by_name" `Quick test_apps_by_name;
+        Alcotest.test_case "app lists" `Quick test_apps_lists;
+        Alcotest.test_case "fleet binary variants" `Quick test_fleet_binary_variants;
+      ] );
+    ( "driver",
+      [
+        Alcotest.test_case "allocates" `Quick test_driver_allocates;
+        Alcotest.test_case "leak-free after drain" `Quick test_driver_leak_free_after_drain;
+        Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+        Alcotest.test_case "seed matters" `Quick test_driver_seed_matters;
+        Alcotest.test_case "thread series" `Quick test_driver_thread_series;
+        Alcotest.test_case "startup burst" `Quick test_driver_startup_burst;
+        Alcotest.test_case "reset measurements" `Quick test_driver_reset_measurements;
+        Alcotest.test_case "rss tracking" `Quick test_driver_rss_tracking;
+        Alcotest.test_case "lifetime telemetry" `Quick test_driver_lifetime_telemetry;
+      ] );
+  ]
