@@ -68,12 +68,46 @@ let list_apps_cmd =
 
 (* simulate *)
 
-let simulate app duration optimized seed =
+let simulate app duration optimized seed memory_limit_mib fault_rate audit =
   let config = if optimized then Config.all_optimizations else Config.baseline in
   Printf.printf "simulating %s for %.0fs (%s)...\n%!" app.Profile.name duration
     (Config.describe config);
+  (* Hard limit at the requested size; soft limit at 85% of it so the
+     reclaim cascade engages before mmap starts failing. *)
+  let hard_limit_bytes = Option.map (fun mib -> int_of_float (mib *. 1024.0 *. 1024.0)) memory_limit_mib in
+  let soft_limit_bytes = Option.map (fun b -> b * 85 / 100) hard_limit_bytes in
+  let faults =
+    match fault_rate with
+    | None -> None
+    | Some rate ->
+      Some
+        {
+          Os.Fault.seed;
+          mmap_failure_rate = rate;
+          mmap_failure_burst = 2;
+          pressure_period_ns = 5.0 *. Units.sec;
+          pressure_duration_ns = Units.sec;
+          pressure_bytes = 64 * 1024 * 1024;
+          cpu_churn_period_ns = 3.0 *. Units.sec;
+        }
+  in
+  let audit_interval_ns = if audit then Some Units.sec else None in
   let job =
-    Quick.run_app ~seed ~config ~duration_ns:(duration *. Units.sec) app
+    try
+      Quick.run_app ~seed ~config ~duration_ns:(duration *. Units.sec) ?soft_limit_bytes
+        ?hard_limit_bytes ?faults ?audit_interval_ns app
+    with
+    | Stdlib.Out_of_memory ->
+        (* The allocator exhausted its reclaim-and-retry budget: the job
+           would be OOM-killed.  Report it as an outcome, not a crash. *)
+        Printf.eprintf
+          "job killed: out of memory under the configured limit/fault schedule\n";
+        exit 2
+    | Invalid_argument msg ->
+        (* Bad --memory-limit / --faults values are rejected by the layer
+           that owns the constraint; surface them as a usage error. *)
+        Printf.eprintf "wscalloc: %s\n" msg;
+        exit 124
   in
   let m = job.Machine.malloc in
   let stats = Malloc.heap_stats m in
@@ -102,15 +136,77 @@ let simulate app duration optimized seed =
     (Units.bytes_to_string (Tcmalloc.Sampler.live_heap_estimate_bytes sampler));
   List.iter
     (fun (bin, n) -> Printf.printf "  >= %-10s %d samples\n" (Units.bytes_to_string bin) n)
-    (Tcmalloc.Sampler.live_profile sampler)
+    (Tcmalloc.Sampler.live_profile sampler);
+  (* Memory-pressure block: only interesting when limits or faults are on. *)
+  let vm = Malloc.vm m in
+  if memory_limit_mib <> None || fault_rate <> None then begin
+    Printf.printf "memory pressure:\n";
+    (match Os.Vm.hard_limit vm with
+    | Some b -> Printf.printf "  hard limit       : %s\n" (Units.bytes_to_string b)
+    | None -> ());
+    Printf.printf "  mmap failures    : %d (%d transient, %d limit)\n"
+      (Os.Vm.mmap_failures vm)
+      (Os.Vm.transient_mmap_failures vm)
+      (Os.Vm.limit_mmap_failures vm);
+    Printf.printf "  reclaim events   : %d (%d retry-after-reclaim, %d OOM)\n"
+      (Telemetry.reclaim_events tel) (Telemetry.reclaim_retries tel)
+      (Telemetry.oom_events tel);
+    List.iter
+      (fun tier ->
+        Printf.printf "  reclaimed %-7s: %s\n"
+          (Telemetry.reclaim_tier_name tier)
+          (Units.bytes_to_string (Telemetry.reclaimed_bytes tel tier)))
+      Telemetry.all_reclaim_tiers
+  end;
+  if audit then begin
+    let reports = Driver.audit_reports job.Machine.driver in
+    let violations = Driver.audit_violations job.Machine.driver in
+    Printf.printf "heap audit: %d audits, %d violation(s)\n" (List.length reports)
+      violations;
+    if violations > 0 then begin
+      List.iter
+        (fun r -> if not (Tcmalloc.Audit.is_clean r) then print_endline (Tcmalloc.Audit.to_string r))
+        reports;
+      exit 1
+    end
+  end
 
 let simulate_cmd =
   let optimized =
     Arg.(value & flag & info [ "optimized" ] ~doc:"Enable all four optimizations.")
   in
+  let memory_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "memory-limit" ] ~docv:"MIB"
+          ~doc:
+            "Hard per-process memory limit in MiB (mmap fails above it; the allocator \
+             reclaims and retries).  The soft limit is set to 85% of it.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Enable deterministic fault injection: transient mmap failures at the given \
+             per-call rate (bursts of 2), plus periodic co-located pressure spikes and \
+             CPU-churn bursts.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the heap auditor every simulated second; print a summary and exit \
+             nonzero on any invariant violation.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
-    Term.(const simulate $ app_term $ duration_term $ optimized $ seed_term)
+    Term.(
+      const simulate $ app_term $ duration_term $ optimized $ seed_term $ memory_limit
+      $ faults $ audit)
 
 (* ab *)
 

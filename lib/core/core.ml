@@ -24,11 +24,17 @@ module Quick = struct
   module Units = Wsc_substrate.Units
 
   (** Run one application on a dedicated default-platform machine and
-      return the finished job for inspection. *)
+      return the finished job for inspection.  Optional memory limits,
+      fault injection, and periodic heap audits pass through to
+      {!Wsc_fleet.Machine.create}. *)
   let run_app ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline)
       ?(platform = Wsc_hw.Topology.default) ?(duration_ns = 10.0 *. Units.sec)
-      ?(epoch_ns = Units.ms) profile =
-    let machine = Wsc_fleet.Machine.create ~seed ~config ~platform ~jobs:[ profile ] () in
+      ?(epoch_ns = Units.ms) ?soft_limit_bytes ?hard_limit_bytes ?faults
+      ?audit_interval_ns profile =
+    let machine =
+      Wsc_fleet.Machine.create ~seed ~config ?soft_limit_bytes ?hard_limit_bytes ?faults
+        ?audit_interval_ns ~platform ~jobs:[ profile ] ()
+    in
     Wsc_fleet.Machine.run machine ~duration_ns ~epoch_ns;
     List.hd (Wsc_fleet.Machine.jobs machine)
 

@@ -6,7 +6,15 @@ module Driver = Wsc_workload.Driver
 module Profile = Wsc_workload.Profile
 module Threads = Wsc_workload.Threads
 
-type job = { profile : Profile.t; driver : Driver.t; malloc : Malloc.t }
+module Fault = Wsc_os.Fault
+module Vm = Wsc_os.Vm
+
+type job = {
+  profile : Profile.t;
+  driver : Driver.t;
+  malloc : Malloc.t;
+  fault : Fault.t option;
+}
 
 type t = {
   platform : Topology.t;
@@ -18,7 +26,8 @@ type t = {
 let job_cpus platform profile =
   min (Topology.num_cpus platform) profile.Profile.threads.Threads.max_threads
 
-let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ~platform ~jobs () =
+let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_bytes
+    ?hard_limit_bytes ?faults ?audit_interval_ns ~platform ~jobs () =
   let clock = Clock.create () in
   let next_cpu = ref 0 in
   let make index profile =
@@ -34,10 +43,22 @@ let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ~platform ~jobs 
     in
     next_cpu := (!next_cpu + cpus) mod Topology.num_cpus platform;
     let malloc = Malloc.create ~config ~topology:platform ~clock () in
-    let driver =
-      Driver.create ~seed:(seed + (1000 * index)) ~profile ~sched ~malloc ~clock ()
+    let vm = Malloc.vm malloc in
+    (match soft_limit_bytes with Some b -> Vm.set_soft_limit vm (Some b) | None -> ());
+    (match hard_limit_bytes with Some b -> Vm.set_hard_limit vm (Some b) | None -> ());
+    let fault =
+      match faults with
+      | None -> None
+      | Some fault_config ->
+        let f = Fault.create ~index ~clock fault_config in
+        Fault.install f ~vm;
+        Some f
     in
-    { profile; driver; malloc }
+    let driver =
+      Driver.create ~seed:(seed + (1000 * index)) ?faults:fault ?audit_interval_ns
+        ~profile ~sched ~malloc ~clock ()
+    in
+    { profile; driver; malloc; fault }
   in
   { platform; clock; jobs = List.mapi make jobs }
 

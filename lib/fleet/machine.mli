@@ -12,13 +12,25 @@ type t
 val create :
   ?seed:int ->
   ?config:Wsc_tcmalloc.Config.t ->
+  ?soft_limit_bytes:int ->
+  ?hard_limit_bytes:int ->
+  ?faults:Wsc_os.Fault.config ->
+  ?audit_interval_ns:float ->
   platform:Wsc_hw.Topology.t ->
   jobs:Wsc_workload.Profile.t list ->
   unit ->
   t
 (** Co-locate [jobs] on a machine of the given platform.  CPU slices are
     carved contiguously (and wrap), so co-located jobs overlap on big
-    machines only when they need more CPUs than exist. *)
+    machines only when they need more CPUs than exist.
+
+    [soft_limit_bytes]/[hard_limit_bytes] apply per process: exceeding the
+    soft limit triggers each allocator's reclaim cascade; the hard limit
+    makes mmap fail (the allocator reclaims and retries before OOM).
+    [faults] instantiates one {!Wsc_os.Fault} stream per job (perturbed by
+    job index, so co-located processes fail independently while pressure
+    spikes stay machine-wide) and installs its hooks into the job's VM.
+    [audit_interval_ns] enables periodic heap audits in every driver. *)
 
 val run : t -> duration_ns:float -> epoch_ns:float -> unit
 (** Advance the machine's clock, stepping every job each epoch. *)
@@ -29,6 +41,7 @@ type job = {
   profile : Wsc_workload.Profile.t;
   driver : Wsc_workload.Driver.t;
   malloc : Wsc_tcmalloc.Malloc.t;
+  fault : Wsc_os.Fault.t option;  (** Present when the machine injects faults. *)
 }
 
 val jobs : t -> job list

@@ -1,0 +1,125 @@
+open Wsc_substrate
+
+type config = {
+  seed : int;
+  mmap_failure_rate : float;
+  mmap_failure_burst : int;
+  pressure_period_ns : float;
+  pressure_duration_ns : float;
+  pressure_bytes : int;
+  cpu_churn_period_ns : float;
+}
+
+let no_faults =
+  {
+    seed = 0;
+    mmap_failure_rate = 0.0;
+    mmap_failure_burst = 1;
+    pressure_period_ns = 0.0;
+    pressure_duration_ns = 0.0;
+    pressure_bytes = 0;
+    cpu_churn_period_ns = 0.0;
+  }
+
+let describe c =
+  let parts = ref [] in
+  if c.cpu_churn_period_ns > 0.0 then
+    parts := Printf.sprintf "cpu-churn every %.1fs" (c.cpu_churn_period_ns /. Units.sec) :: !parts;
+  if c.pressure_period_ns > 0.0 && c.pressure_bytes > 0 then
+    parts :=
+      Printf.sprintf "pressure spikes ~%s every %.1fs"
+        (Units.bytes_to_string c.pressure_bytes)
+        (c.pressure_period_ns /. Units.sec)
+      :: !parts;
+  if c.mmap_failure_rate > 0.0 then
+    parts := Printf.sprintf "mmap failure rate %.3f" c.mmap_failure_rate :: !parts;
+  if !parts = [] then "no faults" else String.concat ", " !parts
+
+type t = {
+  config : config;
+  clock : Clock.t;
+  rng : Rng.t;  (* transient-failure stream, per-process *)
+  mutable burst_remaining : int;
+  mutable injected : int;
+  mutable next_churn : float;
+}
+
+let create ?(index = 0) ~clock config =
+  if config.mmap_failure_rate < 0.0 || config.mmap_failure_rate >= 1.0 then
+    invalid_arg "Fault.create: mmap_failure_rate must be in [0, 1)";
+  if config.mmap_failure_burst <= 0 then
+    invalid_arg "Fault.create: mmap_failure_burst must be positive";
+  {
+    config;
+    clock;
+    rng = Rng.create (config.seed + (7919 * index) + 1);
+    burst_remaining = 0;
+    injected = 0;
+    next_churn =
+      (if config.cpu_churn_period_ns > 0.0 then
+         Clock.now clock +. config.cpu_churn_period_ns
+       else infinity);
+  }
+
+let transient_mmap_failure t =
+  if t.burst_remaining > 0 then begin
+    t.burst_remaining <- t.burst_remaining - 1;
+    t.injected <- t.injected + 1;
+    true
+  end
+  else if
+    t.config.mmap_failure_rate > 0.0
+    && Rng.bernoulli t.rng t.config.mmap_failure_rate
+  then begin
+    t.burst_remaining <- t.config.mmap_failure_burst - 1;
+    t.injected <- t.injected + 1;
+    true
+  end
+  else false
+
+(* Pressure spikes are a pure function of (seed, time) so that every query
+   order — and both arms of a paired-seed A/B — sees the identical
+   machine-level stream.  Each period-long window hides one spike of
+   deterministically jittered offset and magnitude. *)
+let window_rng seed window = Rng.create ((seed * 1_000_003) lxor (window * 2_654_435_761))
+
+let pressure_bytes_at t ~now =
+  let c = t.config in
+  if c.pressure_period_ns <= 0.0 || c.pressure_bytes <= 0 || now < 0.0 then 0
+  else begin
+    let duration = Float.min c.pressure_duration_ns c.pressure_period_ns in
+    if duration <= 0.0 then 0
+    else begin
+      let window = int_of_float (now /. c.pressure_period_ns) in
+      let rng = window_rng c.seed window in
+      let slack = c.pressure_period_ns -. duration in
+      let offset = if slack > 0.0 then Rng.float rng slack else 0.0 in
+      let magnitude =
+        int_of_float (float_of_int c.pressure_bytes *. (0.5 +. Rng.unit_float rng))
+      in
+      let into_window = now -. (float_of_int window *. c.pressure_period_ns) in
+      if into_window >= offset && into_window < offset +. duration then magnitude else 0
+    end
+  end
+
+let pressure_bytes t = pressure_bytes_at t ~now:(Clock.now t.clock)
+
+let churn_due t ~now =
+  if now >= t.next_churn then begin
+    (* Skip any periods an idle driver slept through so the next burst is
+       always in the future. *)
+    while t.next_churn <= now do
+      t.next_churn <- t.next_churn +. t.config.cpu_churn_period_ns
+    done;
+    true
+  end
+  else false
+
+let install t ~vm =
+  if t.config.mmap_failure_rate > 0.0 then
+    Vm.set_fault_hook vm (Some (fun ~bytes:_ -> transient_mmap_failure t));
+  if t.config.pressure_period_ns > 0.0 && t.config.pressure_bytes > 0 then
+    Vm.set_pressure_hook vm (Some (fun () -> pressure_bytes t))
+
+let injected_failures t = t.injected
+let config t = t.config

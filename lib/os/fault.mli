@@ -1,0 +1,69 @@
+(** Deterministic fault injection for memory-pressure experiments.
+
+    Fleet machines fail in correlated, repeatable ways: transient mmap
+    refusals under overcommit, memory-pressure spikes when a co-located job
+    balloons, and scheduler churn that migrates a process across CPUs.  This
+    module turns those into seeded, reproducible streams so that paired-seed
+    A/B experiments can compare allocator configs under {e identical} fault
+    schedules:
+
+    - {b transient mmap failures} — a per-process Bernoulli stream (with
+      optional consecutive-failure bursts) consulted by {!Vm.mmap} through
+      the fault hook;
+    - {b pressure spikes} — machine-level windows during which co-located
+      jobs transiently consume extra bytes, tightening this process's
+      effective memory limits.  A pure function of (seed, time), so every
+      process and both A/B arms observe the same spike train;
+    - {b CPU churn} — periodic bursts after which the driver retires every
+      active vCPU, forcing dense-id reuse and cache restranding. *)
+
+type config = {
+  seed : int;  (** Root seed of every fault stream. *)
+  mmap_failure_rate : float;  (** Per-mmap transient failure probability, [0, 1). *)
+  mmap_failure_burst : int;
+      (** Consecutive mmaps failed per injected fault (>= 1); models
+          multi-call compaction stalls.  A burst longer than the allocator's
+          reclaim retry budget turns a transient fault into an OOM. *)
+  pressure_period_ns : float;  (** One spike per period; 0 disables spikes. *)
+  pressure_duration_ns : float;  (** Length of each spike window. *)
+  pressure_bytes : int;
+      (** Nominal spike magnitude; each spike is deterministically scaled
+          to [0.5x, 1.5x). *)
+  cpu_churn_period_ns : float;  (** Interval between churn bursts; 0 disables. *)
+}
+
+val no_faults : config
+(** All streams disabled (seed 0, every rate/period zero). *)
+
+val describe : config -> string
+
+type t
+
+val create : ?index:int -> clock:Wsc_substrate.Clock.t -> config -> t
+(** One per-process instance.  [index] (e.g. the job's slot on a machine)
+    perturbs the transient-failure stream so co-located processes fail
+    independently, while pressure windows stay machine-wide.
+    @raise Invalid_argument on out-of-range rate or burst. *)
+
+val install : t -> vm:Vm.t -> unit
+(** Wire the transient-failure and pressure hooks into [vm] (only the
+    streams the config enables). *)
+
+val transient_mmap_failure : t -> bool
+(** Draw the next transient-failure decision (advances the stream and the
+    failure counter).  Normally called via the installed hook. *)
+
+val pressure_bytes_at : t -> now:float -> int
+(** Co-located pressure at an arbitrary time (pure). *)
+
+val pressure_bytes : t -> int
+(** Pressure at the clock's current time. *)
+
+val churn_due : t -> now:float -> bool
+(** Whether a churn burst fired since the last call; consumes it and
+    schedules the next. *)
+
+val injected_failures : t -> int
+(** Transient failures injected so far. *)
+
+val config : t -> config

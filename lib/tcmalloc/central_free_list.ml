@@ -19,6 +19,8 @@ type t = {
   pageheap : Pageheap.t;
   span_stats : Span_stats.t option;
   classes : class_state array;
+  mutable released_span_bytes : int;
+      (* cumulative bytes of drained spans returned to the pageheap *)
 }
 
 let create ?(config = Config.baseline) ?span_stats pageheap =
@@ -30,7 +32,13 @@ let create ?(config = Config.baseline) ?span_stats pageheap =
       free_objects = 0;
     }
   in
-  { config; pageheap; span_stats; classes = Array.init Size_class.count make_class }
+  {
+    config;
+    pageheap;
+    span_stats;
+    classes = Array.init Size_class.count make_class;
+    released_span_bytes = 0;
+  }
 
 (* List housing a span with [a] outstanding objects: fuller spans in lower
    indices (allocated from first), nearly-free spans in higher indices
@@ -100,28 +108,34 @@ let remove_objects t ~cls ~n ~now =
   let mmaps = ref 0 in
   let out = ref [] in
   let need = ref n in
-  while !need > 0 do
-    let span =
-      match pick_span cs with
-      | Some span -> span
-      | None ->
-        let span, m = Pageheap.new_small_span t.pageheap ~size_class:cls ~now in
-        mmaps := !mmaps + m;
-        Hashtbl.replace cs.spans span.Span.id span;
-        cs.free_objects <- cs.free_objects + span.Span.capacity;
-        note_created t span ~now;
-        Span.set_list_index span (-1);
-        span
-    in
-    let take = min !need (Span.free_objects span) in
-    let addrs = Span.pop_objects span ~n:take in
-    cs.free_objects <- cs.free_objects - take;
-    need := !need - take;
-    out := List.rev_append addrs !out;
-    (* The span left its list when popped (or was never listed if fresh);
-       always re-push if it still has capacity. *)
-    relist t cs span ~force:(Span.free_objects span > 0)
-  done;
+  (try
+     while !need > 0 do
+       let span =
+         match pick_span cs with
+         | Some span -> span
+         | None ->
+           let span, m = Pageheap.new_small_span t.pageheap ~size_class:cls ~now in
+           mmaps := !mmaps + m;
+           Hashtbl.replace cs.spans span.Span.id span;
+           cs.free_objects <- cs.free_objects + span.Span.capacity;
+           note_created t span ~now;
+           Span.set_list_index span (-1);
+           span
+       in
+       let take = min !need (Span.free_objects span) in
+       let addrs = Span.pop_objects span ~n:take in
+       cs.free_objects <- cs.free_objects - take;
+       need := !need - take;
+       out := List.rev_append addrs !out;
+       (* The span left its list when popped (or was never listed if fresh);
+          always re-push if it still has capacity. *)
+       relist t cs span ~force:(Span.free_objects span > 0)
+     done
+   with Wsc_os.Vm.Mmap_failed _ ->
+     (* Graceful degradation under memory pressure: hand back whatever was
+        gathered before the failed span grow.  An empty result tells the
+        caller the allocation itself must reclaim and retry. *)
+     ());
   (!out, !mmaps)
 
 let return_objects t ~cls ~addrs ~now =
@@ -143,6 +157,7 @@ let return_objects t ~cls ~addrs ~now =
         Hashtbl.remove cs.spans span.Span.id;
         Span.set_list_index span (-1);
         note_released t span ~now;
+        t.released_span_bytes <- t.released_span_bytes + Span.span_bytes span;
         Pageheap.free_span t.pageheap span
       end
       else relist t cs span ~force:was_exhausted)
@@ -154,6 +169,10 @@ let fragmented_bytes t =
     (fun cls cs -> total := !total + (cs.free_objects * Size_class.size cls))
     t.classes;
   !total
+
+let released_span_bytes t = t.released_span_bytes
+
+let iter_spans t f = Array.iter (fun cs -> Hashtbl.iter (fun _ span -> f span) cs.spans) t.classes
 
 let span_count t ~cls = Hashtbl.length t.classes.(cls).spans
 let total_span_count t = Array.fold_left (fun acc cs -> acc + Hashtbl.length cs.spans) 0 t.classes

@@ -27,7 +27,10 @@ val create : ?config:Config.t -> ?span_stats:Span_stats.t -> Pageheap.t -> t
 val remove_objects : t -> cls:int -> n:int -> now:float -> addr list * int
 (** Extract [n] objects of the class, pulling fresh spans from the pageheap
     as needed.  Returns the object addresses and the number of mmap calls
-    incurred below. *)
+    incurred below.  When a span grow fails with {!Wsc_os.Vm.Mmap_failed}
+    (memory pressure or an injected fault), the failure is absorbed and
+    whatever was gathered so far is returned — possibly the empty list,
+    which callers must treat as "reclaim and retry". *)
 
 val return_objects : t -> cls:int -> addrs:addr list -> now:float -> unit
 (** Give objects back to their spans; spans whose last object returns are
@@ -35,6 +38,15 @@ val return_objects : t -> cls:int -> addrs:addr list -> now:float -> unit
 
 val fragmented_bytes : t -> int
 (** Free-object bytes sitting in partially-used spans across all classes. *)
+
+val released_span_bytes : t -> int
+(** Cumulative bytes of spans that fully drained and went back to the
+    pageheap; the reclaim cascade diffs this across stages to attribute
+    span returns to pressure. *)
+
+val iter_spans : t -> (Span.t -> unit) -> unit
+(** Visit every span currently owned by any class (listed or exhausted);
+    used by the heap auditor. *)
 
 val span_count : t -> cls:int -> int
 (** Spans currently held (listed + exhausted) for a class. *)

@@ -21,6 +21,9 @@ type t = {
   pageheap_release_interval_ns : float;
   pageheap_release_fraction : float;
   sample_period_bytes : int;
+  reclaim_retries : int;
+  reclaim_min_target_bytes : int;
+  soft_limit_check_interval_ns : float;
 }
 
 let baseline =
@@ -43,6 +46,9 @@ let baseline =
     pageheap_release_interval_ns = 1.0 *. Units.sec;
     pageheap_release_fraction = 0.2;
     sample_period_bytes = 2 * Units.mib;
+    reclaim_retries = 3;
+    reclaim_min_target_bytes = 8 * Units.mib;
+    soft_limit_check_interval_ns = 100.0 *. Units.ms;
   }
 
 let legacy_per_thread = { baseline with front_end = Per_thread_caches }

@@ -51,6 +51,16 @@ type t = {
           the paper notes TCMalloc "releases memory gradually". *)
   (* Telemetry *)
   sample_period_bytes : int;  (** One sampled allocation per 2 MiB allocated. *)
+  (* Memory-pressure survival *)
+  reclaim_retries : int;
+      (** Failed-mmap retry budget: each retry runs the reclaim cascade and
+          reattempts before {!Malloc.malloc} surfaces [Out_of_memory]: 3. *)
+  reclaim_min_target_bytes : int;
+      (** Floor on the cascade's per-invocation target, so a failed small
+          allocation still reclaims a useful batch: 8 MiB. *)
+  soft_limit_check_interval_ns : float;
+      (** Period of the soft-limit watchdog ticker that triggers the
+          reclaim cascade while resident bytes exceed the soft limit. *)
 }
 
 val baseline : t

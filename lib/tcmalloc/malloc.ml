@@ -20,9 +20,60 @@ type t = {
   telemetry : Telemetry.t;
   span_stats : Span_stats.t;
   mutable vcpu_domain : int array;  (* vcpu -> LLC domain of its physical CPU *)
+  (* Addresses currently cached in the per-CPU or transfer tiers (freed by
+     the app or prefilled, not yet re-issued).  Entries for objects that
+     drained back to their spans go stale harmlessly: they are purged the
+     moment the address is issued again, so an address the application
+     holds is never in this set.  Used to detect double frees of objects
+     still sitting in a cache, which the span-level occupancy check cannot
+     see. *)
+  in_flight : (addr, unit) Hashtbl.t;
 }
 
 let page_size = Units.tcmalloc_page_size
+
+let evict_to_transfer t ~now ~vcpu ~cls ~addrs =
+  let domain = if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0 in
+  ignore (Transfer_cache.insert t.tc ~cls ~addrs ~domain ~now)
+
+type reclaim_outcome = {
+  front_end_bytes : int;
+  transfer_bytes : int;
+  cfl_span_bytes : int;
+  os_released_bytes : int;
+}
+
+let zero_reclaim =
+  { front_end_bytes = 0; transfer_bytes = 0; cfl_span_bytes = 0; os_released_bytes = 0 }
+
+(* The graceful reclaim cascade (TCMalloc's ReleaseMemoryToSystem under
+   memory-limit pressure): drain tiers in cost order — per-CPU caches, then
+   the transfer cache, letting drained spans fall back to the pageheap —
+   and finally hand hugepages/pages back to the OS.  The two cache-drain
+   stages are skipped when the pageheap's immediately-releasable backlog
+   already covers the target, so mild pressure does not trash hot caches. *)
+let release_memory t ~target_bytes =
+  if target_bytes <= 0 then zero_reclaim
+  else begin
+    let now = Clock.now t.clock in
+    Telemetry.record_reclaim_event t.telemetry;
+    let cfl_before = Central_free_list.released_span_bytes t.cfl in
+    let fe =
+      if Pageheap.release_backlog_bytes t.pageheap >= target_bytes then 0
+      else Per_cpu_cache.drain t.pcc ~evict:(evict_to_transfer t ~now)
+    in
+    let tr =
+      if Pageheap.release_backlog_bytes t.pageheap >= target_bytes then 0
+      else Transfer_cache.drain t.tc ~now
+    in
+    let cfl = Central_free_list.released_span_bytes t.cfl - cfl_before in
+    let os = Pageheap.release_memory t.pageheap ~max_bytes:target_bytes in
+    Telemetry.record_reclaim t.telemetry Telemetry.Front_end fe;
+    Telemetry.record_reclaim t.telemetry Telemetry.Transfer tr;
+    Telemetry.record_reclaim t.telemetry Telemetry.Cfl_spans cfl;
+    Telemetry.record_reclaim t.telemetry Telemetry.Os_release os;
+    { front_end_bytes = fe; transfer_bytes = tr; cfl_span_bytes = cfl; os_released_bytes = os }
+  end
 
 let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clock () =
   let vm = Vm.create () in
@@ -46,28 +97,22 @@ let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clo
       telemetry = Telemetry.create ();
       span_stats;
       vcpu_domain = Array.make 16 0;
+      in_flight = Hashtbl.create 4096;
     }
   in
   if config.Config.dynamic_per_cpu_caches then begin
-    let resize now =
-      let evict ~vcpu ~cls ~addrs =
-        let domain =
-          if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0
-        in
-        ignore (Transfer_cache.insert t.tc ~cls ~addrs ~domain ~now)
-      in
-      Per_cpu_cache.resize t.pcc ~evict
-    in
+    let resize now = Per_cpu_cache.resize t.pcc ~evict:(evict_to_transfer t ~now) in
     ignore (Clock.every clock ~period:config.Config.resize_interval_ns resize)
   end;
-  let decay now =
-    let evict ~vcpu ~cls ~addrs =
-      let domain = if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0 in
-      ignore (Transfer_cache.insert t.tc ~cls ~addrs ~domain ~now)
-    in
-    Per_cpu_cache.decay_tick t.pcc ~evict
-  in
+  let decay now = Per_cpu_cache.decay_tick t.pcc ~evict:(evict_to_transfer t ~now) in
   ignore (Clock.every clock ~period:Units.sec decay);
+  (* Soft-limit watchdog: when resident + external pressure exceeds the soft
+     limit, run the reclaim cascade for the excess. *)
+  let soft_limit_check _now =
+    let excess = Vm.soft_limit_excess t.vm in
+    if excess > 0 then ignore (release_memory t ~target_bytes:excess)
+  in
+  ignore (Clock.every clock ~period:config.Config.soft_limit_check_interval_ns soft_limit_check);
   let release now = Transfer_cache.release_tick t.tc ~now in
   ignore (Clock.every clock ~period:config.Config.transfer_release_interval_ns release);
   let pageheap_release _now = Pageheap.background_release t.pageheap in
@@ -150,8 +195,7 @@ let cache_index t ~thread ~cpu =
   | Config.Per_thread_caches, None | Config.Per_cpu_caches, _ ->
     Vcpu.acquire t.vcpus ~phys_cpu:cpu
 
-let malloc ?thread t ~cpu ~size =
-  if size <= 0 then invalid_arg "Malloc.malloc: size must be positive";
+let malloc_attempt ?thread t ~cpu ~size =
   let now = Clock.now t.clock in
   Telemetry.charge_prefetch t.telemetry Cost_model.prefetch_ns;
   match Size_class.of_size size with
@@ -172,23 +216,61 @@ let malloc ?thread t ~cpu ~size =
         let addrs, deepest = refill t ~cls ~domain ~now in
         Telemetry.record_hit t.telemetry deepest;
         (match addrs with
-        | [] -> assert false
+        | [] ->
+          (* The central free list absorbed an mmap failure and returned
+             nothing; surface it so the retry-with-reclaim loop engages. *)
+          raise (Vm.Mmap_failed Vm.Transient_fault)
         | first :: rest ->
+          List.iter (fun a -> Hashtbl.replace t.in_flight a ()) rest;
           let rejected = Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest in
           if rejected <> [] then
             ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
           first)
     in
+    Hashtbl.remove t.in_flight a;
     Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(Size_class.size cls);
     maybe_sample t a ~size ~now;
     a
 
+(* Allocation entry point with the bounded retry-with-reclaim loop: an mmap
+   failure (transient fault or hard memory limit) triggers the reclaim
+   cascade and a retry; only after [reclaim_retries] exhausted attempts does
+   the allocator surface [Out_of_memory]. *)
+let malloc ?thread t ~cpu ~size =
+  if size <= 0 then invalid_arg "Malloc.malloc: size must be positive";
+  let target t ~size = max t.config.Config.reclaim_min_target_bytes (2 * size) in
+  let rec attempt retries_left =
+    match malloc_attempt ?thread t ~cpu ~size with
+    | a -> a
+    | exception Vm.Mmap_failed _ ->
+      ignore (release_memory t ~target_bytes:(target t ~size));
+      if retries_left > 0 then begin
+        Telemetry.record_reclaim_retry t.telemetry;
+        attempt (retries_left - 1)
+      end
+      else begin
+        Telemetry.record_oom t.telemetry;
+        raise Stdlib.Out_of_memory
+      end
+  in
+  attempt t.config.Config.reclaim_retries
+
+let free_error ~what ~a ~size ~tier =
+  invalid_arg
+    (Printf.sprintf "Malloc.free: %s (addr=0x%x, size=%d, tier=%s)" what a size tier)
+
 let free_large t a ~size ~now =
   match Pageheap.span_of_addr t.pageheap a with
-  | None -> invalid_arg "Malloc.free: wild pointer"
+  | None -> free_error ~what:"wild pointer" ~a ~size ~tier:"page-map"
   | Some span ->
     if not (Span.is_large span) then
-      invalid_arg "Malloc.free: size does not match a large allocation";
+      free_error ~what:"size mismatch: allocation is small" ~a ~size ~tier:"page-map";
+    let pages = (size + page_size - 1) / page_size in
+    if pages <> span.Span.pages then
+      free_error ~what:"size mismatch: wrong page count" ~a ~size ~tier:"pageheap";
+    if a <> span.Span.base then
+      free_error ~what:"misaligned free: interior pointer" ~a ~size ~tier:"pageheap";
+    if Span.is_idle span then free_error ~what:"double free" ~a ~size ~tier:"pageheap";
     charge t Cost_model.Pageheap;
     record_sampled_free t a ~now;
     Telemetry.record_free t.telemetry ~requested:size
@@ -196,17 +278,44 @@ let free_large t a ~size ~now =
     Span.push_object span a;
     Pageheap.free_span t.pageheap span
 
+(* Validate a small free before touching any cache state: wild pointers,
+   size-class mismatches, misaligned interior pointers, and double frees
+   (both of objects sitting free in their span and of objects still cached
+   in the per-CPU/transfer tiers) raise descriptive [Invalid_argument]. *)
+let check_small_free t a ~size ~cls =
+  match Pageheap.span_of_addr t.pageheap a with
+  | None -> free_error ~what:"wild pointer" ~a ~size ~tier:"page-map"
+  | Some span ->
+    if Span.is_large span then
+      free_error ~what:"size mismatch: allocation is large" ~a ~size ~tier:"page-map";
+    if span.Span.size_class <> cls then
+      free_error
+        ~what:
+          (Printf.sprintf "size mismatch: class %d given, span holds class %d" cls
+             span.Span.size_class)
+        ~a ~size ~tier:"central-free-list";
+    if (a - span.Span.base) mod span.Span.obj_size <> 0 then
+      free_error ~what:"misaligned free: interior pointer" ~a ~size ~tier:"central-free-list";
+    (* Span-tier check first: an object that drained back to its span may
+       still have a stale cache-tier marker, and the span is ground truth. *)
+    if Span.object_is_free span a then
+      free_error ~what:"double free" ~a ~size ~tier:"central-free-list";
+    if Hashtbl.mem t.in_flight a then
+      free_error ~what:"double free" ~a ~size ~tier:"front-end"
+
 let free ?thread t ~cpu a ~size =
   if size <= 0 then invalid_arg "Malloc.free: size must be positive";
   let now = Clock.now t.clock in
   match Size_class.of_size size with
   | None -> free_large t a ~size ~now
   | Some cls ->
+    check_small_free t a ~size ~cls;
     let vcpu = cache_index t ~thread ~cpu in
     remember_domain t ~vcpu ~cpu;
     charge t Cost_model.Per_cpu_cache;
     record_sampled_free t a ~now;
     Telemetry.record_free t.telemetry ~requested:size ~rounded:(Size_class.size cls);
+    Hashtbl.replace t.in_flight a ();
     if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then begin
       (* Deallocation miss: flush a batch (including this object) to the
          transfer cache. *)
@@ -273,4 +382,5 @@ let vcpus t = t.vcpus
 let sampler t = t.sampler
 let config t = t.config
 let topology t = t.topology
+let clock t = t.clock
 let snapshot_spans t = Central_free_list.snapshot t.cfl ~now:(Clock.now t.clock)

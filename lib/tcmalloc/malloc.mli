@@ -30,11 +30,43 @@ val malloc : ?thread:int -> t -> cpu:int -> size:int -> addr
     [thread] identifies the calling software thread; it is only consulted
     by the legacy {!Config.Per_thread_caches} front-end, which indexes its
     caches by thread instead of vCPU (and without it falls back to vCPU
-    indexing). *)
+    indexing).
+
+    When the simulated VM refuses backing memory (injected transient fault
+    or hard memory limit), the allocator runs the {!release_memory} reclaim
+    cascade and retries up to {!Config.t.reclaim_retries} times before
+    surfacing [Out_of_memory]. *)
 
 val free : ?thread:int -> t -> cpu:int -> addr -> size:int -> unit
 (** Free a block previously returned by {!malloc} with the same [size].
-    @raise Invalid_argument on wild or double frees. *)
+    @raise Invalid_argument on erroneous frees, with a message naming the
+    defect, the address, the size, and the deepest tier consulted:
+    wild pointers, size mismatches (wrong class or wrong large page count),
+    misaligned interior pointers, and double frees — whether the object is
+    free in its span or still cached in the per-CPU/transfer tiers. *)
+
+(** {2 Memory pressure} *)
+
+type reclaim_outcome = {
+  front_end_bytes : int;  (** Drained from per-CPU caches into the TC. *)
+  transfer_bytes : int;  (** Drained from the transfer cache to spans. *)
+  cfl_span_bytes : int;  (** Idle span bytes returned to the pageheap. *)
+  os_released_bytes : int;  (** Bytes actually unmapped/subreleased. *)
+}
+
+val release_memory : t -> target_bytes:int -> reclaim_outcome
+(** Run the graceful reclaim cascade for [target_bytes]: drain per-CPU
+    caches into the transfer cache, drain the transfer cache back to spans
+    (idle spans fall to the pageheap), then release hugepages and
+    subrelease filler tail pages to the OS.  The cache-drain stages are
+    skipped when the pageheap's immediately-releasable backlog already
+    covers the target.  Each tier's contribution is recorded in
+    {!Telemetry} and returned.  [target_bytes <= 0] is a no-op.
+
+    Also runs automatically from the soft-limit watchdog ticker (period
+    {!Config.t.soft_limit_check_interval_ns}) whenever
+    {!Wsc_os.Vm.soft_limit_excess} is positive, and from [malloc]'s
+    retry-with-reclaim loop after an mmap failure. *)
 
 val cpu_idle : t -> cpu:int -> unit
 (** Tell the allocator a physical CPU stopped running this process's
@@ -76,6 +108,7 @@ val vcpus : t -> Wsc_os.Vcpu.t
 val sampler : t -> Sampler.t
 val config : t -> Config.t
 val topology : t -> Wsc_hw.Topology.t
+val clock : t -> Wsc_substrate.Clock.t
 
 val snapshot_spans : t -> unit
 (** Manually record one span-occupancy observation pass. *)

@@ -30,3 +30,14 @@ let lookup_exn t addr =
   | None -> invalid_arg "Page_map.lookup_exn: address not in any span"
 
 let span_count t = t.spans
+
+let iter_spans t f =
+  (* The table holds one entry per page; visit each span once. *)
+  let seen = Hashtbl.create (max 16 t.spans) in
+  Hashtbl.iter
+    (fun _ span ->
+      if not (Hashtbl.mem seen span.Span.id) then begin
+        Hashtbl.replace seen span.Span.id ();
+        f span
+      end)
+    t.pages

@@ -26,3 +26,7 @@ val lookup_exn : t -> int -> Span.t
 
 val span_count : t -> int
 (** Number of distinct registered spans. *)
+
+val iter_spans : t -> (Span.t -> unit) -> unit
+(** Visit each registered span exactly once (order unspecified); used by
+    the heap auditor to walk the whole heap. *)

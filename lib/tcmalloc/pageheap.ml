@@ -148,6 +148,13 @@ let free_span t span =
     end
 
 let span_of_addr t a = Page_map.lookup t.page_map a
+let page_map t = t.page_map
+let filler t = t.filler
+
+(* Free bytes the release path could hand back to the OS right now without
+   touching upper tiers: cached whole hugepages plus filler free pages. *)
+let release_backlog_bytes t =
+  Hugepage_cache.cached_bytes t.cache + Hugepage_filler.free_bytes t.filler
 
 let release_memory t ~max_bytes =
   if max_bytes <= 0 then 0

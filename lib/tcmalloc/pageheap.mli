@@ -39,6 +39,16 @@ val free_span : t -> Span.t -> unit
 val span_of_addr : t -> addr -> Span.t option
 (** Page-map lookup used by [free(ptr)]. *)
 
+val page_map : t -> Page_map.t
+(** The page -> span index (exposed for the heap auditor). *)
+
+val filler : t -> Hugepage_filler.t
+(** The hugepage filler (exposed for the heap auditor). *)
+
+val release_backlog_bytes : t -> int
+(** Bytes {!release_memory} could return to the OS immediately: cached
+    whole hugepages plus the filler's free (not yet subreleased) pages. *)
+
 val release_memory : t -> max_bytes:int -> int
 (** Release up to [max_bytes] to the OS: cached whole hugepages first
     (intact), then filler subrelease (breaking hugepages).  Returns bytes

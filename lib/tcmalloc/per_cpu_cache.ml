@@ -150,6 +150,31 @@ let decay_tick t ~evict =
           c.stacks)
     t.caches
 
+(* Pressure-driven shrink: empty every (vCPU, class) stack, handing the
+   objects to [evict] for routing down the hierarchy.  Capacity budgets are
+   untouched — demand refills the caches once pressure passes. *)
+let drain t ~evict =
+  let drained = ref 0 in
+  Array.iteri
+    (fun vcpu slot ->
+      match slot with
+      | None -> ()
+      | Some c ->
+        Array.iteri
+          (fun cls stack ->
+            let n = Int_stack.length stack in
+            if n > 0 then begin
+              let addrs = Int_stack.pop_up_to stack n in
+              let bytes = List.length addrs * Size_class.size cls in
+              c.used_bytes <- c.used_bytes - bytes;
+              drained := !drained + bytes;
+              evict ~vcpu ~cls ~addrs
+            end;
+            c.low_watermark.(cls) <- 0)
+          c.stacks)
+    t.caches;
+  !drained
+
 let populated_list t =
   let out = ref [] in
   Array.iteri

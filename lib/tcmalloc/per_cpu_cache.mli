@@ -43,6 +43,11 @@ val decay_tick : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> 
     the objects that sat untouched for the whole previous interval.  Runs
     in both baseline and optimized configs. *)
 
+val drain : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> int
+(** Memory-pressure shrink (first stage of the reclaim cascade): flush every
+    cached object of every vCPU to [evict] and return the bytes drained.
+    Capacity budgets are preserved; only contents are evicted. *)
+
 val resize : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> unit
 (** One dynamic-sizing pass (no-op when the config disables it).  Evicted
     objects from shrunk caches are handed to [evict] for routing to the

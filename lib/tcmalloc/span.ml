@@ -100,5 +100,13 @@ let push_object t addr =
     t.outstanding <- t.outstanding - 1
   end
 
+let object_is_free t addr =
+  if not (contains t addr) then invalid_arg "Span.object_is_free: address outside span";
+  if is_large t then t.outstanding = 0
+  else begin
+    let offset = addr - t.base in
+    offset mod t.obj_size = 0 && Bytes.get t.slot_taken (offset / t.obj_size) = '\000'
+  end
+
 let fragmented_bytes t = free_objects t * t.obj_size
 let set_list_index t i = t.list_index <- i

@@ -58,6 +58,12 @@ val push_object : t -> addr -> unit
 
 val contains : t -> addr -> bool
 
+val object_is_free : t -> addr -> bool
+(** Whether the object slot holding [addr] is currently free within the
+    span (i.e. pushing it again would be a double free).  For large spans,
+    whether the whole span is idle.
+    @raise Invalid_argument if the address is outside the span. *)
+
 val fragmented_bytes : t -> int
 (** Free object slots x object size — the external fragmentation this span
     contributes while sitting in the central free list. *)

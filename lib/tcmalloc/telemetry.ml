@@ -25,6 +25,11 @@ type t = {
   mutable vcpu_misses : int array;
   mutable remote_reuses : int;
   mutable local_reuses : int;
+  (* reclaim cascade: bytes drained per tier, in cascade order *)
+  reclaim_bytes : int array;
+  mutable reclaim_events : int;
+  mutable reclaim_retries : int;
+  mutable oom_events : int;
   (* measurement-window baselines (snapshot at [mark]) *)
   mark_tier_ns : float array;
   mutable mark_prefetch_ns : float;
@@ -52,6 +57,10 @@ let create () =
     vcpu_misses = Array.make 8 0;
     remote_reuses = 0;
     local_reuses = 0;
+    reclaim_bytes = Array.make 4 0;
+    reclaim_events = 0;
+    reclaim_retries = 0;
+    oom_events = 0;
     mark_tier_ns = Array.make 5 0.0;
     mark_prefetch_ns = 0.0;
     mark_sampled_ns = 0.0;
@@ -161,6 +170,35 @@ let record_object_reuse t ~remote =
 
 let remote_reuses t = t.remote_reuses
 let local_reuses t = t.local_reuses
+
+type reclaim_tier = Front_end | Transfer | Cfl_spans | Os_release
+
+let reclaim_slot = function
+  | Front_end -> 0
+  | Transfer -> 1
+  | Cfl_spans -> 2
+  | Os_release -> 3
+
+let reclaim_tier_name = function
+  | Front_end -> "front-end"
+  | Transfer -> "transfer"
+  | Cfl_spans -> "cfl-spans"
+  | Os_release -> "os-release"
+
+let all_reclaim_tiers = [ Front_end; Transfer; Cfl_spans; Os_release ]
+
+let record_reclaim t tier bytes =
+  let slot = reclaim_slot tier in
+  t.reclaim_bytes.(slot) <- t.reclaim_bytes.(slot) + bytes
+
+let record_reclaim_event t = t.reclaim_events <- t.reclaim_events + 1
+let record_reclaim_retry t = t.reclaim_retries <- t.reclaim_retries + 1
+let record_oom t = t.oom_events <- t.oom_events + 1
+let reclaimed_bytes t tier = t.reclaim_bytes.(reclaim_slot tier)
+let total_reclaimed_bytes t = Array.fold_left ( + ) 0 t.reclaim_bytes
+let reclaim_events t = t.reclaim_events
+let reclaim_retries t = t.reclaim_retries
+let oom_events t = t.oom_events
 
 let remote_reuse_fraction t =
   let total = t.remote_reuses + t.local_reuses in

@@ -102,3 +102,32 @@ val local_reuses : t -> int
 
 val remote_reuse_fraction : t -> float
 (** [remote / (remote + local)]; 0 when no reuse occurred. *)
+
+(** {2 Reclaim cascade (memory-pressure survival)} *)
+
+type reclaim_tier =
+  | Front_end  (** Per-CPU cache objects flushed to the transfer cache. *)
+  | Transfer  (** Transfer-cache objects (all shards) drained to the CFL. *)
+  | Cfl_spans  (** Bytes of spans that drained and returned to the pageheap. *)
+  | Os_release  (** Bytes actually given back to the OS (resident drop). *)
+
+val reclaim_tier_name : reclaim_tier -> string
+val all_reclaim_tiers : reclaim_tier list
+
+val record_reclaim : t -> reclaim_tier -> int -> unit
+(** Bytes moved out of one tier by a cascade invocation. *)
+
+val record_reclaim_event : t -> unit
+(** One invocation of the reclaim cascade. *)
+
+val record_reclaim_retry : t -> unit
+(** One allocation retry after an mmap failure triggered the cascade. *)
+
+val record_oom : t -> unit
+(** The retry budget ran out and [Out_of_memory] surfaced. *)
+
+val reclaimed_bytes : t -> reclaim_tier -> int
+val total_reclaimed_bytes : t -> int
+val reclaim_events : t -> int
+val reclaim_retries : t -> int
+val oom_events : t -> int

@@ -159,6 +159,31 @@ let release_tick t ~now =
       slot.low_watermark <- Int_stack.length slot.addrs)
     t.central.slots
 
+(* Pressure-driven drain (second cascade stage): return every cached object
+   — NUCA shards and central alike — to its span in the central free list,
+   so drained spans can flow back to the pageheap for release. *)
+let drain t ~now =
+  let drained = ref 0 in
+  let drain_shard shard =
+    Array.iteri
+      (fun cls (slot : class_slot) ->
+        let addrs = ref [] in
+        let continue = ref true in
+        while !continue do
+          match shard_pop shard cls with
+          | None -> continue := false
+          | Some (a, _) ->
+            addrs := a :: !addrs;
+            drained := !drained + Size_class.size cls
+        done;
+        if !addrs <> [] then Central_free_list.return_objects t.cfl ~cls ~addrs:!addrs ~now;
+        slot.low_watermark <- 0)
+      shard.slots
+  in
+  Array.iter drain_shard t.domain_shards;
+  drain_shard t.central;
+  !drained
+
 let cached_bytes t =
   t.central.cached_bytes
   + Array.fold_left (fun acc shard -> acc + shard.cached_bytes) 0 t.domain_shards

@@ -47,6 +47,12 @@ val release_tick : t -> now:float -> unit
     TCMalloc's defense against idle size classes stranding memory in the
     middle tier.  Runs in both legacy and NUCA modes. *)
 
+val drain : t -> now:float -> int
+(** Memory-pressure drain (second stage of the reclaim cascade): return
+    every cached object in every shard to the central free list and report
+    the bytes moved.  Spans whose last object comes home are released to the
+    pageheap as a side effect. *)
+
 val cached_bytes : t -> int
 (** Bytes of objects currently cached (external fragmentation in this
     tier). *)

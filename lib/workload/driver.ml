@@ -1,7 +1,9 @@
 open Wsc_substrate
 module Malloc = Wsc_tcmalloc.Malloc
 module Telemetry = Wsc_tcmalloc.Telemetry
+module Audit = Wsc_tcmalloc.Audit
 module Sched = Wsc_os.Sched
+module Fault = Wsc_os.Fault
 
 type pending = { addr : int; size : int; thread : int }
 
@@ -32,9 +34,14 @@ type t = {
   mutable next_coverage_sample : float;
   mutable peak_rss : int;
   mutable malloc_ns_at_reset : float;
+  faults : Fault.t option;
+  audit_interval_ns : float option;
+  mutable next_audit : float;
+  mutable audit_reports_rev : Audit.report list;
 }
 
-let create ?(seed = 1) ?(lifetime_sample_every = 64) ~profile ~sched ~malloc ~clock () =
+let create ?(seed = 1) ?(lifetime_sample_every = 64) ?faults ?audit_interval_ns ~profile
+    ~sched ~malloc ~clock () =
   {
     profile;
     sched;
@@ -59,6 +66,10 @@ let create ?(seed = 1) ?(lifetime_sample_every = 64) ~profile ~sched ~malloc ~cl
     next_coverage_sample = 0.0;
     peak_rss = 0;
     malloc_ns_at_reset = 0.0;
+    faults;
+    audit_interval_ns;
+    next_audit = 0.0;
+    audit_reports_rev = [];
   }
 
 let cpus_for t n_threads =
@@ -160,6 +171,15 @@ let observe_memory t ~now =
 
 let step t ~dt =
   let now = Clock.now t.clock in
+  (* CPU-churn burst: the scheduler migrated this process, every active
+     vCPU retires (dense ids become reusable) and the next thread update
+     re-acquires CPUs — restranding per-CPU cache contents. *)
+  (match t.faults with
+  | Some f when Fault.churn_due f ~now ->
+    List.iter (fun cpu -> Malloc.cpu_idle t.malloc ~cpu) t.active_cpus;
+    t.active_cpus <- [];
+    t.next_thread_update <- now
+  | Some _ | None -> ());
   update_threads t ~now;
   if not t.started then begin
     t.started <- true;
@@ -182,7 +202,12 @@ let step t ~dt =
     allocate_one t ~now
   done;
   t.requests <- t.requests +. (float_of_int n /. t.profile.Profile.allocs_per_request);
-  observe_memory t ~now
+  observe_memory t ~now;
+  match t.audit_interval_ns with
+  | Some interval when now >= t.next_audit ->
+    t.next_audit <- now +. interval;
+    t.audit_reports_rev <- Audit.run t.malloc :: t.audit_reports_rev
+  | Some _ | None -> ()
 
 let run t ~duration_ns ~epoch_ns =
   let until = Clock.now t.clock +. duration_ns in
@@ -205,6 +230,11 @@ let avg_hugepage_coverage t =
   else Stats.Running.mean t.coverage_stats
 let profile t = t.profile
 let malloc t = t.malloc
+let faults t = t.faults
+let audit_reports t = List.rev t.audit_reports_rev
+
+let audit_violations t =
+  List.fold_left (fun acc r -> acc + List.length r.Audit.violations) 0 t.audit_reports_rev
 
 let reset_measurements t =
   t.requests <- 0.0;

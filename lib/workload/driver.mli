@@ -22,6 +22,8 @@ type t
 val create :
   ?seed:int ->
   ?lifetime_sample_every:int ->
+  ?faults:Wsc_os.Fault.t ->
+  ?audit_interval_ns:float ->
   profile:Profile.t ->
   sched:Wsc_os.Sched.t ->
   malloc:Wsc_tcmalloc.Malloc.t ->
@@ -29,7 +31,16 @@ val create :
   unit ->
   t
 (** The startup burst (if the profile has one) is issued on the first
-    step. *)
+    step.
+
+    [faults] makes the driver consume the stream's CPU-churn bursts: when
+    one fires, every active vCPU retires and the next thread update
+    re-acquires CPUs (restranding per-CPU caches).  Installing the
+    stream's mmap/pressure hooks into the allocator's VM is the caller's
+    job ({!Wsc_os.Fault.install}).
+
+    [audit_interval_ns] runs the {!Wsc_tcmalloc.Audit} heap checker every
+    interval of simulated time; reports accumulate for {!audit_reports}. *)
 
 val step : t -> dt:float -> unit
 (** Process one epoch ending at the clock's current time: the caller (or
@@ -59,6 +70,14 @@ val avg_hugepage_coverage : t -> float
 
 val profile : t -> Profile.t
 val malloc : t -> Wsc_tcmalloc.Malloc.t
+val faults : t -> Wsc_os.Fault.t option
+
+val audit_reports : t -> Wsc_tcmalloc.Audit.report list
+(** Every audit taken so far, oldest first (empty without
+    [audit_interval_ns]). *)
+
+val audit_violations : t -> int
+(** Total violations across all audits (0 = heap consistent throughout). *)
 
 val reset_measurements : t -> unit
 (** Zero the request counter and the RSS/fragmentation accumulators

@@ -15,4 +15,5 @@ let () =
          Test_integration.suite;
          Test_trace.suite;
          Test_properties.suite;
+         Test_robustness.suite;
        ])

@@ -74,6 +74,182 @@ let test_vm_errors () =
       Vm.munmap vm a ~hugepages:1;
       Vm.munmap vm a ~hugepages:1)
 
+let test_vm_subrelease_saturates () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:1 in
+  (* Subreleasing more pages than a hugepage holds saturates; resident
+     never goes negative. *)
+  Vm.subrelease vm a ~pages:10_000;
+  check_int "saturates at whole hugepage" 0 (Vm.resident_bytes vm);
+  Vm.subrelease vm a ~pages:5;
+  check_int "still zero after repeat" 0 (Vm.resident_bytes vm);
+  (* Unmapping must unwind the aggregate subreleased count too. *)
+  Vm.munmap vm a ~hugepages:1;
+  check_int "nothing mapped" 0 (Vm.mapped_bytes vm);
+  check_int "resident zero after unmap" 0 (Vm.resident_bytes vm)
+
+let test_vm_reclaim_never_subreleased () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:1 in
+  (* Reclaiming pages that were never subreleased clamps at zero. *)
+  Vm.reclaim vm a ~pages:7;
+  check_int "resident unchanged" hugepage (Vm.resident_bytes vm);
+  check_int "reclaim counted" 1 (Vm.reclaim_calls vm);
+  check_bool "reclaim alone never breaks THP" true (Vm.is_huge_backed vm a)
+
+let test_vm_subrelease_reclaim_interleave () =
+  let vm = Vm.create () in
+  let a = Vm.mmap vm ~hugepages:2 in
+  let b = a + hugepage in
+  Vm.subrelease vm a ~pages:50;
+  Vm.subrelease vm b ~pages:100;
+  (* Over-reclaim clamps to the 50 pages actually out on this hugepage. *)
+  Vm.reclaim vm a ~pages:60;
+  check_int "only b's pages missing" ((2 * hugepage) - (100 * page)) (Vm.resident_bytes vm);
+  Vm.subrelease vm a ~pages:300;
+  check_int "a fully subreleased" (hugepage - (100 * page)) (Vm.resident_bytes vm);
+  Vm.reclaim vm b ~pages:100;
+  Vm.reclaim vm a ~pages:(hugepage / page);
+  check_int "fully resident again" (2 * hugepage) (Vm.resident_bytes vm)
+
+let test_vm_limit_edges () =
+  let vm = Vm.create () in
+  Alcotest.check_raises "zero soft limit"
+    (Invalid_argument "Vm.set_soft_limit: limit must be positive") (fun () ->
+      Vm.set_soft_limit vm (Some 0));
+  Alcotest.check_raises "zero hard limit"
+    (Invalid_argument "Vm.set_hard_limit: limit must be positive") (fun () ->
+      Vm.set_hard_limit vm (Some 0));
+  Alcotest.check_raises "nonpositive subrelease"
+    (Invalid_argument "Vm.subrelease: pages must be positive") (fun () ->
+      let a = Vm.mmap vm ~hugepages:1 in
+      Vm.subrelease vm a ~pages:0);
+  Alcotest.check_raises "nonpositive reclaim"
+    (Invalid_argument "Vm.reclaim: pages must be positive") (fun () ->
+      Vm.reclaim vm 0 ~pages:0)
+
+let test_vm_hard_limit_mmap () =
+  let vm = Vm.create () in
+  Vm.set_hard_limit vm (Some (2 * hugepage));
+  let a = Vm.mmap vm ~hugepages:2 in
+  check_bool "within limit succeeds" true (Vm.is_mapped vm a);
+  check_bool "limit failure raised" true
+    (try
+       ignore (Vm.mmap vm ~hugepages:1);
+       false
+     with Vm.Mmap_failed Vm.Hard_limit_exceeded -> true);
+  check_int "failure counted" 1 (Vm.mmap_failures vm);
+  check_int "attributed to the limit" 1 (Vm.limit_mmap_failures vm);
+  check_int "failed mmap not counted as a call" 1 (Vm.mmap_calls vm);
+  (* Freeing memory restores headroom. *)
+  Vm.munmap vm a ~hugepages:2;
+  ignore (Vm.mmap vm ~hugepages:1);
+  check_int "succeeds after release" 2 (Vm.mmap_calls vm)
+
+let test_vm_fault_hook () =
+  let vm = Vm.create () in
+  let remaining = ref 2 in
+  Vm.set_fault_hook vm
+    (Some
+       (fun ~bytes:_ ->
+         if !remaining > 0 then begin
+           decr remaining;
+           true
+         end
+         else false));
+  let attempt () = try ignore (Vm.mmap vm ~hugepages:1); true with Vm.Mmap_failed Vm.Transient_fault -> false in
+  check_bool "first injected" false (attempt ());
+  check_bool "second injected" false (attempt ());
+  check_bool "third passes" true (attempt ());
+  check_int "two transient failures" 2 (Vm.transient_mmap_failures vm);
+  check_int "no limit failures" 0 (Vm.limit_mmap_failures vm)
+
+let test_vm_soft_limit_excess () =
+  let vm = Vm.create () in
+  check_int "no limit, no excess" 0 (Vm.soft_limit_excess vm);
+  Vm.set_soft_limit vm (Some hugepage);
+  ignore (Vm.mmap vm ~hugepages:1);
+  check_int "at the limit exactly" 0 (Vm.soft_limit_excess vm);
+  Vm.set_pressure_hook vm (Some (fun () -> 3 * page));
+  check_int "external pressure counts" (3 * page) (Vm.soft_limit_excess vm);
+  Vm.set_pressure_hook vm (Some (fun () -> -100));
+  check_int "negative pressure clamped" 0 (Vm.soft_limit_excess vm)
+
+(* {1 Fault injection} *)
+
+let fault_config rate =
+  {
+    Fault.seed = 42;
+    mmap_failure_rate = rate;
+    mmap_failure_burst = 1;
+    pressure_period_ns = 2.0 *. Units.sec;
+    pressure_duration_ns = 0.5 *. Units.sec;
+    pressure_bytes = 64 * 1024 * 1024;
+    cpu_churn_period_ns = Units.sec;
+  }
+
+let test_fault_validation () =
+  let clock = Clock.create () in
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Fault.create: mmap_failure_rate must be in [0, 1)") (fun () ->
+      ignore (Fault.create ~clock (fault_config 1.5)));
+  Alcotest.check_raises "burst must be positive"
+    (Invalid_argument "Fault.create: mmap_failure_burst must be positive") (fun () ->
+      ignore (Fault.create ~clock { (fault_config 0.1) with Fault.mmap_failure_burst = 0 }))
+
+let test_fault_transient_determinism () =
+  let draw ~index n =
+    let clock = Clock.create () in
+    let f = Fault.create ~index ~clock (fault_config 0.3) in
+    List.init n (fun _ -> Fault.transient_mmap_failure f)
+  in
+  check_bool "same index, same stream" true (draw ~index:0 200 = draw ~index:0 200);
+  check_bool "different index, different stream" true (draw ~index:0 200 <> draw ~index:1 200)
+
+let test_fault_pressure_machine_wide () =
+  let clock = Clock.create () in
+  let f0 = Fault.create ~index:0 ~clock (fault_config 0.0) in
+  let f1 = Fault.create ~index:7 ~clock (fault_config 0.0) in
+  (* Pressure is a pure function of (seed, time): every co-located process
+     sees the identical spike train regardless of its job index. *)
+  let times = List.init 100 (fun i -> float_of_int i *. 0.11 *. Units.sec) in
+  List.iter
+    (fun now ->
+      check_int "machine-wide pressure" (Fault.pressure_bytes_at f0 ~now)
+        (Fault.pressure_bytes_at f1 ~now))
+    times;
+  (* Some window must actually spike, and spikes are bounded. *)
+  let peaks = List.map (fun now -> Fault.pressure_bytes_at f0 ~now) times in
+  check_bool "spikes occur" true (List.exists (fun b -> b > 0) peaks);
+  let nominal = (fault_config 0.0).Fault.pressure_bytes in
+  check_bool "spikes bounded" true
+    (List.for_all (fun b -> b >= 0 && b < 2 * nominal) peaks)
+
+let test_fault_churn_schedule () =
+  let clock = Clock.create () in
+  let f = Fault.create ~clock (fault_config 0.0) in
+  check_bool "not due at t=0" false (Fault.churn_due f ~now:(Clock.now clock));
+  Clock.advance clock (1.5 *. Units.sec);
+  check_bool "due after a period" true (Fault.churn_due f ~now:(Clock.now clock));
+  check_bool "consumed" false (Fault.churn_due f ~now:(Clock.now clock));
+  (* Sleeping many periods yields one burst, not a backlog. *)
+  Clock.advance clock (10.0 *. Units.sec);
+  check_bool "due again" true (Fault.churn_due f ~now:(Clock.now clock));
+  check_bool "no backlog" false (Fault.churn_due f ~now:(Clock.now clock))
+
+let test_fault_install () =
+  let clock = Clock.create () in
+  let f = Fault.create ~clock { (fault_config 1.0 ) with Fault.mmap_failure_rate = 0.999 } in
+  let vm = Vm.create () in
+  Fault.install f ~vm;
+  let failures = ref 0 in
+  for _ = 1 to 20 do
+    try ignore (Vm.mmap vm ~hugepages:1)
+    with Vm.Mmap_failed Vm.Transient_fault -> incr failures
+  done;
+  check_bool "hook wired" true (!failures > 0);
+  check_int "vm and stream agree" !failures (Fault.injected_failures f)
+
 let test_vm_no_overlap_property =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"vm_mmap_never_overlaps" ~count:50
@@ -196,7 +372,24 @@ let suite =
         Alcotest.test_case "reclaim" `Quick test_vm_reclaim;
         Alcotest.test_case "counters" `Quick test_vm_counters;
         Alcotest.test_case "errors" `Quick test_vm_errors;
+        Alcotest.test_case "subrelease saturates" `Quick test_vm_subrelease_saturates;
+        Alcotest.test_case "reclaim never-subreleased" `Quick
+          test_vm_reclaim_never_subreleased;
+        Alcotest.test_case "subrelease/reclaim interleave" `Quick
+          test_vm_subrelease_reclaim_interleave;
+        Alcotest.test_case "limit edges" `Quick test_vm_limit_edges;
+        Alcotest.test_case "hard limit mmap" `Quick test_vm_hard_limit_mmap;
+        Alcotest.test_case "fault hook" `Quick test_vm_fault_hook;
+        Alcotest.test_case "soft limit excess" `Quick test_vm_soft_limit_excess;
         test_vm_no_overlap_property;
+      ] );
+    ( "fault",
+      [
+        Alcotest.test_case "validation" `Quick test_fault_validation;
+        Alcotest.test_case "transient determinism" `Quick test_fault_transient_determinism;
+        Alcotest.test_case "pressure machine-wide" `Quick test_fault_pressure_machine_wide;
+        Alcotest.test_case "churn schedule" `Quick test_fault_churn_schedule;
+        Alcotest.test_case "install" `Quick test_fault_install;
       ] );
     ( "vcpu",
       [
