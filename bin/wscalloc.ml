@@ -68,8 +68,13 @@ let list_apps_cmd =
 
 (* simulate *)
 
-let simulate app duration optimized seed memory_limit_mib fault_rate audit =
+let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on preempt_prob
+    audit =
   let config = if optimized then Config.all_optimizations else Config.baseline in
+  if preempt_prob <> None && not rseq_on then begin
+    Printf.eprintf "wscalloc: --preempt-prob requires --rseq\n";
+    exit 124
+  end;
   Printf.printf "simulating %s for %.0fs (%s)...\n%!" app.Profile.name duration
     (Config.describe config);
   (* Hard limit at the requested size; soft limit at 85% of it so the
@@ -91,11 +96,21 @@ let simulate app duration optimized seed memory_limit_mib fault_rate audit =
           cpu_churn_period_ns = 3.0 *. Units.sec;
         }
   in
+  let rseq =
+    if rseq_on then
+      Some
+        {
+          Os.Rseq.seed;
+          preempt_prob = Option.value preempt_prob ~default:Os.Rseq.default_preempt_prob;
+          max_restarts = config.Config.rseq_max_restarts;
+        }
+    else None
+  in
   let audit_interval_ns = if audit then Some Units.sec else None in
   let job =
     try
       Quick.run_app ~seed ~config ~duration_ns:(duration *. Units.sec) ?soft_limit_bytes
-        ?hard_limit_bytes ?faults ?audit_interval_ns app
+        ?hard_limit_bytes ?faults ?rseq ?audit_interval_ns app
     with
     | Stdlib.Out_of_memory ->
         (* The allocator exhausted its reclaim-and-retry budget: the job
@@ -158,6 +173,24 @@ let simulate app duration optimized seed memory_limit_mib fault_rate audit =
           (Units.bytes_to_string (Telemetry.reclaimed_bytes tel tier)))
       Telemetry.all_reclaim_tiers
   end;
+  (* Restartable-sequence block: restart overhead (Fig. 4 cost model — each
+     restart re-runs the 3.1 ns fast path) and stranded-cache reclaim. *)
+  (match Malloc.rseq m with
+  | None -> ()
+  | Some r ->
+    let s = Os.Rseq.stats r in
+    Printf.printf "restartable sequences (%s):\n"
+      (Os.Rseq.describe (Os.Rseq.config r));
+    Printf.printf "  fast-path ops    : %d (%d committed, %d fell back)\n"
+      s.Os.Rseq.ops s.Os.Rseq.committed s.Os.Rseq.fallbacks;
+    Printf.printf "  restarts         : %d (%d forced by migration)\n"
+      s.Os.Rseq.restarts s.Os.Rseq.forced_aborts;
+    Printf.printf "  restart overhead : %.0f ns\n"
+      (float_of_int s.Os.Rseq.restarts
+      *. Hw.Cost_model.tier_hit_ns Hw.Cost_model.Per_cpu_cache);
+    Printf.printf "  stranded reclaim : %s in %d passes\n"
+      (Units.bytes_to_string (Telemetry.stranded_reclaim_bytes tel))
+      (Telemetry.stranded_reclaim_events tel));
   if audit then begin
     let reports = Driver.audit_reports job.Machine.driver in
     let violations = Driver.audit_violations job.Machine.driver in
@@ -194,6 +227,25 @@ let simulate_cmd =
              per-call rate (bursts of 2), plus periodic co-located pressure spikes and \
              CPU-churn bursts.")
   in
+  let rseq =
+    Arg.(
+      value & flag
+      & info [ "rseq" ]
+          ~doc:
+            "Run the per-CPU fast path under the restartable-sequence protocol: a \
+             seeded injector preempts operations mid-sequence, forcing \
+             abort-and-restart (bounded, then transfer-cache fallback).  Restart \
+             counts and overhead are reported.")
+  in
+  let preempt_prob =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "preempt-prob" ] ~docv:"P"
+          ~doc:
+            "Per-step preemption probability in [0, 1) for --rseq (default 0.001).  \
+             Requires --rseq.")
+  in
   let audit =
     Arg.(
       value & flag
@@ -206,7 +258,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
     Term.(
       const simulate $ app_term $ duration_term $ optimized $ seed_term $ memory_limit
-      $ faults $ audit)
+      $ faults $ rseq $ preempt_prob $ audit)
 
 (* ab *)
 

@@ -29,11 +29,11 @@ module Quick = struct
       {!Wsc_fleet.Machine.create}. *)
   let run_app ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline)
       ?(platform = Wsc_hw.Topology.default) ?(duration_ns = 10.0 *. Units.sec)
-      ?(epoch_ns = Units.ms) ?soft_limit_bytes ?hard_limit_bytes ?faults
+      ?(epoch_ns = Units.ms) ?soft_limit_bytes ?hard_limit_bytes ?faults ?rseq
       ?audit_interval_ns profile =
     let machine =
       Wsc_fleet.Machine.create ~seed ~config ?soft_limit_bytes ?hard_limit_bytes ?faults
-        ?audit_interval_ns ~platform ~jobs:[ profile ] ()
+        ?rseq ?audit_interval_ns ~platform ~jobs:[ profile ] ()
     in
     Wsc_fleet.Machine.run machine ~duration_ns ~epoch_ns;
     List.hd (Wsc_fleet.Machine.jobs machine)

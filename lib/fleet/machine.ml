@@ -8,6 +8,7 @@ module Threads = Wsc_workload.Threads
 
 module Fault = Wsc_os.Fault
 module Vm = Wsc_os.Vm
+module Rseq = Wsc_os.Rseq
 
 type job = {
   profile : Profile.t;
@@ -27,7 +28,7 @@ let job_cpus platform profile =
   min (Topology.num_cpus platform) profile.Profile.threads.Threads.max_threads
 
 let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_bytes
-    ?hard_limit_bytes ?faults ?audit_interval_ns ~platform ~jobs () =
+    ?hard_limit_bytes ?faults ?rseq ?audit_interval_ns ~platform ~jobs () =
   let clock = Clock.create () in
   let next_cpu = ref 0 in
   let make index profile =
@@ -42,7 +43,8 @@ let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_byte
       else Sched.slice platform ~first_cpu:!next_cpu ~cpus
     in
     next_cpu := (!next_cpu + cpus) mod Topology.num_cpus platform;
-    let malloc = Malloc.create ~config ~topology:platform ~clock () in
+    let rseq = Option.map (fun rc -> Rseq.create ~index rc) rseq in
+    let malloc = Malloc.create ~config ?rseq ~topology:platform ~clock () in
     let vm = Malloc.vm malloc in
     (match soft_limit_bytes with Some b -> Vm.set_soft_limit vm (Some b) | None -> ());
     (match hard_limit_bytes with Some b -> Vm.set_hard_limit vm (Some b) | None -> ());

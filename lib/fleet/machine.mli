@@ -15,6 +15,7 @@ val create :
   ?soft_limit_bytes:int ->
   ?hard_limit_bytes:int ->
   ?faults:Wsc_os.Fault.config ->
+  ?rseq:Wsc_os.Rseq.config ->
   ?audit_interval_ns:float ->
   platform:Wsc_hw.Topology.t ->
   jobs:Wsc_workload.Profile.t list ->
@@ -30,6 +31,9 @@ val create :
     [faults] instantiates one {!Wsc_os.Fault} stream per job (perturbed by
     job index, so co-located processes fail independently while pressure
     spikes stay machine-wide) and installs its hooks into the job's VM.
+    [rseq] instantiates one preemption injector per job (likewise
+    index-perturbed) and runs that job's allocator fast path under the
+    restartable-sequence protocol.
     [audit_interval_ns] enables periodic heap audits in every driver. *)
 
 val run : t -> duration_ns:float -> epoch_ns:float -> unit

@@ -42,6 +42,7 @@ type t = {
   mutable burst_remaining : int;
   mutable injected : int;
   mutable next_churn : float;
+  mutable churn_bursts : int;
 }
 
 let create ?(index = 0) ~clock config =
@@ -59,6 +60,7 @@ let create ?(index = 0) ~clock config =
       (if config.cpu_churn_period_ns > 0.0 then
          Clock.now clock +. config.cpu_churn_period_ns
        else infinity);
+    churn_bursts = 0;
   }
 
 let transient_mmap_failure t =
@@ -111,6 +113,7 @@ let churn_due t ~now =
     while t.next_churn <= now do
       t.next_churn <- t.next_churn +. t.config.cpu_churn_period_ns
     done;
+    t.churn_bursts <- t.churn_bursts + 1;
     true
   end
   else false
@@ -122,4 +125,5 @@ let install t ~vm =
     Vm.set_pressure_hook vm (Some (fun () -> pressure_bytes t))
 
 let injected_failures t = t.injected
+let churn_bursts t = t.churn_bursts
 let config t = t.config

@@ -66,4 +66,10 @@ val churn_due : t -> now:float -> bool
 val injected_failures : t -> int
 (** Transient failures injected so far. *)
 
+val churn_bursts : t -> int
+(** Churn bursts consumed so far via {!churn_due}.  Consumers must treat
+    each burst as a migration: retire every active vCPU {e and} flush the
+    retired caches (or register them for stranded-cache reclaim) — a burst
+    that only drops the ids silently orphans their cache contents. *)
+
 val config : t -> config

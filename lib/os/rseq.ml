@@ -1,0 +1,126 @@
+open Wsc_substrate
+
+type config = { seed : int; preempt_prob : float; max_restarts : int }
+
+let default_preempt_prob = 0.001
+
+let describe c =
+  if c.preempt_prob <= 0.0 then
+    Printf.sprintf "rseq: churn-driven aborts only, restart budget %d" c.max_restarts
+  else
+    Printf.sprintf "rseq: preempt-prob %g/step, restart budget %d" c.preempt_prob
+      c.max_restarts
+
+type step = Read_vcpu | Pick_class | Prepare | Commit
+
+let all_steps = [ Read_vcpu; Pick_class; Prepare; Commit ]
+let n_steps = List.length all_steps
+
+let step_name = function
+  | Read_vcpu -> "read-vcpu"
+  | Pick_class -> "pick-class"
+  | Prepare -> "prepare"
+  | Commit -> "commit"
+
+let step_of_index = function
+  | 0 -> Read_vcpu
+  | 1 -> Pick_class
+  | 2 -> Prepare
+  | 3 -> Commit
+  | i -> invalid_arg (Printf.sprintf "Rseq.step_of_index: %d not in [0, %d)" i n_steps)
+
+type 'a staged = { value : 'a; commit : unit -> unit }
+type 'a result = { outcome : 'a option; restarts : int }
+
+type stats = {
+  ops : int;
+  committed : int;
+  restarts : int;
+  fallbacks : int;
+  forced_aborts : int;
+}
+
+type t = {
+  config : config;
+  rng : Rng.t;  (* involuntary-preemption stream, per-process *)
+  mutable armed : step option;  (* one-shot forced abort (migration / test) *)
+  mutable ops : int;
+  mutable committed : int;
+  mutable total_restarts : int;
+  mutable fallbacks : int;
+  mutable forced_aborts : int;
+}
+
+let create ?(index = 0) config =
+  if config.preempt_prob < 0.0 || config.preempt_prob >= 1.0 then
+    invalid_arg "Rseq.create: preempt_prob must be in [0, 1)";
+  if config.max_restarts < 0 then invalid_arg "Rseq.create: max_restarts must be >= 0";
+  {
+    config;
+    rng = Rng.create (config.seed + (7919 * index) + 13);
+    armed = None;
+    ops = 0;
+    committed = 0;
+    total_restarts = 0;
+    fallbacks = 0;
+    forced_aborts = 0;
+  }
+
+let config t = t.config
+let note_migration t = t.armed <- Some Read_vcpu
+let force_preempt t ~step = t.armed <- Some step
+
+let preempted_at t step =
+  match t.armed with
+  | Some s when s = step ->
+    t.armed <- None;
+    t.forced_aborts <- t.forced_aborts + 1;
+    true
+  | Some _ | None ->
+    t.config.preempt_prob > 0.0 && Rng.bernoulli t.rng t.config.preempt_prob
+
+let run t ~read_vcpu ~stage =
+  t.ops <- t.ops + 1;
+  let rec attempt restarts =
+    (* One pass through the critical section.  Every step may be the
+       preemption point; past the last one the commit store is considered
+       to have landed, so all mutation happens exactly once or never. *)
+    let outcome =
+      if preempted_at t Read_vcpu then None
+      else begin
+        let vcpu = read_vcpu () in
+        if preempted_at t Pick_class then None
+        else begin
+          let staged = stage ~vcpu in
+          if preempted_at t Prepare || preempted_at t Commit then None
+          else begin
+            staged.commit ();
+            Some staged.value
+          end
+        end
+      end
+    in
+    match outcome with
+    | Some v ->
+      t.committed <- t.committed + 1;
+      { outcome = Some v; restarts }
+    | None ->
+      if restarts >= t.config.max_restarts then begin
+        t.fallbacks <- t.fallbacks + 1;
+        { outcome = None; restarts }
+      end
+      else begin
+        t.total_restarts <- t.total_restarts + 1;
+        attempt (restarts + 1)
+      end
+  in
+  attempt 0
+
+let stats t =
+  {
+    ops = t.ops;
+    committed = t.committed;
+    restarts = t.total_restarts;
+    fallbacks = t.fallbacks;
+    forced_aborts = t.forced_aborts;
+  }

@@ -1,11 +1,19 @@
 type t = {
   by_phys : (int, int) Hashtbl.t;
+  by_id : (int, int) Hashtbl.t;  (* vCPU id -> phys CPU currently holding it *)
   mutable free_ids : int list;  (* sorted ascending *)
   mutable next_fresh : int;
   mutable high_water : int;
 }
 
-let create () = { by_phys = Hashtbl.create 64; free_ids = []; next_fresh = 0; high_water = 0 }
+let create () =
+  {
+    by_phys = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+    free_ids = [];
+    next_fresh = 0;
+    high_water = 0;
+  }
 
 let acquire t ~phys_cpu =
   match Hashtbl.find_opt t.by_phys phys_cpu with
@@ -22,6 +30,7 @@ let acquire t ~phys_cpu =
         id
     in
     Hashtbl.replace t.by_phys phys_cpu id;
+    Hashtbl.replace t.by_id id phys_cpu;
     if id + 1 > t.high_water then t.high_water <- id + 1;
     id
 
@@ -30,8 +39,13 @@ let release t ~phys_cpu =
   | None -> ()
   | Some id ->
     Hashtbl.remove t.by_phys phys_cpu;
+    Hashtbl.remove t.by_id id;
     t.free_ids <- List.sort compare (id :: t.free_ids)
 
 let lookup t ~phys_cpu = Hashtbl.find_opt t.by_phys phys_cpu
 let active_count t = Hashtbl.length t.by_phys
 let high_water_mark t = t.high_water
+let is_id_active t id = Hashtbl.mem t.by_id id
+
+let active_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.by_id [] |> List.sort compare

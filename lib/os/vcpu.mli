@@ -33,3 +33,11 @@ val active_count : t -> int
 val high_water_mark : t -> int
 (** Largest vCPU id ever assigned + 1 = number of per-CPU caches TCMalloc has
     had to populate. *)
+
+val is_id_active : t -> int -> bool
+(** Whether a vCPU id is currently assigned to some physical CPU.  A
+    populated per-CPU cache whose id is inactive is {e stranded} until the
+    id is reused or the stranded-cache reclaim pass drains it. *)
+
+val active_ids : t -> int list
+(** Currently assigned vCPU ids, ascending. *)

@@ -23,6 +23,10 @@ let pop t =
 let pop_opt t = if t.len = 0 then None else Some (pop t)
 let peek_opt t = if t.len = 0 then None else Some t.data.(t.len - 1)
 
+let peek_up_to t n =
+  let k = min n t.len in
+  List.init k (fun i -> t.data.(t.len - 1 - i))
+
 let pop_up_to t n =
   let k = min n t.len in
   let rec take acc i = if i = k then List.rev acc else take (pop t :: acc) (i + 1) in

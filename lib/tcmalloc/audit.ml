@@ -7,6 +7,7 @@ type report = {
   time : float;
   spans_walked : int;
   hugepages_walked : int;
+  stranded_bytes : int;
   violations : violation list;
 }
 
@@ -156,10 +157,87 @@ let run m =
   if filler_pages <> filler_tracked then
     add "filler-accounting" "used+free+released pages %d <> %d tracked hugepage pages"
       filler_pages filler_tracked;
+
+  (* 8. Front-end accounting: each per-CPU cache's used_bytes counter must
+     equal the bytes actually sitting in its class stacks — a torn commit
+     would desynchronize them. *)
+  let pcc = Malloc.per_cpu_caches m in
+  let walked_pcc = Hashtbl.create 64 in
+  Per_cpu_cache.iter_addrs pcc (fun ~vcpu ~cls _ ->
+      let prev = Option.value (Hashtbl.find_opt walked_pcc vcpu) ~default:0 in
+      Hashtbl.replace walked_pcc vcpu (prev + Size_class.size cls));
+  List.iter
+    (fun vcpu ->
+      let walked = Option.value (Hashtbl.find_opt walked_pcc vcpu) ~default:0 in
+      let counted = Per_cpu_cache.used_bytes pcc ~vcpu in
+      if walked <> counted then
+        add "front-end-accounting" "vcpu %d caches %d walked bytes but counts used_bytes %d"
+          vcpu walked counted)
+    (Per_cpu_cache.populated_vcpus pcc);
+
+  (* 9. Torn-operation detection: no object address may appear twice across
+     the per-CPU and transfer tiers (a replayed commit would duplicate it),
+     and every cached address must belong to a registered small span of the
+     same class with its slot marked allocated (a lost commit would leave it
+     free in the span while a cache still hands it out). *)
+  let tc = Malloc.transfer_cache m in
+  let locations : (int, string list) Hashtbl.t = Hashtbl.create 4096 in
+  let note_addr a where =
+    Hashtbl.replace locations a (where :: Option.value (Hashtbl.find_opt locations a) ~default:[])
+  in
+  let check_cached a ~cls ~where =
+    note_addr a where;
+    match Page_map.lookup pm a with
+    | None -> add "torn-operation" "%s caches wild address 0x%x (class %d)" where a cls
+    | Some span ->
+      if Span.is_large span then
+        add "torn-operation" "%s caches 0x%x, which lies in large span %d" where a
+          span.Span.id
+      else begin
+        if span.Span.size_class <> cls then
+          add "torn-operation" "%s caches 0x%x as class %d but span %d holds class %d"
+            where a cls span.Span.id span.Span.size_class;
+        if Span.object_is_free span a then
+          add "torn-operation" "%s caches 0x%x, which is also free in span %d (lost commit)"
+            where a span.Span.id
+      end
+  in
+  Per_cpu_cache.iter_addrs pcc (fun ~vcpu ~cls a ->
+      check_cached a ~cls ~where:(Printf.sprintf "per-cpu cache %d" vcpu));
+  Transfer_cache.iter_addrs tc (fun ~cls a ->
+      check_cached a ~cls ~where:"transfer cache");
+  Hashtbl.iter
+    (fun a where ->
+      if List.length where > 1 then
+        add "torn-operation" "address 0x%x cached %d times (%s) — duplicated object" a
+          (List.length where)
+          (String.concat ", " (List.rev where)))
+    locations;
+
+  (* 10. Stranded ownership: a populated cache whose vCPU id is retired must
+     be on the stranded-reclaim work list (otherwise its bytes leak until
+     the id is coincidentally reused).  Meaningless for the per-thread
+     front-end, whose cache indices are thread ids, not vCPU ids. *)
+  let stranded = ref 0 in
+  if (Malloc.config m).Config.front_end = Config.Per_cpu_caches then begin
+    let vcpus = Malloc.vcpus m in
+    let pending = Malloc.stranded_pending_ids m in
+    List.iter
+      (fun vcpu ->
+        let bytes = Per_cpu_cache.used_bytes pcc ~vcpu in
+        if bytes > 0 && not (Wsc_os.Vcpu.is_id_active vcpus vcpu) then begin
+          stranded := !stranded + bytes;
+          if not (List.mem vcpu pending) then
+            add "stranded-ownership"
+              "retired vcpu %d still caches %d bytes but is not pending reclaim" vcpu bytes
+        end)
+      (Per_cpu_cache.populated_vcpus pcc)
+  end;
   {
     time = Clock.now (Malloc.clock m);
     spans_walked = n_spans;
     hugepages_walked = n_hugepages;
+    stranded_bytes = !stranded;
     violations = List.rev !violations;
   }
 

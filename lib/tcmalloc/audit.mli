@@ -18,7 +18,15 @@
     - {b hard-limit} — resident bytes never exceed the configured hard
       limit;
     - {b filler-accounting} — filler used + free + released pages cover
-      its tracked hugepages exactly.
+      its tracked hugepages exactly;
+    - {b front-end-accounting} — each per-CPU cache's used_bytes counter
+      equals a direct walk of its class stacks;
+    - {b torn-operation} — no address is cached twice across the per-CPU
+      and transfer tiers (duplicated object), and every cached address
+      belongs to a matching-class small span with its slot allocated (a
+      lost commit leaves it free in the span);
+    - {b stranded-ownership} — every populated cache of a retired vCPU id
+      is on the stranded-reclaim work list.
 
     Violations come back as a structured report (never asserts), so a
     damaged heap can be inspected rather than aborting the simulation. *)
@@ -30,6 +38,9 @@ type report = {
   time : float;  (** Simulated time of the audit. *)
   spans_walked : int;
   hugepages_walked : int;
+  stranded_bytes : int;
+      (** Bytes cached by retired vCPU ids awaiting stranded reclaim —
+          informational, not a violation when properly registered. *)
   violations : violation list;  (** Empty iff the heap is consistent. *)
 }
 

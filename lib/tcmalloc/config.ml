@@ -24,6 +24,8 @@ type t = {
   reclaim_retries : int;
   reclaim_min_target_bytes : int;
   soft_limit_check_interval_ns : float;
+  rseq_max_restarts : int;
+  stranded_reclaim_interval_ns : float;
 }
 
 let baseline =
@@ -49,6 +51,8 @@ let baseline =
     reclaim_retries = 3;
     reclaim_min_target_bytes = 8 * Units.mib;
     soft_limit_check_interval_ns = 100.0 *. Units.ms;
+    rseq_max_restarts = 3;
+    stranded_reclaim_interval_ns = 1.0 *. Units.sec;
   }
 
 let legacy_per_thread = { baseline with front_end = Per_thread_caches }

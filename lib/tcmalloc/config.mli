@@ -61,6 +61,14 @@ type t = {
   soft_limit_check_interval_ns : float;
       (** Period of the soft-limit watchdog ticker that triggers the
           reclaim cascade while resident bytes exceed the soft limit. *)
+  rseq_max_restarts : int;
+      (** Restart budget of one restartable fast-path operation: a
+          preempted attempt aborts and retries at most this many times
+          before the allocator takes the transfer-cache slow path: 3. *)
+  stranded_reclaim_interval_ns : float;
+      (** Period of the background pass that drains per-CPU caches whose
+          vCPU id was retired (churn / pool shrink) back to the transfer
+          cache — the paper's cold-cache reclaim (Sec. 4.1). *)
 }
 
 val baseline : t

@@ -3,6 +3,7 @@ module Cost_model = Wsc_hw.Cost_model
 module Topology = Wsc_hw.Topology
 module Vm = Wsc_os.Vm
 module Vcpu = Wsc_os.Vcpu
+module Rseq = Wsc_os.Rseq
 
 type addr = int
 
@@ -28,6 +29,11 @@ type t = {
      still sitting in a cache, which the span-level occupancy check cannot
      see. *)
   in_flight : (addr, unit) Hashtbl.t;
+  (* Preemption injector; None runs the fast path atomically (pre-rseq). *)
+  rseq : Rseq.t option;
+  (* vCPU ids retired with a still-populated cache, awaiting the background
+     stranded-cache reclaim pass (cleared on reuse or drain). *)
+  stranded_pending : (int, unit) Hashtbl.t;
 }
 
 let page_size = Units.tcmalloc_page_size
@@ -75,7 +81,7 @@ let release_memory t ~target_bytes =
     { front_end_bytes = fe; transfer_bytes = tr; cfl_span_bytes = cfl; os_released_bytes = os }
   end
 
-let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clock () =
+let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topology ~clock () =
   let vm = Vm.create () in
   let pageheap = Pageheap.create ~config vm in
   let span_stats = Span_stats.create () in
@@ -98,6 +104,8 @@ let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clo
       span_stats;
       vcpu_domain = Array.make 16 0;
       in_flight = Hashtbl.create 4096;
+      rseq;
+      stranded_pending = Hashtbl.create 16;
     }
   in
   if config.Config.dynamic_per_cpu_caches then begin
@@ -113,6 +121,24 @@ let create ?(config = Config.baseline) ?span_snapshot_interval_ns ~topology ~clo
     if excess > 0 then ignore (release_memory t ~target_bytes:excess)
   in
   ignore (Clock.every clock ~period:config.Config.soft_limit_check_interval_ns soft_limit_check);
+  (* Stranded-cache reclaim: periodically drain the caches of vCPU ids that
+     churn or pool shrink retired, so their contents rejoin the transfer
+     cache instead of stranding until the id happens to be reused. *)
+  let stranded_reclaim now =
+    let pending =
+      Hashtbl.fold (fun id () acc -> id :: acc) t.stranded_pending [] |> List.sort compare
+    in
+    List.iter
+      (fun vcpu ->
+        if not (Vcpu.is_id_active t.vcpus vcpu) then begin
+          let bytes = Per_cpu_cache.drain_vcpu t.pcc ~vcpu ~evict:(evict_to_transfer t ~now) in
+          if bytes > 0 then Telemetry.record_stranded_reclaim t.telemetry ~bytes
+        end;
+        Hashtbl.remove t.stranded_pending vcpu)
+      pending
+  in
+  ignore
+    (Clock.every clock ~period:config.Config.stranded_reclaim_interval_ns stranded_reclaim);
   let release now = Transfer_cache.release_tick t.tc ~now in
   ignore (Clock.every clock ~period:config.Config.transfer_release_interval_ns release);
   let pageheap_release _now = Pageheap.background_release t.pageheap in
@@ -193,7 +219,67 @@ let cache_index t ~thread ~cpu =
   match (t.config.Config.front_end, thread) with
   | Config.Per_thread_caches, Some thread -> thread
   | Config.Per_thread_caches, None | Config.Per_cpu_caches, _ ->
-    Vcpu.acquire t.vcpus ~phys_cpu:cpu
+    let id = Vcpu.acquire t.vcpus ~phys_cpu:cpu in
+    (* A reused id reclaims its own (warm) cache; it is no longer stranded. *)
+    Hashtbl.remove t.stranded_pending id;
+    id
+
+(* Run one fast-path operation under the restartable-sequence protocol:
+   every attempt re-reads the vCPU id (a migration between attempts lands
+   the restart on a different cache), each restart re-runs the 3.1 ns fast
+   path (the Fig. 4 restart overhead), and exhausting the restart budget
+   surfaces [None] so the caller takes its slow path.  Returns the vCPU id
+   the last attempt observed (read once explicitly if every attempt aborted
+   before reading it). *)
+let run_rseq t r ~thread ~cpu ~stage =
+  let observed = ref (-1) in
+  let read_vcpu () =
+    let vcpu = cache_index t ~thread ~cpu in
+    remember_domain t ~vcpu ~cpu;
+    observed := vcpu;
+    vcpu
+  in
+  let result = Rseq.run r ~read_vcpu ~stage in
+  Telemetry.record_rseq_op t.telemetry ~restarts:result.Rseq.restarts
+    ~fell_back:(Option.is_none result.Rseq.outcome);
+  if result.Rseq.restarts > 0 then
+    Telemetry.charge_tier t.telemetry Cost_model.Per_cpu_cache
+      (float_of_int result.Rseq.restarts
+      *. Cost_model.tier_hit_ns Cost_model.Per_cpu_cache);
+  if !observed < 0 then ignore (read_vcpu ());
+  (result.Rseq.outcome, !observed)
+
+(* Front-end allocation miss: pull a batch from the transfer cache, keep the
+   first object, and offer the rest to the per-CPU cache (under rseq when the
+   injector is on; a refill whose restart budget runs out caches nothing and
+   the whole batch returns to the transfer cache). *)
+let alloc_miss ?thread t ~cpu ~vcpu ~cls ~now =
+  Telemetry.record_front_end_miss t.telemetry ~vcpu;
+  Telemetry.charge_other t.telemetry 0.4;
+  let domain = Topology.domain_of_cpu t.topology cpu in
+  let addrs, deepest = refill t ~cls ~domain ~now in
+  Telemetry.record_hit t.telemetry deepest;
+  match addrs with
+  | [] ->
+    (* The central free list absorbed an mmap failure and returned
+       nothing; surface it so the retry-with-reclaim loop engages. *)
+    raise (Vm.Mmap_failed Vm.Transient_fault)
+  | first :: rest ->
+    List.iter (fun a -> Hashtbl.replace t.in_flight a ()) rest;
+    let rejected =
+      match t.rseq with
+      | None -> Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest
+      | Some r -> (
+        match
+          run_rseq t r ~thread ~cpu
+            ~stage:(fun ~vcpu -> Per_cpu_cache.stage_fill t.pcc ~vcpu ~cls ~addrs:rest)
+        with
+        | Some rejected, _ -> rejected
+        | None, _ -> rest)
+    in
+    if rejected <> [] then
+      ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
+    first
 
 let malloc_attempt ?thread t ~cpu ~size =
   let now = Clock.now t.clock in
@@ -201,31 +287,29 @@ let malloc_attempt ?thread t ~cpu ~size =
   match Size_class.of_size size with
   | None -> malloc_large t ~size ~now
   | Some cls ->
-    let vcpu = cache_index t ~thread ~cpu in
-    remember_domain t ~vcpu ~cpu;
     charge t Cost_model.Per_cpu_cache;
     let a =
-      match Per_cpu_cache.alloc t.pcc ~vcpu ~cls with
-      | Some a ->
-        Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
-        a
-      | None ->
-        Telemetry.record_front_end_miss t.telemetry ~vcpu;
-        Telemetry.charge_other t.telemetry 0.4;
-        let domain = Topology.domain_of_cpu t.topology cpu in
-        let addrs, deepest = refill t ~cls ~domain ~now in
-        Telemetry.record_hit t.telemetry deepest;
-        (match addrs with
-        | [] ->
-          (* The central free list absorbed an mmap failure and returned
-             nothing; surface it so the retry-with-reclaim loop engages. *)
-          raise (Vm.Mmap_failed Vm.Transient_fault)
-        | first :: rest ->
-          List.iter (fun a -> Hashtbl.replace t.in_flight a ()) rest;
-          let rejected = Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest in
-          if rejected <> [] then
-            ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
-          first)
+      match t.rseq with
+      | None -> (
+        let vcpu = cache_index t ~thread ~cpu in
+        remember_domain t ~vcpu ~cpu;
+        match Per_cpu_cache.alloc t.pcc ~vcpu ~cls with
+        | Some a ->
+          Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
+          a
+        | None -> alloc_miss ?thread t ~cpu ~vcpu ~cls ~now)
+      | Some r -> (
+        match
+          run_rseq t r ~thread ~cpu
+            ~stage:(fun ~vcpu -> Per_cpu_cache.stage_alloc t.pcc ~vcpu ~cls)
+        with
+        | Some (Some a), _ ->
+          Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
+          a
+        | Some None, vcpu | None, vcpu ->
+          (* Committed miss, or restart budget exhausted: either way the
+             front end yielded nothing — take the refill slow path. *)
+          alloc_miss ?thread t ~cpu ~vcpu ~cls ~now)
     in
     Hashtbl.remove t.in_flight a;
     Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(Size_class.size cls);
@@ -303,6 +387,29 @@ let check_small_free t a ~size ~cls =
     if Hashtbl.mem t.in_flight a then
       free_error ~what:"double free" ~a ~size ~tier:"front-end"
 
+(* Deallocation miss: flush a batch (including this object) to the transfer
+   cache.  Under rseq the flush is itself restartable; a flush whose budget
+   runs out sends only the freed object. *)
+let dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now =
+  Telemetry.record_front_end_miss t.telemetry ~vcpu;
+  Telemetry.charge_other t.telemetry 0.4;
+  let domain = Topology.domain_of_cpu t.topology cpu in
+  let batch = Size_class.batch cls in
+  let flushed =
+    match t.rseq with
+    | None -> Per_cpu_cache.flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1)
+    | Some r -> (
+      match
+        run_rseq t r ~thread ~cpu
+          ~stage:(fun ~vcpu -> Per_cpu_cache.stage_flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1))
+      with
+      | Some flushed, _ -> flushed
+      | None, _ -> [])
+  in
+  charge t Cost_model.Transfer_cache;
+  let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
+  if overflow > 0 then charge t Cost_model.Central_free_list
+
 let free ?thread t ~cpu a ~size =
   if size <= 0 then invalid_arg "Malloc.free: size must be positive";
   let now = Clock.now t.clock in
@@ -310,26 +417,61 @@ let free ?thread t ~cpu a ~size =
   | None -> free_large t a ~size ~now
   | Some cls ->
     check_small_free t a ~size ~cls;
-    let vcpu = cache_index t ~thread ~cpu in
-    remember_domain t ~vcpu ~cpu;
     charge t Cost_model.Per_cpu_cache;
     record_sampled_free t a ~now;
     Telemetry.record_free t.telemetry ~requested:size ~rounded:(Size_class.size cls);
     Hashtbl.replace t.in_flight a ();
-    if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then begin
-      (* Deallocation miss: flush a batch (including this object) to the
-         transfer cache. *)
-      Telemetry.record_front_end_miss t.telemetry ~vcpu;
-      Telemetry.charge_other t.telemetry 0.4;
-      let domain = Topology.domain_of_cpu t.topology cpu in
-      let batch = Size_class.batch cls in
-      let flushed = Per_cpu_cache.flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1) in
-      charge t Cost_model.Transfer_cache;
-      let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
-      if overflow > 0 then charge t Cost_model.Central_free_list
-    end
+    (match t.rseq with
+    | None ->
+      let vcpu = cache_index t ~thread ~cpu in
+      remember_domain t ~vcpu ~cpu;
+      if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then
+        dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now
+    | Some r -> (
+      match
+        run_rseq t r ~thread ~cpu
+          ~stage:(fun ~vcpu -> Per_cpu_cache.stage_dealloc t.pcc ~vcpu ~cls a)
+      with
+      | Some true, _ -> ()
+      | Some false, vcpu -> dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now
+      | None, _ ->
+        (* Restart budget exhausted before the cache accepted the object:
+           bypass the front end and hand it straight to the transfer cache
+           (the real allocator's slow path), without charging a front-end
+           miss to the vCPU. *)
+        let domain = Topology.domain_of_cpu t.topology cpu in
+        charge t Cost_model.Transfer_cache;
+        let overflow = Transfer_cache.insert t.tc ~cls ~addrs:[ a ] ~domain ~now in
+        if overflow > 0 then charge t Cost_model.Central_free_list))
 
-let cpu_idle t ~cpu = Vcpu.release t.vcpus ~phys_cpu:cpu
+let rseq t = t.rseq
+
+let stranded_pending_ids t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.stranded_pending [] |> List.sort compare
+
+(* A physical CPU stops running this process: retire its vCPU id.  The
+   retired cache either flushes to the transfer cache right away
+   ([flush:true], what churn-aware consumers of {!Wsc_os.Fault.churn_due}
+   must do) or registers for the background stranded-cache reclaim pass.
+   A live injector is told about the migration so the next fast-path
+   attempt aborts on its stale CPU id. *)
+let cpu_idle ?(flush = false) t ~cpu =
+  let vcpu = Vcpu.lookup t.vcpus ~phys_cpu:cpu in
+  Vcpu.release t.vcpus ~phys_cpu:cpu;
+  match vcpu with
+  | None -> ()
+  | Some vcpu ->
+    (match t.rseq with Some r -> Rseq.note_migration r | None -> ());
+    if t.config.Config.front_end = Config.Per_cpu_caches then begin
+      if flush then begin
+        let now = Clock.now t.clock in
+        let bytes = Per_cpu_cache.drain_vcpu t.pcc ~vcpu ~evict:(evict_to_transfer t ~now) in
+        Hashtbl.remove t.stranded_pending vcpu;
+        if bytes > 0 then Telemetry.record_stranded_reclaim t.telemetry ~bytes
+      end
+      else if Per_cpu_cache.used_bytes t.pcc ~vcpu > 0 then
+        Hashtbl.replace t.stranded_pending vcpu ()
+    end
 
 type heap_stats = {
   live_requested_bytes : int;

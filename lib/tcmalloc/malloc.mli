@@ -16,6 +16,7 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?rseq:Wsc_os.Rseq.t ->
   ?span_snapshot_interval_ns:float ->
   topology:Wsc_hw.Topology.t ->
   clock:Wsc_substrate.Clock.t ->
@@ -23,7 +24,16 @@ val create :
   t
 (** A fresh allocator instance (one simulated process).  When
     [span_snapshot_interval_ns] is given, central-free-list span occupancy
-    is observed periodically into {!span_stats} (Figs. 13/16). *)
+    is observed periodically into {!span_stats} (Figs. 13/16).
+
+    When [rseq] is given, every per-CPU fast-path operation runs under the
+    restartable-sequence protocol: the injector may preempt it at any of
+    the four steps, forcing abort-and-restart on a freshly read vCPU id up
+    to {!Config.t.rseq_max_restarts} times, after which the operation
+    bypasses the front end to the transfer cache.  Restart counts, restart
+    CPU overhead (one extra fast-path hit per restart, Fig. 4), and
+    fallbacks are recorded in {!Telemetry}.  Without it the fast path
+    commits atomically (identical to the pre-rseq model). *)
 
 val malloc : ?thread:int -> t -> cpu:int -> size:int -> addr
 (** Allocate [size > 0] bytes from a thread running on physical [cpu].
@@ -68,10 +78,24 @@ val release_memory : t -> target_bytes:int -> reclaim_outcome
     {!Wsc_os.Vm.soft_limit_excess} is positive, and from [malloc]'s
     retry-with-reclaim loop after an mmap failure. *)
 
-val cpu_idle : t -> cpu:int -> unit
+val cpu_idle : ?flush:bool -> t -> cpu:int -> unit
 (** Tell the allocator a physical CPU stopped running this process's
-    threads (its vCPU id becomes reusable; its cache contents strand until
-    reused or resized away). *)
+    threads (its vCPU id becomes reusable).  With [flush:true] — what CPU
+    churn should do — the retired cache's contents are drained to the
+    transfer cache immediately; otherwise a populated cache is registered
+    for the background stranded-cache reclaim pass (period
+    {!Config.t.stranded_reclaim_interval_ns}), which drains every
+    registered cache whose id is still inactive.  Either way the bytes are
+    recorded as stranded reclaim in {!Telemetry}.  When an rseq injector is
+    live, the retirement also arms a forced abort of the next fast-path
+    attempt (the thread migrated; its CPU id is stale). *)
+
+val rseq : t -> Wsc_os.Rseq.t option
+(** The preemption injector the allocator runs under, if any. *)
+
+val stranded_pending_ids : t -> int list
+(** vCPU ids retired with a populated cache and not yet drained or reused,
+    ascending (the stranded-cache reclaim pass's work list). *)
 
 (** {2 Introspection} *)
 

@@ -1,4 +1,5 @@
 open Wsc_substrate
+module Rseq = Wsc_os.Rseq
 
 type addr = int
 
@@ -58,57 +59,105 @@ let miss c =
   c.interval_misses <- c.interval_misses + 1;
   c.total_misses <- c.total_misses + 1
 
-let alloc t ~vcpu ~cls =
-  let c = cache_of t vcpu in
-  match Int_stack.pop_opt c.stacks.(cls) with
-  | Some a ->
-    c.used_bytes <- c.used_bytes - Size_class.size cls;
-    let len = Int_stack.length c.stacks.(cls) in
-    if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
-    Some a
-  | None ->
-    miss c;
-    None
+(* Every fast-path operation is expressed as a restartable sequence
+   (Wsc_os.Rseq): the staging phase only reads the cache and captures the
+   result; every write lives in the returned [commit] closure.  An attempt
+   that the preemption injector aborts simply never commits, so a torn
+   operation cannot lose or duplicate an object.  The plain [alloc] /
+   [dealloc] / [flush_batch] / [fill] wrappers below stage-and-commit in
+   one step, which is bit-identical to the pre-rseq behavior. *)
 
-let dealloc t ~vcpu ~cls a =
+let stage_alloc t ~vcpu ~cls =
+  let c = cache_of t vcpu in
+  match Int_stack.peek_opt c.stacks.(cls) with
+  | Some a ->
+    {
+      Rseq.value = Some a;
+      commit =
+        (fun () ->
+          ignore (Int_stack.pop c.stacks.(cls));
+          c.used_bytes <- c.used_bytes - Size_class.size cls;
+          let len = Int_stack.length c.stacks.(cls) in
+          if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len);
+    }
+  | None -> { Rseq.value = None; commit = (fun () -> miss c) }
+
+let stage_dealloc t ~vcpu ~cls a =
   let c = cache_of t vcpu in
   let size = Size_class.size cls in
   if
     c.used_bytes + size <= c.capacity_bytes
     && Int_stack.length c.stacks.(cls) < class_cap t.config cls
-  then begin
-    Int_stack.push c.stacks.(cls) a;
-    c.used_bytes <- c.used_bytes + size;
-    true
-  end
-  else begin
-    miss c;
-    false
-  end
+  then
+    {
+      Rseq.value = true;
+      commit =
+        (fun () ->
+          Int_stack.push c.stacks.(cls) a;
+          c.used_bytes <- c.used_bytes + size);
+    }
+  else { Rseq.value = false; commit = (fun () -> miss c) }
 
-let flush_batch t ~vcpu ~cls ~n =
+let stage_flush_batch t ~vcpu ~cls ~n =
   let c = cache_of t vcpu in
-  let popped = Int_stack.pop_up_to c.stacks.(cls) n in
-  c.used_bytes <- c.used_bytes - (List.length popped * Size_class.size cls);
-  let len = Int_stack.length c.stacks.(cls) in
-  if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
-  popped
+  let addrs = Int_stack.peek_up_to c.stacks.(cls) n in
+  {
+    Rseq.value = addrs;
+    commit =
+      (fun () ->
+        ignore (Int_stack.pop_up_to c.stacks.(cls) (List.length addrs));
+        c.used_bytes <- c.used_bytes - (List.length addrs * Size_class.size cls);
+        let len = Int_stack.length c.stacks.(cls) in
+        if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len);
+  }
 
-let fill t ~vcpu ~cls ~addrs =
+let stage_fill t ~vcpu ~cls ~addrs =
   let c = cache_of t vcpu in
   let size = Size_class.size cls in
   let cap = class_cap t.config cls in
-  let rejected = ref [] in
-  List.iter
-    (fun a ->
-      if c.used_bytes + size <= c.capacity_bytes && Int_stack.length c.stacks.(cls) < cap
-      then begin
-        Int_stack.push c.stacks.(cls) a;
-        c.used_bytes <- c.used_bytes + size
-      end
-      else rejected := a :: !rejected)
-    addrs;
-  !rejected
+  (* The first rejection leaves the cache untouched, so every later address
+     is rejected too: acceptance is a prefix bounded by both the byte
+     budget and the per-class object cap. *)
+  let room_bytes = max 0 ((c.capacity_bytes - c.used_bytes) / size) in
+  let room_objects = max 0 (cap - Int_stack.length c.stacks.(cls)) in
+  let k = min room_bytes room_objects in
+  let rec split i acc rest =
+    match rest with
+    | _ when i = k -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | a :: tail -> split (i + 1) (a :: acc) tail
+  in
+  let accepted, rest = split 0 [] addrs in
+  {
+    Rseq.value = List.rev rest;  (* rejected, in [fill]'s historical order *)
+    commit =
+      (fun () ->
+        List.iter
+          (fun a ->
+            Int_stack.push c.stacks.(cls) a;
+            c.used_bytes <- c.used_bytes + size)
+          accepted);
+  }
+
+let alloc t ~vcpu ~cls =
+  let s = stage_alloc t ~vcpu ~cls in
+  s.Rseq.commit ();
+  s.Rseq.value
+
+let dealloc t ~vcpu ~cls a =
+  let s = stage_dealloc t ~vcpu ~cls a in
+  s.Rseq.commit ();
+  s.Rseq.value
+
+let flush_batch t ~vcpu ~cls ~n =
+  let s = stage_flush_batch t ~vcpu ~cls ~n in
+  s.Rseq.commit ();
+  s.Rseq.value
+
+let fill t ~vcpu ~cls ~addrs =
+  let s = stage_fill t ~vcpu ~cls ~addrs in
+  s.Rseq.commit ();
+  s.Rseq.value
 
 (* Shrink a cache to its (reduced) budget by evicting whole stacks of the
    largest classes first — the paper prioritizes shrinking larger size
@@ -175,6 +224,31 @@ let drain t ~evict =
     t.caches;
   !drained
 
+(* Stranded-cache reclaim: drain every class stack of one (retired) vCPU's
+   cache, handing the objects to [evict].  The background reclaim pass and
+   churn-time flushes use this; the cache stays populated (budget intact)
+   so a reused id finds a warm, correctly sized cache. *)
+let drain_vcpu t ~vcpu ~evict =
+  match
+    if vcpu < 0 || vcpu >= Array.length t.caches then None else t.caches.(vcpu)
+  with
+  | None -> 0
+  | Some c ->
+    let drained = ref 0 in
+    Array.iteri
+      (fun cls stack ->
+        let n = Int_stack.length stack in
+        if n > 0 then begin
+          let addrs = Int_stack.pop_up_to stack n in
+          let bytes = List.length addrs * Size_class.size cls in
+          c.used_bytes <- c.used_bytes - bytes;
+          drained := !drained + bytes;
+          evict ~vcpu ~cls ~addrs
+        end;
+        c.low_watermark.(cls) <- 0)
+      c.stacks;
+    !drained
+
 let populated_list t =
   let out = ref [] in
   Array.iteri
@@ -240,6 +314,18 @@ let capacity_total t =
     0 t.caches
 
 let populated_caches t = t.populated
+let populated_vcpus t = List.map fst (populated_list t)
+
+let iter_addrs t f =
+  Array.iteri
+    (fun vcpu slot ->
+      match slot with
+      | None -> ()
+      | Some c ->
+        Array.iteri
+          (fun cls stack -> Int_stack.iter stack (fun a -> f ~vcpu ~cls a))
+          c.stacks)
+    t.caches
 
 let misses_per_vcpu t =
   Array.map (function Some c -> c.total_misses | None -> 0) t.caches

@@ -16,7 +16,14 @@
     {!Config.t.resize_grow_candidates} caches with the most misses in the
     last interval, stealing budget round-robin from the others and evicting
     from their largest size classes first (small objects dominate
-    allocations, Fig. 7). *)
+    allocations, Fig. 7).
+
+    Every fast-path operation is a {b restartable sequence}: the
+    [stage_*] functions perform the pure read/prepare phase and return a
+    {!Wsc_os.Rseq.staged} value whose [commit] closure holds all mutation,
+    so {!Wsc_os.Rseq.run} can abort a preempted attempt without tearing
+    the cache.  The plain [alloc]/[dealloc]/[flush_batch]/[fill] wrappers
+    stage and commit atomically (the no-preemption fast path). *)
 
 type addr = int
 
@@ -37,6 +44,22 @@ val flush_batch : t -> vcpu:int -> cls:int -> n:int -> addr list
 val fill : t -> vcpu:int -> cls:int -> addrs:addr list -> addr list
 (** Insert refilled objects; returns those that did not fit the budget. *)
 
+(** {2 Restartable (staged) fast-path operations} *)
+
+val stage_alloc : t -> vcpu:int -> cls:int -> addr option Wsc_os.Rseq.staged
+(** Stage one allocation: the value is the object that committing would
+    pop ([None] stages a miss, whose commit only bumps the miss counter). *)
+
+val stage_dealloc : t -> vcpu:int -> cls:int -> addr -> bool Wsc_os.Rseq.staged
+(** Stage one deallocation; [false] stages a cache-full miss. *)
+
+val stage_flush_batch : t -> vcpu:int -> cls:int -> n:int -> addr list Wsc_os.Rseq.staged
+(** Stage a batch flush: the value is the batch committing would pop. *)
+
+val stage_fill : t -> vcpu:int -> cls:int -> addrs:addr list -> addr list Wsc_os.Rseq.staged
+(** Stage a refill: the value is the rejected suffix; committing inserts
+    the accepted prefix. *)
+
 val decay_tick : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> unit
 (** Demand-based capacity decay (TCMalloc shrinks per-class capacity that
     goes unused): flush half of each (vCPU, class) stack's low watermark —
@@ -47,6 +70,11 @@ val drain : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> int
 (** Memory-pressure shrink (first stage of the reclaim cascade): flush every
     cached object of every vCPU to [evict] and return the bytes drained.
     Capacity budgets are preserved; only contents are evicted. *)
+
+val drain_vcpu : t -> vcpu:int -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> int
+(** Stranded-cache reclaim: flush every cached object of {e one} vCPU to
+    [evict] and return the bytes drained (0 for an unpopulated id).  The
+    cache keeps its capacity budget, so a reused id finds it warm. *)
 
 val resize : t -> evict:(vcpu:int -> cls:int -> addrs:addr list -> unit) -> unit
 (** One dynamic-sizing pass (no-op when the config disables it).  Evicted
@@ -60,5 +88,13 @@ val cached_bytes : t -> int
 
 val capacity_total : t -> int
 val populated_caches : t -> int
+
+val populated_vcpus : t -> int list
+(** vCPU ids whose caches have been populated, ascending. *)
+
+val iter_addrs : t -> (vcpu:int -> cls:int -> addr -> unit) -> unit
+(** Walk every cached object address (the auditor's torn-operation and
+    duplicate detection). *)
+
 val misses_per_vcpu : t -> int array
 (** Cumulative (allocation + deallocation) misses per vCPU id. *)

@@ -30,6 +30,12 @@ type t = {
   mutable reclaim_events : int;
   mutable reclaim_retries : int;
   mutable oom_events : int;
+  (* restartable-sequence fast path *)
+  mutable rseq_ops : int;
+  mutable rseq_restarts : int;
+  mutable rseq_fallbacks : int;
+  mutable stranded_reclaim_bytes : int;
+  mutable stranded_reclaim_events : int;
   (* measurement-window baselines (snapshot at [mark]) *)
   mark_tier_ns : float array;
   mutable mark_prefetch_ns : float;
@@ -61,6 +67,11 @@ let create () =
     reclaim_events = 0;
     reclaim_retries = 0;
     oom_events = 0;
+    rseq_ops = 0;
+    rseq_restarts = 0;
+    rseq_fallbacks = 0;
+    stranded_reclaim_bytes = 0;
+    stranded_reclaim_events = 0;
     mark_tier_ns = Array.make 5 0.0;
     mark_prefetch_ns = 0.0;
     mark_sampled_ns = 0.0;
@@ -199,6 +210,22 @@ let total_reclaimed_bytes t = Array.fold_left ( + ) 0 t.reclaim_bytes
 let reclaim_events t = t.reclaim_events
 let reclaim_retries t = t.reclaim_retries
 let oom_events t = t.oom_events
+
+let record_rseq_op t ~restarts ~fell_back =
+  t.rseq_ops <- t.rseq_ops + 1;
+  t.rseq_restarts <- t.rseq_restarts + restarts;
+  if fell_back then t.rseq_fallbacks <- t.rseq_fallbacks + 1
+
+let rseq_ops t = t.rseq_ops
+let rseq_restarts t = t.rseq_restarts
+let rseq_fallbacks t = t.rseq_fallbacks
+
+let record_stranded_reclaim t ~bytes =
+  t.stranded_reclaim_events <- t.stranded_reclaim_events + 1;
+  t.stranded_reclaim_bytes <- t.stranded_reclaim_bytes + bytes
+
+let stranded_reclaim_bytes t = t.stranded_reclaim_bytes
+let stranded_reclaim_events t = t.stranded_reclaim_events
 
 let remote_reuse_fraction t =
   let total = t.remote_reuses + t.local_reuses in

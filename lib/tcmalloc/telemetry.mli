@@ -131,3 +131,24 @@ val total_reclaimed_bytes : t -> int
 val reclaim_events : t -> int
 val reclaim_retries : t -> int
 val oom_events : t -> int
+
+(** {2 Restartable sequences (preemption-safe fast path)} *)
+
+val record_rseq_op : t -> restarts:int -> fell_back:bool -> unit
+(** One fast-path operation run under {!Wsc_os.Rseq}: [restarts] aborted
+    attempts preceded it, and [fell_back] means the restart budget ran out
+    and the operation took the transfer-cache slow path instead. *)
+
+val rseq_ops : t -> int
+val rseq_restarts : t -> int
+(** Total aborted attempts — each one re-ran the 3.1 ns fast path
+    (Fig. 4), which is the restart overhead the CLI quantifies. *)
+
+val rseq_fallbacks : t -> int
+
+val record_stranded_reclaim : t -> bytes:int -> unit
+(** One stranded-cache drain: a per-CPU cache whose vCPU id was retired
+    by churn or pool shrink gave [bytes] back to the transfer cache. *)
+
+val stranded_reclaim_bytes : t -> int
+val stranded_reclaim_events : t -> int

@@ -194,4 +194,13 @@ let cached_objects t ~cls =
       (fun acc shard -> acc + Int_stack.length shard.slots.(cls).addrs)
       0 t.domain_shards
 
+let iter_addrs t f =
+  let walk shard =
+    Array.iteri
+      (fun cls (slot : class_slot) -> Int_stack.iter slot.addrs (fun a -> f ~cls a))
+      shard.slots
+  in
+  walk t.central;
+  Array.iter walk t.domain_shards
+
 let shard_count t = Array.length t.domain_shards

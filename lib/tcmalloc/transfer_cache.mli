@@ -58,5 +58,10 @@ val cached_bytes : t -> int
     tier). *)
 
 val cached_objects : t -> cls:int -> int
+
+val iter_addrs : t -> (cls:int -> addr -> unit) -> unit
+(** Walk every cached object address across the central cache and every
+    NUCA shard (the auditor's duplicate detection). *)
+
 val shard_count : t -> int
 (** Number of NUCA shards (0 for the legacy design). *)

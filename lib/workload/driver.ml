@@ -27,6 +27,7 @@ type t = {
   lifetime_sample_every : int;
   mutable lifetime_countdown : int;
   mutable thread_series_rev : (float * int) list;
+  mutable rseq_series_rev : (float * int * int) list;
   mutable next_thread_update : float;
   mutable rss_stats : Stats.Running.t;
   mutable frag_stats : Stats.Running.t;
@@ -59,6 +60,7 @@ let create ?(seed = 1) ?(lifetime_sample_every = 64) ?faults ?audit_interval_ns 
     lifetime_sample_every;
     lifetime_countdown = lifetime_sample_every;
     thread_series_rev = [];
+    rseq_series_rev = [];
     next_thread_update = 0.0;
     rss_stats = Stats.Running.create ();
     frag_stats = Stats.Running.create ();
@@ -112,7 +114,11 @@ let update_threads t ~now =
     t.active_threads <- n;
     t.active_cpus <- new_cpus
   end;
-  t.thread_series_rev <- (now, t.active_threads) :: t.thread_series_rev
+  t.thread_series_rev <- (now, t.active_threads) :: t.thread_series_rev;
+  let tel = Malloc.telemetry t.malloc in
+  t.rseq_series_rev <-
+    (now, Telemetry.rseq_restarts tel, Telemetry.stranded_reclaim_bytes tel)
+    :: t.rseq_series_rev
   end
 
 let record_lifetime_sample t ~size ~lifetime =
@@ -173,10 +179,12 @@ let step t ~dt =
   let now = Clock.now t.clock in
   (* CPU-churn burst: the scheduler migrated this process, every active
      vCPU retires (dense ids become reusable) and the next thread update
-     re-acquires CPUs — restranding per-CPU cache contents. *)
+     re-acquires CPUs.  Each retired cache is flushed to the transfer
+     cache as it goes — the pre-flush model silently orphaned those
+     objects in caches nothing indexed anymore. *)
   (match t.faults with
   | Some f when Fault.churn_due f ~now ->
-    List.iter (fun cpu -> Malloc.cpu_idle t.malloc ~cpu) t.active_cpus;
+    List.iter (fun cpu -> Malloc.cpu_idle ~flush:true t.malloc ~cpu) t.active_cpus;
     t.active_cpus <- [];
     t.next_thread_update <- now
   | Some _ | None -> ());
@@ -221,6 +229,7 @@ let requests_completed t = t.requests
 let allocations t = t.allocs
 let live_objects t = Binheap.length t.pending_frees
 let thread_series t = List.rev t.thread_series_rev
+let rseq_series t = List.rev t.rseq_series_rev
 let avg_rss_bytes t = Stats.Running.mean t.rss_stats
 let peak_rss_bytes t = t.peak_rss
 let avg_fragmentation_ratio t = Stats.Running.mean t.frag_stats

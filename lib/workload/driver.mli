@@ -34,8 +34,9 @@ val create :
     step.
 
     [faults] makes the driver consume the stream's CPU-churn bursts: when
-    one fires, every active vCPU retires and the next thread update
-    re-acquires CPUs (restranding per-CPU caches).  Installing the
+    one fires, every active vCPU retires with its cache flushed to the
+    transfer cache ({!Wsc_tcmalloc.Malloc.cpu_idle} with [flush:true]) and
+    the next thread update re-acquires CPUs.  Installing the
     stream's mmap/pressure hooks into the allocator's VM is the caller's
     job ({!Wsc_os.Fault.install}).
 
@@ -59,6 +60,12 @@ val live_objects : t -> int
 
 val thread_series : t -> (float * int) list
 (** [(time, active_threads)] samples, ascending. *)
+
+val rseq_series : t -> (float * int * int) list
+(** [(time, cumulative rseq restarts, cumulative stranded-reclaim bytes)]
+    samples taken alongside {!thread_series} — the restart-overhead and
+    stranded-memory trajectories under churn.  All-zero counters without a
+    live injector. *)
 
 val avg_rss_bytes : t -> float
 val peak_rss_bytes : t -> int

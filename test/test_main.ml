@@ -16,4 +16,5 @@ let () =
          Test_trace.suite;
          Test_properties.suite;
          Test_robustness.suite;
+         Test_rseq.suite;
        ])

@@ -327,6 +327,50 @@ let test_vcpu_density_property =
          let ids = List.init 32 (fun cpu -> Vcpu.acquire v ~phys_cpu:cpu) in
          List.sort compare ids = List.init 32 Fun.id))
 
+(* Model-based property: a reference map (phys cpu -> id) predicts every
+   acquire.  Re-acquires are idempotent, fresh acquires take the lowest id
+   not in use, [active_ids] mirrors the model after every op, and
+   [high_water_mark] never decreases. *)
+let test_vcpu_model_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vcpu_model_lowest_free" ~count:200
+       QCheck.(list (pair bool (int_range 0 15)))
+       (fun ops ->
+         let v = Vcpu.create () in
+         let model = Hashtbl.create 16 in
+         let hwm = ref 0 in
+         List.for_all
+           (fun (acquire, cpu) ->
+             let step_ok =
+               if acquire then begin
+                 let expected =
+                   match Hashtbl.find_opt model cpu with
+                   | Some id -> id
+                   | None ->
+                     let used = Hashtbl.fold (fun _ id acc -> id :: acc) model [] in
+                     let rec lowest i = if List.mem i used then lowest (i + 1) else i in
+                     lowest 0
+                 in
+                 let id = Vcpu.acquire v ~phys_cpu:cpu in
+                 Hashtbl.replace model cpu id;
+                 id = expected && Vcpu.is_id_active v id
+               end
+               else begin
+                 Hashtbl.remove model cpu;
+                 Vcpu.release v ~phys_cpu:cpu;
+                 true
+               end
+             in
+             let model_ids =
+               Hashtbl.fold (fun _ id acc -> id :: acc) model [] |> List.sort compare
+             in
+             let monotone = Vcpu.high_water_mark v >= !hwm in
+             hwm := Vcpu.high_water_mark v;
+             step_ok && monotone
+             && Vcpu.active_ids v = model_ids
+             && Vcpu.active_count v = Hashtbl.length model)
+           ops))
+
 (* {1 Sched} *)
 
 let test_sched_whole_machine () =
@@ -399,6 +443,7 @@ let suite =
         Alcotest.test_case "release idempotent" `Quick test_vcpu_release_idempotent;
         Alcotest.test_case "lookup" `Quick test_vcpu_lookup;
         test_vcpu_density_property;
+        test_vcpu_model_property;
       ] );
     ( "sched",
       [
