@@ -29,6 +29,7 @@ module Gwp = Wsc_fleet.Gwp
 module Ab = Wsc_fleet.Ab_test
 
 let quick = ref false
+let smoke = ref false
 let scale s = if !quick then s /. 3.0 else s
 let sec s = scale (s *. Units.sec)
 let pct = Table.cell_pct
@@ -899,6 +900,175 @@ let microbench () =
   note "(the modeled latencies are the Fig. 4 table)."
 
 (* ------------------------------------------------------------------ *)
+(* simperf — simulator performance regression harness.                 *)
+(*                                                                     *)
+(* Three measurements: single-core steady-state event throughput of a  *)
+(* fleet-profile machine, the jobs=1/2/4 A/B wall-clock speedup curve  *)
+(* (whose outcomes double as a determinism check), and a Bechamel      *)
+(* estimate of the malloc/free fast path.  The full run records them   *)
+(* in BENCH_simperf.json; `--smoke` runs a shortened version and fails *)
+(* if events/sec regressed more than 20% against the committed file.   *)
+(* ------------------------------------------------------------------ *)
+
+let simperf_json = "BENCH_simperf.json"
+
+(* Extract a numeric field from the committed JSON without a parser dep:
+   find `"key":` and Scanf the number after it. *)
+let json_number ~key text =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle and len = String.length text in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub text i nlen = needle then
+      let j = ref (i + nlen) in
+      while !j < len && text.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < len
+        && (match text.[!k] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub text !j (!k - !j))
+    else find (i + 1)
+  in
+  find 0
+
+let simperf () =
+  (* (a) Bechamel estimate of the simulated malloc/free fast path — taken
+     first, while the simulator heap is still small enough that GC noise
+     does not pollute the wall clock. *)
+  let fast_path_ns =
+    let open Bechamel in
+    let clock = Clock.create () in
+    let malloc = Malloc.create ~topology:Topology.uniprocessor ~clock () in
+    let test =
+      Test.make ~name:"fast-path"
+        (Staged.stage (fun () ->
+             let a = Malloc.malloc malloc ~cpu:0 ~size:64 in
+             Malloc.free malloc ~cpu:0 a ~size:64))
+    in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+    let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+    Hashtbl.fold
+      (fun _ ols_result acc ->
+        match Analyze.OLS.estimates ols_result with Some [ est ] -> est | _ -> acc)
+      analyzed nan
+  in
+  note "malloc/free fast path: %.1f ns/op (Bechamel)" fast_path_ns;
+  (* (b) single-core event throughput, fleet profile, steady state. *)
+  let timed_s = if !smoke then 20.0 else 120.0 in
+  let throughput () =
+    let machine =
+      Machine.create ~seed:42 ~platform:Topology.default ~jobs:[ Apps.fleet ] ()
+    in
+    Machine.run machine ~duration_ns:(5.0 *. Units.sec) ~epoch_ns:Units.ms;
+    let job = List.hd (Machine.jobs machine) in
+    let tel = Malloc.telemetry job.Machine.malloc in
+    let e0 = Telemetry.alloc_count tel + Telemetry.free_count tel in
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    Machine.run machine ~duration_ns:(timed_s *. Units.sec) ~epoch_ns:Units.ms;
+    let wall = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    let events = Telemetry.alloc_count tel + Telemetry.free_count tel - e0 in
+    ( float_of_int events /. wall,
+      (g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int events )
+  in
+  (* Best of three (two under --smoke): the metric is the machine's
+     capability, and the minimum wall-clock run is the least disturbed. *)
+  let runs = List.init (if !smoke then 2 else 3) (fun _ -> throughput ()) in
+  let events_per_sec = List.fold_left (fun a (e, _) -> Float.max a e) 0.0 runs in
+  let words_per_event = List.fold_left (fun a (_, w) -> Float.min a w) infinity runs in
+  note "single-core: %.0f events/sec, %.1f minor words/event (best of %d)" events_per_sec
+    words_per_event (List.length runs);
+  (* (c) A/B wall-clock speedup curve.  Warm the pool at the widest point
+     first: it is sized once, at first parallel use. *)
+  ignore (Parallel.map ~jobs:4 (fun x -> x) [| 0; 1; 2; 3 |]);
+  let warmup_ns = if !smoke then 4.0 *. Units.sec else 10.0 *. Units.sec in
+  let duration_ns = if !smoke then 8.0 *. Units.sec else 30.0 *. Units.sec in
+  let arm jobs =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Ab.run_app ~jobs ~replicas:2 ~warmup_ns ~duration_ns ~control:Config.baseline
+        ~experiment:Config.all_optimizations Apps.fleet
+    in
+    (Unix.gettimeofday () -. t0, o)
+  in
+  let curve = List.map (fun jobs -> (jobs, arm jobs)) [ 1; 2; 4 ] in
+  let wall1, o1 = List.assoc 1 curve in
+  let t =
+    Table.create ~title:"simperf - A/B speedup over domains (4 arm machines)"
+      ~columns:[ "jobs"; "wall (s)"; "speedup"; "outcome identical to jobs=1" ]
+  in
+  List.iter
+    (fun (jobs, (wall, o)) ->
+      Table.add_row t
+        [
+          string_of_int jobs;
+          f2 ~decimals:2 wall;
+          Printf.sprintf "%.2fx" (wall1 /. wall);
+          (if o = o1 then "yes" else "NO");
+        ])
+    curve;
+  Table.print t;
+  List.iter
+    (fun (jobs, (_, o)) ->
+      if o <> o1 then begin
+        Printf.eprintf "simperf: jobs=%d A/B outcome differs from jobs=1 reference\n" jobs;
+        exit 1
+      end)
+    curve;
+  let host_cores = Domain.recommended_domain_count () in
+  note "host has %d core(s); speedup above 1x requires a multicore host." host_cores;
+  if !smoke then begin
+    (* Regression gate: compare against the committed trajectory point. *)
+    match
+      if Sys.file_exists simperf_json then begin
+        let ic = open_in simperf_json in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        json_number ~key:"events_per_sec" text
+      end
+      else None
+    with
+    | None -> note "no committed %s; skipping the regression gate." simperf_json
+    | Some committed ->
+      let ratio = events_per_sec /. committed in
+      note "committed events/sec: %.0f; measured %.0f (%.0f%%)" committed events_per_sec
+        (100.0 *. ratio);
+      if ratio < 0.8 then begin
+        Printf.eprintf
+          "simperf: events/sec regressed more than 20%% vs committed %s (%.0f -> %.0f)\n"
+          simperf_json committed events_per_sec;
+        exit 1
+      end
+  end
+  else begin
+    let oc = open_out simperf_json in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"simperf\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"events_per_sec\": %.0f,\n\
+      \  \"minor_words_per_event\": %.1f,\n\
+      \  \"fast_path_ns\": %.1f,\n\
+      \  \"speedup\": [\n"
+      host_cores events_per_sec words_per_event fast_path_ns;
+    List.iteri
+      (fun i (jobs, (wall, _)) ->
+        Printf.fprintf oc "    {\"jobs\": %d, \"wall_s\": %.2f, \"speedup\": %.2f}%s\n" jobs
+          wall (wall1 /. wall)
+          (if i = 2 then "" else ","))
+      curve;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote %s" simperf_json
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -911,12 +1081,26 @@ let experiments =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("table1", table1); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("table2", table2); ("fig17", fig17); ("combined", combined);
-    ("ablation", ablation); ("rseq", rseq_bench);
+    ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> if a = "--quick" then (quick := true; false) else true) args in
+  let args = List.filter (fun a -> if a = "--smoke" then (smoke := true; false) else true) args in
+  (* --jobs N: process-wide default domain count for parallel sections. *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> Parallel.set_default_jobs j
+      | Some _ | None ->
+        Printf.eprintf "bench: --jobs must be a positive integer\n";
+        exit 124);
+      strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
   let selected =
     match args with [] | [ "all" ] -> List.map fst experiments | names -> names
   in

@@ -53,6 +53,23 @@ let duration_term =
 let seed_term =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Number of domains for parallel execution (default: $(b,WSC_DOMAINS) if set, \
+           else the machine's core count).  $(b,--jobs 1) is the sequential bit-exact \
+           reference mode; any job count produces identical results.")
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Substrate.Parallel.set_default_jobs n
+  | Some _ ->
+    Printf.eprintf "wscalloc: --jobs must be >= 1\n";
+    exit 124
+
 (* list-apps *)
 
 let list_apps () =
@@ -69,7 +86,8 @@ let list_apps_cmd =
 (* simulate *)
 
 let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on preempt_prob
-    audit =
+    audit jobs =
+  apply_jobs jobs;
   let config = if optimized then Config.all_optimizations else Config.baseline in
   if preempt_prob <> None && not rseq_on then begin
     Printf.eprintf "wscalloc: --preempt-prob requires --rseq\n";
@@ -258,11 +276,12 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
     Term.(
       const simulate $ app_term $ duration_term $ optimized $ seed_term $ memory_limit
-      $ faults $ rseq $ preempt_prob $ audit)
+      $ faults $ rseq $ preempt_prob $ audit $ jobs_term)
 
 (* ab *)
 
-let ab app experiment_name duration seed =
+let ab app experiment_name duration seed jobs =
+  apply_jobs jobs;
   match List.assoc_opt experiment_name experiments with
   | None ->
     Printf.eprintf "unknown experiment %S; known: %s\n" experiment_name
@@ -294,11 +313,12 @@ let ab_cmd =
   in
   Cmd.v
     (Cmd.info "ab" ~doc:"Run a baseline-vs-optimization A/B experiment for one app.")
-    Term.(const ab $ app_term $ experiment $ duration_term $ seed_term)
+    Term.(const ab $ app_term $ experiment $ duration_term $ seed_term $ jobs_term)
 
 (* fleet *)
 
-let fleet machines duration seed =
+let fleet machines duration seed jobs =
+  apply_jobs jobs;
   Printf.printf "running a %d-machine fleet for %.0fs...\n%!" machines duration;
   let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines () in
   Fleet_sim.Fleet.run fleet ~duration_ns:(duration *. Units.sec) ~epoch_ns:Units.ms;
@@ -320,7 +340,7 @@ let fleet_cmd =
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Run a heterogeneous fleet and print a GWP-style profile.")
-    Term.(const fleet $ machines $ duration_term $ seed_term)
+    Term.(const fleet $ machines $ duration_term $ seed_term $ jobs_term)
 
 (* trace-record / trace-replay *)
 

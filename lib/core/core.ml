@@ -38,8 +38,10 @@ module Quick = struct
     Wsc_fleet.Machine.run machine ~duration_ns ~epoch_ns;
     List.hd (Wsc_fleet.Machine.jobs machine)
 
-  (** A/B one optimization flag for one application against the baseline. *)
-  let ab ?seed ?duration_ns profile ~experiment =
-    Wsc_fleet.Ab_test.run_app ?seed ?duration_ns
+  (** A/B one optimization flag for one application against the baseline.
+      [jobs] fans the replica arms out over that many domains (the result
+      is identical for any job count). *)
+  let ab ?jobs ?seed ?duration_ns profile ~experiment =
+    Wsc_fleet.Ab_test.run_app ?jobs ?seed ?duration_ns
       ~control:Wsc_tcmalloc.Config.baseline ~experiment profile
 end

@@ -125,33 +125,41 @@ let aggregate name outcomes weights =
     frag_after = w (fun o -> o.frag_after);
   }
 
-let run_app ?(seed = 11) ?(replicas = 3) ?(warmup_ns = 30.0 *. Units.sec)
+let run_app ?jobs ?(seed = 11) ?(replicas = 3) ?(warmup_ns = 30.0 *. Units.sec)
     ?(duration_ns = 60.0 *. Units.sec) ?(epoch_ns = Units.ms)
     ?(platform = Topology.default) ~control ~experiment profile =
-  let one seed =
-    let make config =
-      let machine = Machine.create ~seed ~config ~platform ~jobs:[ profile ] () in
-      Machine.run machine ~duration_ns:warmup_ns ~epoch_ns;
-      List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Machine.jobs machine);
-      Machine.run machine ~duration_ns ~epoch_ns;
-      List.hd (Machine.jobs machine)
-    in
-    let control_job = make control in
-    let experiment_job = make experiment in
-    compare_jobs ~control:control_job ~experiment:experiment_job
+  let make seed config =
+    let machine = Machine.create ~seed ~config ~platform ~jobs:[ profile ] () in
+    Machine.run machine ~duration_ns:warmup_ns ~epoch_ns;
+    List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Machine.jobs machine);
+    Machine.run machine ~duration_ns ~epoch_ns;
+    List.hd (Machine.jobs machine)
   in
+  (* Each (replica, arm) machine is an independent task; arms of replica
+     [i] sit at indices [2i] and [2i+1], so pairing the result array in
+     index order reproduces the sequential control-then-experiment run
+     exactly, for any job count. *)
+  let arms =
+    Array.init (2 * replicas) (fun i ->
+        let seed = seed + (101 * (i / 2)) in
+        if i land 1 = 0 then (seed, control) else (seed, experiment))
+  in
+  let arm_jobs = Parallel.map ?jobs (fun (s, config) -> make s config) arms in
   (* Averaging independent replicas stands in for the noise suppression the
      paper gets from thousands of machines per experiment arm. *)
-  let outcomes = List.init replicas (fun i -> one (seed + (101 * i))) in
+  let outcomes =
+    List.init replicas (fun i ->
+        compare_jobs ~control:arm_jobs.(2 * i) ~experiment:arm_jobs.((2 * i) + 1))
+  in
   aggregate profile.Profile.name outcomes (List.map (fun _ -> 1.0) outcomes)
 
-let run_fleet ?(seed = 11) ?(num_machines = 12) ?(warmup_ns = 20.0 *. Units.sec)
+let run_fleet ?jobs ?(seed = 11) ?(num_machines = 12) ?(warmup_ns = 20.0 *. Units.sec)
     ?(duration_ns = 40.0 *. Units.sec) ?(epoch_ns = Units.ms) ~control ~experiment () =
   let build config =
     let fleet = Fleet.create ~seed ~num_machines ~config () in
-    Fleet.run fleet ~duration_ns:warmup_ns ~epoch_ns;
+    Fleet.run ?jobs fleet ~duration_ns:warmup_ns ~epoch_ns;
     List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Fleet.jobs fleet);
-    Fleet.run fleet ~duration_ns ~epoch_ns;
+    Fleet.run ?jobs fleet ~duration_ns ~epoch_ns;
     Fleet.jobs fleet
   in
   let control_jobs = build control in

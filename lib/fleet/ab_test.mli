@@ -33,6 +33,7 @@ val compare_jobs : control:Machine.job -> experiment:Machine.job -> outcome
 (** Both jobs must run the same profile. *)
 
 val run_app :
+  ?jobs:int ->
   ?seed:int ->
   ?replicas:int ->
   ?warmup_ns:float ->
@@ -45,7 +46,9 @@ val run_app :
   outcome
 (** Dedicated-server A/B for one application (the paper's benchmark
     methodology).  Runs [replicas] (default 3) seed-varied pairs and
-    averages, standing in for the fleet's noise suppression. *)
+    averages, standing in for the fleet's noise suppression.  The
+    [2 * replicas] arm machines run on up to [jobs] domains; pairing is by
+    task index, so the outcome is bit-identical for any job count. *)
 
 type fleet_outcome = {
   fleet : outcome;  (** CPU-weighted aggregate, app name ["fleet"]. *)
@@ -53,6 +56,7 @@ type fleet_outcome = {
 }
 
 val run_fleet :
+  ?jobs:int ->
   ?seed:int ->
   ?num_machines:int ->
   ?warmup_ns:float ->

@@ -48,8 +48,12 @@ let create ?(seed = 7) ?(num_machines = 24) ?(num_binaries = 50) ?(jobs_per_mach
   in
   { machines; binaries }
 
-let run t ~duration_ns ~epoch_ns =
-  List.iter (fun m -> Machine.run m ~duration_ns ~epoch_ns) t.machines
+let run ?jobs t ~duration_ns ~epoch_ns =
+  (* Machines are independent tasks: each owns its clock, RNGs, and
+     allocator state, so they may run on any domain.  There is nothing to
+     reduce — each machine's post-run state is the result. *)
+  ignore
+    (Parallel.map_list ?jobs (fun m -> Machine.run m ~duration_ns ~epoch_ns) t.machines)
 
 let machines t = t.machines
 let jobs t = List.concat_map Machine.jobs t.machines

@@ -24,8 +24,11 @@ val create :
     population (top-5 production workloads + synthetic tail) entirely;
     it must be ordered most-popular first and have >= 5 entries. *)
 
-val run : t -> duration_ns:float -> epoch_ns:float -> unit
-(** Run every machine for the given simulated duration. *)
+val run : ?jobs:int -> t -> duration_ns:float -> epoch_ns:float -> unit
+(** Run every machine for the given simulated duration.  Machines advance
+    on up to [jobs] domains (default {!Wsc_substrate.Parallel.default_jobs});
+    results are identical for any job count because every machine owns all
+    state it touches. *)
 
 val machines : t -> Machine.t list
 

@@ -116,6 +116,47 @@ let run t ~read_vcpu ~stage =
   in
   attempt 0
 
+(* Allocation-free twin of [run] for the per-event fast paths: instead of a
+   staged record per attempt, the caller supplies [prepare] (stages into a
+   reusable buffer it owns) and [commit] (applies that buffer), both
+   preallocated closures.  The preemption-point structure and RNG draw
+   order are identical to [run], so swapping a call site between the two
+   changes no simulated outcome.  Returns [restarts >= 0] when the
+   operation committed after that many restarts, and [-1 - restarts] when
+   the restart budget ran out (fallback). *)
+let run_op t ~read_vcpu ~prepare ~commit =
+  t.ops <- t.ops + 1;
+  let rec attempt restarts =
+    let committed =
+      if preempted_at t Read_vcpu then false
+      else begin
+        let vcpu = read_vcpu () in
+        if preempted_at t Pick_class then false
+        else begin
+          prepare vcpu;
+          if preempted_at t Prepare || preempted_at t Commit then false
+          else begin
+            commit ();
+            true
+          end
+        end
+      end
+    in
+    if committed then begin
+      t.committed <- t.committed + 1;
+      restarts
+    end
+    else if restarts >= t.config.max_restarts then begin
+      t.fallbacks <- t.fallbacks + 1;
+      -1 - restarts
+    end
+    else begin
+      t.total_restarts <- t.total_restarts + 1;
+      attempt (restarts + 1)
+    end
+  in
+  attempt 0
+
 let stats t =
   {
     ops = t.ops;

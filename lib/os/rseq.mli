@@ -82,6 +82,16 @@ val run : t -> read_vcpu:(unit -> int) -> stage:(vcpu:int -> 'a staged) -> 'a re
     [read_vcpu] nor [stage] may mutate observable state) and restarts with
     a freshly read vCPU id, at most [max_restarts] times. *)
 
+val run_op :
+  t -> read_vcpu:(unit -> int) -> prepare:(int -> unit) -> commit:(unit -> unit) -> int
+(** Allocation-free twin of {!run} for per-event fast paths: [prepare vcpu]
+    stages into a reusable buffer owned by the caller and [commit] applies
+    it, so no staged record is built per attempt.  Preemption points and
+    RNG draw order are identical to {!run}.  Returns [restarts >= 0] when
+    the operation committed after that many restarts, or [-1 - restarts]
+    when the budget ran out and the caller must take its slow path.  All
+    three closures are expected to be preallocated by the caller. *)
+
 val note_migration : t -> unit
 (** Arm a one-shot forced preemption at {!Read_vcpu}: the scheduler moved
     this process (CPU churn retired a vCPU), so the next fast-path attempt

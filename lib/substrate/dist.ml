@@ -6,8 +6,10 @@ type t =
   | Pareto of float * float
   | Mixture of (float * t) array
   (* cumulative weights paired with components *)
-  | Empirical of float array * float array
-  (* quantiles, values; both sorted ascending *)
+  | Empirical of float array * float array * float array
+  (* quantiles, values, log values; all sorted ascending.  The logs are
+     precomputed so the hot log-linear interpolation in [sample] costs one
+     [exp] rather than an [exp] plus two [log]s. *)
   | Shifted of float * t
   | Scaled of float * t
   | Clamped of float * float * t
@@ -50,7 +52,7 @@ let empirical points =
     sorted;
   let qs = Array.of_list (List.map fst sorted) in
   let vs = Array.of_list (List.map snd sorted) in
-  Empirical (qs, vs)
+  Empirical (qs, vs, Array.map log vs)
 
 let shifted delta d = Shifted (delta, d)
 
@@ -84,7 +86,7 @@ let rec sample d rng =
       else pick (i + 1)
     in
     sample (pick 0) rng
-  | Empirical (qs, vs) ->
+  | Empirical (qs, vs, log_vs) ->
     let u = Rng.unit_float rng in
     let n = Array.length qs in
     if u <= qs.(0) then vs.(0)
@@ -97,13 +99,13 @@ let rec sample d rng =
         if qs.(mid) <= u then lo := mid else hi := mid
       done;
       let q0 = qs.(!lo) and q1 = qs.(!hi) in
-      let v0 = vs.(!lo) and v1 = vs.(!hi) in
-      if q1 -. q0 <= 0.0 then v0
+      if q1 -. q0 <= 0.0 then vs.(!lo)
       else begin
         let frac = (u -. q0) /. (q1 -. q0) in
         (* log-linear interpolation suits size/lifetime scales spanning
            many orders of magnitude *)
-        exp (log v0 +. (frac *. (log v1 -. log v0)))
+        let lv0 = log_vs.(!lo) in
+        exp (lv0 +. (frac *. (log_vs.(!hi) -. lv0)))
       end
     end
   | Shifted (delta, inner) -> delta +. sample inner rng
@@ -123,23 +125,31 @@ let zipf_weights ~n ~s =
   let total = Array.fold_left ( +. ) 0.0 w in
   Array.map (fun x -> x /. total) w
 
-(* Memoize the cumulative Zipf table per (n, s). *)
+(* Memoize the cumulative Zipf table per (n, s).  The memo is the only
+   global mutable state in the sampling path, so it takes a mutex: samplers
+   running on pool domains (Parallel.map tasks) may share it. *)
 let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_mutex = Mutex.create ()
 
 let zipf_cumulative ~n ~s =
-  match Hashtbl.find_opt zipf_tables (n, s) with
-  | Some table -> table
-  | None ->
-    let weights = zipf_weights ~n ~s in
-    let cumulative = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    Array.iteri
-      (fun i w ->
-        acc := !acc +. w;
-        cumulative.(i) <- !acc)
-      weights;
-    Hashtbl.replace zipf_tables (n, s) cumulative;
-    cumulative
+  Mutex.lock zipf_mutex;
+  let table =
+    match Hashtbl.find_opt zipf_tables (n, s) with
+    | Some table -> table
+    | None ->
+      let weights = zipf_weights ~n ~s in
+      let cumulative = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i w ->
+          acc := !acc +. w;
+          cumulative.(i) <- !acc)
+        weights;
+      Hashtbl.replace zipf_tables (n, s) cumulative;
+      cumulative
+  in
+  Mutex.unlock zipf_mutex;
+  table
 
 let search_cumulative cumulative u =
   let n = Array.length cumulative in

@@ -1,0 +1,109 @@
+(* Array-backed binary min-heap, float key + three unboxed int payload
+   slots in parallel arrays.  The sift logic mirrors {!Binheap} (strict [<]
+   comparisons) so replacing a [Binheap] of records with this heap preserves
+   the pop order of equal-key entries exactly. *)
+
+type t = {
+  mutable keys : float array;
+  mutable a : int array;
+  mutable b : int array;
+  mutable c : int array;
+  mutable len : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  let cap = max 1 initial_capacity in
+  {
+    keys = Array.make cap 0.0;
+    a = Array.make cap 0;
+    b = Array.make cap 0;
+    c = Array.make cap 0;
+    len = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let capacity = Array.length t.keys in
+  if t.len = capacity then begin
+    let bigger src zero =
+      let dst = Array.make (2 * capacity) zero in
+      Array.blit src 0 dst 0 t.len;
+      dst
+    in
+    t.keys <- bigger t.keys 0.0;
+    t.a <- bigger t.a 0;
+    t.b <- bigger t.b 0;
+    t.c <- bigger t.c 0
+  end
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.a.(i) in
+  t.a.(i) <- t.a.(j);
+  t.a.(j) <- v;
+  let v = t.b.(i) in
+  t.b.(i) <- t.b.(j);
+  t.b.(j) <- v;
+  let v = t.c.(i) in
+  t.c.(i) <- t.c.(j);
+  t.c.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.len && t.keys.(left) < t.keys.(!smallest) then smallest := left;
+  if right < t.len && t.keys.(right) < t.keys.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key ~a ~b ~c =
+  grow t;
+  let i = t.len in
+  t.keys.(i) <- key;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.c.(i) <- c;
+  t.len <- t.len + 1;
+  sift_up t i
+
+let min_key t = if t.len = 0 then nan else t.keys.(0)
+
+let remove_min t =
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.keys.(0) <- t.keys.(t.len);
+    t.a.(0) <- t.a.(t.len);
+    t.b.(0) <- t.b.(t.len);
+    t.c.(0) <- t.c.(t.len);
+    sift_down t 0
+  end
+
+let drain_until t bound f =
+  while t.len > 0 && t.keys.(0) <= bound do
+    let key = t.keys.(0) and a = t.a.(0) and b = t.b.(0) and c = t.c.(0) in
+    remove_min t;
+    f ~key ~a ~b ~c
+  done
+
+let clear t = t.len <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f ~key:t.keys.(i) ~a:t.a.(i) ~b:t.b.(i) ~c:t.c.(i)
+  done

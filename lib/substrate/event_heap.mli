@@ -1,0 +1,29 @@
+(** A float-keyed binary min-heap whose payload is three unboxed ints.
+
+    The workload driver's pending-free queue holds millions of
+    [(free_time, addr, size, thread)] events and is pushed/popped on every
+    simulated allocation; this heap stores the payload in parallel int
+    arrays so the hot path allocates nothing — no payload records, no
+    [Some] boxes, no cons cells ({!Binheap} costs one record per event plus
+    a list per drain).  Equal-key pop order matches {!Binheap} exactly. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> float -> a:int -> b:int -> c:int -> unit
+
+val min_key : t -> float
+(** Key of the minimum entry; [nan] when empty. *)
+
+val drain_until : t -> float -> (key:float -> a:int -> b:int -> c:int -> unit) -> unit
+(** [drain_until t bound f] removes every entry with key [<= bound] in
+    ascending order, calling [f] on each as it is removed, without
+    allocating.  [f] must not push entries with keys [<= bound]. *)
+
+val clear : t -> unit
+
+val iter : t -> (key:float -> a:int -> b:int -> c:int -> unit) -> unit
+(** Iterate in unspecified (heap) order. *)

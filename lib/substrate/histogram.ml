@@ -5,7 +5,9 @@ type t = {
   n_bins : int;
   weights : float array;
   mutable count : int;
-  mutable total : float;
+  (* one-slot accumulator: float-array stores stay unboxed, a mutable float
+     field in this mixed record would box on every add *)
+  total : float array;
 }
 
 let create ?(base = 2.0) ?(lo = 1.0) ?(hi = 1.125899906842624e15 (* 2^50 *)) () =
@@ -13,7 +15,15 @@ let create ?(base = 2.0) ?(lo = 1.0) ?(hi = 1.125899906842624e15 (* 2^50 *)) () 
   if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create: need 0 < lo < hi";
   let log_base = log base in
   let n_bins = 1 + int_of_float (ceil (log (hi /. lo) /. log_base)) in
-  { base; log_base; lo; n_bins; weights = Array.make n_bins 0.0; count = 0; total = 0.0 }
+  {
+    base;
+    log_base;
+    lo;
+    n_bins;
+    weights = Array.make n_bins 0.0;
+    count = 0;
+    total = Array.make 1 0.0;
+  }
 
 let bin_index t v =
   if v <= t.lo then 0
@@ -25,13 +35,13 @@ let bin_index t v =
 let bin_lower t i = t.lo *. (t.base ** float_of_int i)
 let bin_upper t i = bin_lower t (i + 1)
 
-let add t ?(weight = 1.0) v =
-  let idx = bin_index t v in
+let add_at t idx ~weight =
   t.weights.(idx) <- t.weights.(idx) +. weight;
   t.count <- t.count + 1;
-  t.total <- t.total +. weight
+  t.total.(0) <- t.total.(0) +. weight
 
-let total_weight t = t.total
+let add t ?(weight = 1.0) v = add_at t (bin_index t v) ~weight
+let total_weight t = t.total.(0)
 let count t = t.count
 
 let bins t =
@@ -42,34 +52,34 @@ let bins t =
   Array.of_list !acc
 
 let cdf t =
-  if t.total <= 0.0 then [||]
+  if t.total.(0) <= 0.0 then [||]
   else begin
     let acc = ref 0.0 in
     let out = ref [] in
     for i = 0 to t.n_bins - 1 do
       if t.weights.(i) > 0.0 then begin
         acc := !acc +. t.weights.(i);
-        out := (bin_upper t i, !acc /. t.total) :: !out
+        out := (bin_upper t i, !acc /. t.total.(0)) :: !out
       end
     done;
     Array.of_list (List.rev !out)
   end
 
 let fraction_below t v =
-  if t.total <= 0.0 then 0.0
+  if t.total.(0) <= 0.0 then 0.0
   else begin
     let acc = ref 0.0 in
     for i = 0 to t.n_bins - 1 do
       if bin_upper t i <= v then acc := !acc +. t.weights.(i)
     done;
-    !acc /. t.total
+    !acc /. t.total.(0)
   end
 
 let fraction_above t v = 1.0 -. fraction_below t v
 
 let quantile t q =
-  if t.total <= 0.0 then invalid_arg "Histogram.quantile: empty";
-  let target = q *. t.total in
+  if t.total.(0) <= 0.0 then invalid_arg "Histogram.quantile: empty";
+  let target = q *. t.total.(0) in
   let acc = ref 0.0 in
   let result = ref (bin_lower t (t.n_bins - 1)) in
   (try
@@ -94,7 +104,7 @@ let merge a b =
       n_bins = a.n_bins;
       weights = Array.mapi (fun i w -> w +. b.weights.(i)) a.weights;
       count = a.count + b.count;
-      total = a.total +. b.total;
+      total = Array.make 1 (a.total.(0) +. b.total.(0));
     }
   in
   merged

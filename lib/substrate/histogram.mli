@@ -16,6 +16,15 @@ val create : ?base:float -> ?lo:float -> ?hi:float -> unit -> t
 val add : t -> ?weight:float -> float -> unit
 (** Record one observation with the given weight (default 1.0). *)
 
+val bin_index : t -> float -> int
+(** The bin {!add} would place the value in. *)
+
+val add_at : t -> int -> weight:float -> unit
+(** Record one observation directly into a precomputed bin.  Callers feeding
+    several same-geometry histograms from one value (e.g. an object-count and
+    a byte-weighted view of the same sizes) can pay for the logarithm in
+    {!bin_index} once. *)
+
 val total_weight : t -> float
 val count : t -> int
 

@@ -37,4 +37,16 @@ let iter t f =
     f t.data.(i)
   done
 
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_stack.get: out of bounds";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Int_stack.set: out of bounds";
+  t.data.(i) <- v
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Int_stack.truncate: bad length";
+  t.len <- n
+
 let clear t = t.len <- 0

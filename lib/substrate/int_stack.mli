@@ -28,4 +28,12 @@ val pop_up_to : t -> int -> int list
 val iter : t -> (int -> unit) -> unit
 (** Bottom-to-top iteration. *)
 
+val get : t -> int -> int
+(** [get t i] is the [i]-th element from the bottom. *)
+
+val set : t -> int -> int -> unit
+
+val truncate : t -> int -> unit
+(** [truncate t n] keeps the bottom [n] elements (series downsampling). *)
+
 val clear : t -> unit

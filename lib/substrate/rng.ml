@@ -1,53 +1,56 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = { mutable s0 : int; mutable s1 : int; mutable s2 : int; mutable s3 : int }
 
-(* SplitMix64: used only to expand seeds into xoshiro256starstar state. *)
+(* The generator is xoshiro-style on native 63-bit lanes: OCaml [int]
+   arithmetic wraps mod 2^63 and [lsr]/[lsl] treat the word as unsigned
+   63-bit, so rotations and multiplies need no masking — and, unlike the
+   Int64 formulation (which boxed ~10 intermediates per draw), drawing
+   allocates nothing.  The simulator draws several times per allocation
+   event, so this is squarely on the hot path. *)
+
+(* SplitMix-style mixer: used only to expand seeds into generator state. *)
 let splitmix_next state =
-  let open Int64 in
-  state := add !state 0x9E3779B97F4A7C15L;
+  state := !state + 0x2545F4914F6CDD1D;
   let z = !state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
 
-let of_seed64 seed =
+let of_seed seed =
   let state = ref seed in
   let s0 = splitmix_next state in
   let s1 = splitmix_next state in
   let s2 = splitmix_next state in
   let s3 = splitmix_next state in
-  (* xoshiro state must not be all-zero; SplitMix64 output practically never
-     is, but guard anyway. *)
-  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  (* The state must not be all-zero; SplitMix output practically never is,
+     but guard anyway. *)
+  if s0 lor s1 lor s2 lor s3 = 0 then { s0 = 1; s1 = 2; s2 = 3; s3 = 4 }
   else { s0; s1; s2; s3 }
 
-let create seed = of_seed64 (Int64.of_int seed)
+let create seed = of_seed seed
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+let rotl x k = (x lsl k) lor (x lsr (63 - k))
 
-(* xoshiro256starstar *)
-let bits64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
+(* xoshiro256starstar update rule on 63-bit lanes. *)
+let bits t =
+  let result = rotl (t.s1 * 5) 7 * 9 in
+  let tmp = t.s1 lsl 17 in
+  t.s2 <- t.s2 lxor t.s0;
+  t.s3 <- t.s3 lxor t.s1;
+  t.s1 <- t.s1 lxor t.s2;
+  t.s0 <- t.s0 lxor t.s3;
+  t.s2 <- t.s2 lxor tmp;
   t.s3 <- rotl t.s3 45;
   result
 
-let split t = of_seed64 (bits64 t)
+let bits64 t = Int64.of_int (bits t)
+let split t = of_seed (bits t)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let int t bound =
   assert (bound > 0);
-  (* Drop two bits so the value fits OCaml's 63-bit int non-negatively;
-     modulo bias is negligible for simulation bounds. *)
-  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  mask mod bound
+  (* Drop the (sign) top bits so the value is non-negative; modulo bias is
+     negligible for simulation bounds. *)
+  (bits t lsr 2) mod bound
 
 let int_in t lo hi =
   assert (hi >= lo);
@@ -55,11 +58,10 @@ let int_in t lo hi =
 
 let unit_float t =
   (* 53 high bits -> uniform double in [0,1). *)
-  let bits = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+  float_of_int (bits t lsr 10) *. (1.0 /. 9007199254740992.0)
 
 let float t bound = unit_float t *. bound
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t = bits t land 1 = 1
 let bernoulli t p = unit_float t < p
 
 let shuffle t arr =

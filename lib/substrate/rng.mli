@@ -2,16 +2,17 @@
 
     The simulator must be reproducible: the fleet A/B experiment framework
     relies on running the control and experiment arms from identical seeds.
-    This module provides a small, fast, splittable PRNG (SplitMix64 used to
-    seed xoshiro256starstar) so that independent subsystems (machines, processes,
-    threads) can draw from statistically independent streams derived from a
-    single root seed. *)
+    This module provides a small, fast, splittable PRNG (a SplitMix-style
+    mixer seeding a xoshiro-style generator, both on native 63-bit int
+    arithmetic so drawing allocates nothing) so that independent subsystems
+    (machines, processes, threads) can draw from statistically independent
+    streams derived from a single root seed. *)
 
 type t
 (** A mutable generator state. *)
 
 val create : int -> t
-(** [create seed] builds a generator from a 63-bit seed via SplitMix64. *)
+(** [create seed] builds a generator from a 63-bit seed. *)
 
 val split : t -> t
 (** [split t] derives a new generator whose stream is independent of [t]'s
@@ -20,8 +21,11 @@ val split : t -> t
 val copy : t -> t
 (** Snapshot the state; the copy evolves independently. *)
 
+val bits : t -> int
+(** Next raw 63 random bits (allocation-free). *)
+
 val bits64 : t -> int64
-(** Next raw 64 random bits. *)
+(** {!bits} boxed as an [int64] (compatibility shim for tests). *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)

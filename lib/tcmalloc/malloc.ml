@@ -7,6 +7,25 @@ module Rseq = Wsc_os.Rseq
 
 type addr = int
 
+(* Preallocated closures plus parameter slots for the allocation-free
+   restartable fast paths ({!Wsc_os.Rseq.run_op}): per-event parameters are
+   written into the mutable slots instead of being captured, so the hot
+   alloc/free paths build no closure, option, or staged record per
+   operation. *)
+type fast_ops = {
+  mutable fo_thread : int;  (* cache-index thread id; -1 = none *)
+  mutable fo_cpu : int;
+  mutable fo_cls : int;
+  mutable fo_addr : int;  (* dealloc: the object being freed *)
+  mutable fo_res_addr : int;  (* prepare_alloc result (-1 = staged miss) *)
+  mutable fo_res_ok : bool;  (* prepare_dealloc result *)
+  mutable fo_observed : int;  (* vCPU the last attempt read; -1 = none *)
+  mutable fo_read_vcpu : unit -> int;
+  mutable fo_prep_alloc : int -> unit;
+  mutable fo_prep_dealloc : int -> unit;
+  mutable fo_commit : unit -> unit;
+}
+
 type t = {
   config : Config.t;
   topology : Topology.t;
@@ -34,6 +53,7 @@ type t = {
   (* vCPU ids retired with a still-populated cache, awaiting the background
      stranded-cache reclaim pass (cleared on reuse or drain). *)
   stranded_pending : (int, unit) Hashtbl.t;
+  fast : fast_ops;
 }
 
 let page_size = Units.tcmalloc_page_size
@@ -81,6 +101,28 @@ let release_memory t ~target_bytes =
     { front_end_bytes = fe; transfer_bytes = tr; cfl_span_bytes = cfl; os_released_bytes = os }
   end
 
+let remember_domain t ~vcpu ~cpu =
+  let n = Array.length t.vcpu_domain in
+  if vcpu >= n then begin
+    let bigger = Array.make (max (vcpu + 1) (2 * n)) 0 in
+    Array.blit t.vcpu_domain 0 bigger 0 n;
+    t.vcpu_domain <- bigger
+  end;
+  t.vcpu_domain.(vcpu) <- Topology.domain_of_cpu t.topology cpu
+
+(* Front-end cache index: dense vCPU id normally; raw thread id in the
+   legacy per-thread mode (footnote 2), where idle threads strand their
+   caches because no other thread may touch them.  [-1] means "no thread
+   id" (the int-sentinel form the preallocated fast-path closures use). *)
+let cache_index_id t ~thread ~cpu =
+  match t.config.Config.front_end with
+  | Config.Per_thread_caches when thread >= 0 -> thread
+  | Config.Per_thread_caches | Config.Per_cpu_caches ->
+    let id = Vcpu.acquire t.vcpus ~phys_cpu:cpu in
+    (* A reused id reclaims its own (warm) cache; it is no longer stranded. *)
+    Hashtbl.remove t.stranded_pending id;
+    id
+
 let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topology ~clock () =
   let vm = Vm.create () in
   let pageheap = Pageheap.create ~config vm in
@@ -106,8 +148,37 @@ let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topolog
       in_flight = Hashtbl.create 4096;
       rseq;
       stranded_pending = Hashtbl.create 16;
+      fast =
+        {
+          fo_thread = -1;
+          fo_cpu = 0;
+          fo_cls = 0;
+          fo_addr = 0;
+          fo_res_addr = -1;
+          fo_res_ok = false;
+          fo_observed = -1;
+          fo_read_vcpu = (fun () -> 0);
+          fo_prep_alloc = ignore;
+          fo_prep_dealloc = ignore;
+          fo_commit = (fun () -> ());
+        };
     }
   in
+  (* Install the fast-path closures once; they read their per-event
+     parameters from the [fast] slots. *)
+  let fo = t.fast in
+  fo.fo_read_vcpu <-
+    (fun () ->
+      let vcpu = cache_index_id t ~thread:fo.fo_thread ~cpu:fo.fo_cpu in
+      remember_domain t ~vcpu ~cpu:fo.fo_cpu;
+      fo.fo_observed <- vcpu;
+      vcpu);
+  fo.fo_prep_alloc <-
+    (fun vcpu -> fo.fo_res_addr <- Per_cpu_cache.prepare_alloc t.pcc ~vcpu ~cls:fo.fo_cls);
+  fo.fo_prep_dealloc <-
+    (fun vcpu ->
+      fo.fo_res_ok <- Per_cpu_cache.prepare_dealloc t.pcc ~vcpu ~cls:fo.fo_cls fo.fo_addr);
+  fo.fo_commit <- (fun () -> Per_cpu_cache.commit_staged t.pcc);
   if config.Config.dynamic_per_cpu_caches then begin
     let resize now = Per_cpu_cache.resize t.pcc ~evict:(evict_to_transfer t ~now) in
     ignore (Clock.every clock ~period:config.Config.resize_interval_ns resize)
@@ -149,15 +220,6 @@ let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topolog
     let snapshot now = Central_free_list.snapshot t.cfl ~now in
     ignore (Clock.every clock ~period snapshot));
   t
-
-let remember_domain t ~vcpu ~cpu =
-  let n = Array.length t.vcpu_domain in
-  if vcpu >= n then begin
-    let bigger = Array.make (max (vcpu + 1) (2 * n)) 0 in
-    Array.blit t.vcpu_domain 0 bigger 0 n;
-    t.vcpu_domain <- bigger
-  end;
-  t.vcpu_domain.(vcpu) <- Topology.domain_of_cpu t.topology cpu
 
 let charge t tier = Telemetry.charge_tier t.telemetry tier (Cost_model.tier_hit_ns tier)
 
@@ -212,18 +274,6 @@ let refill t ~cls ~domain ~now =
   in
   (result.Transfer_cache.addrs, deepest)
 
-(* Front-end cache index: dense vCPU id normally; raw thread id in the
-   legacy per-thread mode (footnote 2), where idle threads strand their
-   caches because no other thread may touch them. *)
-let cache_index t ~thread ~cpu =
-  match (t.config.Config.front_end, thread) with
-  | Config.Per_thread_caches, Some thread -> thread
-  | Config.Per_thread_caches, None | Config.Per_cpu_caches, _ ->
-    let id = Vcpu.acquire t.vcpus ~phys_cpu:cpu in
-    (* A reused id reclaims its own (warm) cache; it is no longer stranded. *)
-    Hashtbl.remove t.stranded_pending id;
-    id
-
 (* Run one fast-path operation under the restartable-sequence protocol:
    every attempt re-reads the vCPU id (a migration between attempts lands
    the restart on a different cache), each restart re-runs the 3.1 ns fast
@@ -234,7 +284,7 @@ let cache_index t ~thread ~cpu =
 let run_rseq t r ~thread ~cpu ~stage =
   let observed = ref (-1) in
   let read_vcpu () =
-    let vcpu = cache_index t ~thread ~cpu in
+    let vcpu = cache_index_id t ~thread ~cpu in
     remember_domain t ~vcpu ~cpu;
     observed := vcpu;
     vcpu
@@ -249,11 +299,23 @@ let run_rseq t r ~thread ~cpu ~stage =
   if !observed < 0 then ignore (read_vcpu ());
   (result.Rseq.outcome, !observed)
 
+(* Bookkeeping tail of a {!Rseq.run_op} fast path: same telemetry as
+   [run_rseq] (per-op record, per-restart fast-path charge, guaranteed
+   vCPU observation).  Returns [true] when the restart budget ran out. *)
+let finish_rseq_op t ~ret =
+  let restarts, fell_back = if ret >= 0 then (ret, false) else (-1 - ret, true) in
+  Telemetry.record_rseq_op t.telemetry ~restarts ~fell_back;
+  if restarts > 0 then
+    Telemetry.charge_tier t.telemetry Cost_model.Per_cpu_cache
+      (float_of_int restarts *. Cost_model.tier_hit_ns Cost_model.Per_cpu_cache);
+  if t.fast.fo_observed < 0 then ignore (t.fast.fo_read_vcpu ());
+  fell_back
+
 (* Front-end allocation miss: pull a batch from the transfer cache, keep the
    first object, and offer the rest to the per-CPU cache (under rseq when the
    injector is on; a refill whose restart budget runs out caches nothing and
    the whole batch returns to the transfer cache). *)
-let alloc_miss ?thread t ~cpu ~vcpu ~cls ~now =
+let alloc_miss t ~thread ~cpu ~vcpu ~cls ~now =
   Telemetry.record_front_end_miss t.telemetry ~vcpu;
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
@@ -281,50 +343,59 @@ let alloc_miss ?thread t ~cpu ~vcpu ~cls ~now =
       ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
     first
 
-let malloc_attempt ?thread t ~cpu ~size =
+let malloc_attempt t ~thread ~cpu ~size =
   let now = Clock.now t.clock in
   Telemetry.charge_prefetch t.telemetry Cost_model.prefetch_ns;
-  match Size_class.of_size size with
-  | None -> malloc_large t ~size ~now
-  | Some cls ->
+  let cls = Size_class.index_of_size size in
+  if cls < 0 then malloc_large t ~size ~now
+  else begin
     charge t Cost_model.Per_cpu_cache;
     let a =
       match t.rseq with
-      | None -> (
-        let vcpu = cache_index t ~thread ~cpu in
+      | None ->
+        let vcpu = cache_index_id t ~thread ~cpu in
         remember_domain t ~vcpu ~cpu;
-        match Per_cpu_cache.alloc t.pcc ~vcpu ~cls with
-        | Some a ->
+        let a = Per_cpu_cache.alloc t.pcc ~vcpu ~cls in
+        if a >= 0 then begin
           Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
           a
-        | None -> alloc_miss ?thread t ~cpu ~vcpu ~cls ~now)
-      | Some r -> (
-        match
-          run_rseq t r ~thread ~cpu
-            ~stage:(fun ~vcpu -> Per_cpu_cache.stage_alloc t.pcc ~vcpu ~cls)
-        with
-        | Some (Some a), _ ->
+        end
+        else alloc_miss t ~thread ~cpu ~vcpu ~cls ~now
+      | Some r ->
+        let fo = t.fast in
+        fo.fo_thread <- thread;
+        fo.fo_cpu <- cpu;
+        fo.fo_cls <- cls;
+        fo.fo_observed <- -1;
+        let ret =
+          Rseq.run_op r ~read_vcpu:fo.fo_read_vcpu ~prepare:fo.fo_prep_alloc
+            ~commit:fo.fo_commit
+        in
+        let fell_back = finish_rseq_op t ~ret in
+        if (not fell_back) && fo.fo_res_addr >= 0 then begin
           Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
-          a
-        | Some None, vcpu | None, vcpu ->
+          fo.fo_res_addr
+        end
+        else
           (* Committed miss, or restart budget exhausted: either way the
              front end yielded nothing — take the refill slow path. *)
-          alloc_miss ?thread t ~cpu ~vcpu ~cls ~now)
+          alloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls ~now
     in
     Hashtbl.remove t.in_flight a;
     Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(Size_class.size cls);
     maybe_sample t a ~size ~now;
     a
+  end
 
 (* Allocation entry point with the bounded retry-with-reclaim loop: an mmap
    failure (transient fault or hard memory limit) triggers the reclaim
    cascade and a retry; only after [reclaim_retries] exhausted attempts does
    the allocator surface [Out_of_memory]. *)
-let malloc ?thread t ~cpu ~size =
+let malloc_th t ~thread ~cpu ~size =
   if size <= 0 then invalid_arg "Malloc.malloc: size must be positive";
   let target t ~size = max t.config.Config.reclaim_min_target_bytes (2 * size) in
   let rec attempt retries_left =
-    match malloc_attempt ?thread t ~cpu ~size with
+    match malloc_attempt t ~thread ~cpu ~size with
     | a -> a
     | exception Vm.Mmap_failed _ ->
       ignore (release_memory t ~target_bytes:(target t ~size));
@@ -338,6 +409,9 @@ let malloc ?thread t ~cpu ~size =
       end
   in
   attempt t.config.Config.reclaim_retries
+
+let malloc ?thread t ~cpu ~size =
+  malloc_th t ~thread:(match thread with Some th -> th | None -> -1) ~cpu ~size
 
 let free_error ~what ~a ~size ~tier =
   invalid_arg
@@ -390,7 +464,7 @@ let check_small_free t a ~size ~cls =
 (* Deallocation miss: flush a batch (including this object) to the transfer
    cache.  Under rseq the flush is itself restartable; a flush whose budget
    runs out sends only the freed object. *)
-let dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now =
+let dealloc_miss t ~thread ~cpu ~vcpu ~cls a ~now =
   Telemetry.record_front_end_miss t.telemetry ~vcpu;
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
@@ -410,31 +484,36 @@ let dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now =
   let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
   if overflow > 0 then charge t Cost_model.Central_free_list
 
-let free ?thread t ~cpu a ~size =
+let free_th t ~thread ~cpu a ~size =
   if size <= 0 then invalid_arg "Malloc.free: size must be positive";
   let now = Clock.now t.clock in
-  match Size_class.of_size size with
-  | None -> free_large t a ~size ~now
-  | Some cls ->
+  let cls = Size_class.index_of_size size in
+  if cls < 0 then free_large t a ~size ~now
+  else begin
     check_small_free t a ~size ~cls;
     charge t Cost_model.Per_cpu_cache;
     record_sampled_free t a ~now;
     Telemetry.record_free t.telemetry ~requested:size ~rounded:(Size_class.size cls);
     Hashtbl.replace t.in_flight a ();
-    (match t.rseq with
+    match t.rseq with
     | None ->
-      let vcpu = cache_index t ~thread ~cpu in
+      let vcpu = cache_index_id t ~thread ~cpu in
       remember_domain t ~vcpu ~cpu;
       if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then
-        dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now
-    | Some r -> (
-      match
-        run_rseq t r ~thread ~cpu
-          ~stage:(fun ~vcpu -> Per_cpu_cache.stage_dealloc t.pcc ~vcpu ~cls a)
-      with
-      | Some true, _ -> ()
-      | Some false, vcpu -> dealloc_miss ?thread t ~cpu ~vcpu ~cls a ~now
-      | None, _ ->
+        dealloc_miss t ~thread ~cpu ~vcpu ~cls a ~now
+    | Some r ->
+      let fo = t.fast in
+      fo.fo_thread <- thread;
+      fo.fo_cpu <- cpu;
+      fo.fo_cls <- cls;
+      fo.fo_addr <- a;
+      fo.fo_observed <- -1;
+      let ret =
+        Rseq.run_op r ~read_vcpu:fo.fo_read_vcpu ~prepare:fo.fo_prep_dealloc
+          ~commit:fo.fo_commit
+      in
+      let fell_back = finish_rseq_op t ~ret in
+      if fell_back then begin
         (* Restart budget exhausted before the cache accepted the object:
            bypass the front end and hand it straight to the transfer cache
            (the real allocator's slow path), without charging a front-end
@@ -442,7 +521,13 @@ let free ?thread t ~cpu a ~size =
         let domain = Topology.domain_of_cpu t.topology cpu in
         charge t Cost_model.Transfer_cache;
         let overflow = Transfer_cache.insert t.tc ~cls ~addrs:[ a ] ~domain ~now in
-        if overflow > 0 then charge t Cost_model.Central_free_list))
+        if overflow > 0 then charge t Cost_model.Central_free_list
+      end
+      else if not fo.fo_res_ok then dealloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls a ~now
+  end
+
+let free ?thread t ~cpu a ~size =
+  free_th t ~thread:(match thread with Some th -> th | None -> -1) ~cpu a ~size
 
 let rseq t = t.rseq
 

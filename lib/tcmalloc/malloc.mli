@@ -55,6 +55,12 @@ val free : ?thread:int -> t -> cpu:int -> addr -> size:int -> unit
     misaligned interior pointers, and double frees — whether the object is
     free in its span or still cached in the per-CPU/transfer tiers. *)
 
+val malloc_th : t -> thread:int -> cpu:int -> size:int -> addr
+val free_th : t -> thread:int -> cpu:int -> addr -> size:int -> unit
+(** Int-sentinel twins of {!malloc}/{!free} ([thread = -1] means "no thread
+    id") for per-event hot paths: no [Some] box per call.  Semantics are
+    otherwise identical. *)
+
 (** {2 Memory pressure} *)
 
 type reclaim_outcome = {

@@ -12,11 +12,23 @@ type cpu_cache = {
   mutable total_misses : int;
 }
 
+(* Reusable staged-op buffer for the restartable fast paths: [prepare_*]
+   records the decision here (no mutation, no allocation) and
+   [commit_staged] applies it.  A preempted attempt simply overwrites the
+   buffer on restart, so a torn operation cannot lose or duplicate an
+   object — same contract as the closure-based [stage_*] API, minus the
+   per-attempt record and closure. *)
+type op_kind = Op_none | Op_alloc_hit | Op_alloc_miss | Op_dealloc_ok | Op_dealloc_miss
+
 type t = {
   config : Config.t;
   mutable caches : cpu_cache option array;
   mutable populated : int;
   mutable next_victim : int;  (* round-robin rotation for capacity stealing *)
+  mutable op_kind : op_kind;
+  mutable op_cache : cpu_cache;  (* cache the staged op applies to *)
+  mutable op_cls : int;
+  mutable op_addr : int;
 }
 
 let min_capacity_bytes = 128 * 1024
@@ -28,8 +40,27 @@ let class_cap config cls =
   let byte_bound = max (Size_class.batch cls) (config.Config.per_cpu_cache_bytes / 2 / size) in
   min config.Config.per_cpu_class_cap_objects byte_bound
 
+let dummy_cache () =
+  {
+    stacks = [||];
+    low_watermark = [||];
+    used_bytes = 0;
+    capacity_bytes = 0;
+    interval_misses = 0;
+    total_misses = 0;
+  }
+
 let create ?(config = Config.baseline) () =
-  { config; caches = Array.make 8 None; populated = 0; next_victim = 0 }
+  {
+    config;
+    caches = Array.make 8 None;
+    populated = 0;
+    next_victim = 0;
+    op_kind = Op_none;
+    op_cache = dummy_cache ();
+    op_cls = 0;
+    op_addr = 0;
+  }
 
 let cache_of t vcpu =
   let n = Array.length t.caches in
@@ -60,42 +91,85 @@ let miss c =
   c.total_misses <- c.total_misses + 1
 
 (* Every fast-path operation is expressed as a restartable sequence
-   (Wsc_os.Rseq): the staging phase only reads the cache and captures the
-   result; every write lives in the returned [commit] closure.  An attempt
-   that the preemption injector aborts simply never commits, so a torn
-   operation cannot lose or duplicate an object.  The plain [alloc] /
-   [dealloc] / [flush_batch] / [fill] wrappers below stage-and-commit in
-   one step, which is bit-identical to the pre-rseq behavior. *)
+   (Wsc_os.Rseq): the staging phase only reads the cache and records the
+   decision; all mutation happens in a single commit.  An attempt that the
+   preemption injector aborts simply never commits, so a torn operation
+   cannot lose or duplicate an object.
+
+   The per-event paths come in two shapes: [prepare_alloc]/[prepare_dealloc]
+   stage into the reusable op buffer and [commit_staged] applies it
+   (allocation-free, used under a live injector via {!Wsc_os.Rseq.run_op}),
+   while the plain [alloc]/[dealloc] below fuse stage and commit into one
+   direct, allocation-free step (the no-preemption fast path).  The
+   closure-based [stage_*] forms remain for the batch ops (flush/fill,
+   which traffic in lists anyway) and for tests that need a first-class
+   staged value. *)
+
+let commit_alloc_hit c ~cls =
+  ignore (Int_stack.pop c.stacks.(cls));
+  c.used_bytes <- c.used_bytes - Size_class.size cls;
+  let len = Int_stack.length c.stacks.(cls) in
+  if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len
+
+let commit_dealloc_ok c ~cls a =
+  Int_stack.push c.stacks.(cls) a;
+  c.used_bytes <- c.used_bytes + Size_class.size cls
+
+let prepare_alloc t ~vcpu ~cls =
+  let c = cache_of t vcpu in
+  t.op_cache <- c;
+  t.op_cls <- cls;
+  let s = c.stacks.(cls) in
+  if Int_stack.is_empty s then begin
+    t.op_kind <- Op_alloc_miss;
+    -1
+  end
+  else begin
+    let a = Int_stack.get s (Int_stack.length s - 1) in
+    t.op_kind <- Op_alloc_hit;
+    t.op_addr <- a;
+    a
+  end
+
+let prepare_dealloc t ~vcpu ~cls a =
+  let c = cache_of t vcpu in
+  t.op_cache <- c;
+  t.op_cls <- cls;
+  t.op_addr <- a;
+  if
+    c.used_bytes + Size_class.size cls <= c.capacity_bytes
+    && Int_stack.length c.stacks.(cls) < class_cap t.config cls
+  then begin
+    t.op_kind <- Op_dealloc_ok;
+    true
+  end
+  else begin
+    t.op_kind <- Op_dealloc_miss;
+    false
+  end
+
+let commit_staged t =
+  let c = t.op_cache in
+  (match t.op_kind with
+  | Op_none -> ()
+  | Op_alloc_hit -> commit_alloc_hit c ~cls:t.op_cls
+  | Op_alloc_miss -> miss c
+  | Op_dealloc_ok -> commit_dealloc_ok c ~cls:t.op_cls t.op_addr
+  | Op_dealloc_miss -> miss c);
+  t.op_kind <- Op_none
 
 let stage_alloc t ~vcpu ~cls =
   let c = cache_of t vcpu in
   match Int_stack.peek_opt c.stacks.(cls) with
-  | Some a ->
-    {
-      Rseq.value = Some a;
-      commit =
-        (fun () ->
-          ignore (Int_stack.pop c.stacks.(cls));
-          c.used_bytes <- c.used_bytes - Size_class.size cls;
-          let len = Int_stack.length c.stacks.(cls) in
-          if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len);
-    }
+  | Some a -> { Rseq.value = Some a; commit = (fun () -> commit_alloc_hit c ~cls) }
   | None -> { Rseq.value = None; commit = (fun () -> miss c) }
 
 let stage_dealloc t ~vcpu ~cls a =
   let c = cache_of t vcpu in
-  let size = Size_class.size cls in
   if
-    c.used_bytes + size <= c.capacity_bytes
+    c.used_bytes + Size_class.size cls <= c.capacity_bytes
     && Int_stack.length c.stacks.(cls) < class_cap t.config cls
-  then
-    {
-      Rseq.value = true;
-      commit =
-        (fun () ->
-          Int_stack.push c.stacks.(cls) a;
-          c.used_bytes <- c.used_bytes + size);
-    }
+  then { Rseq.value = true; commit = (fun () -> commit_dealloc_ok c ~cls a) }
   else { Rseq.value = false; commit = (fun () -> miss c) }
 
 let stage_flush_batch t ~vcpu ~cls ~n =
@@ -139,15 +213,38 @@ let stage_fill t ~vcpu ~cls ~addrs =
           accepted);
   }
 
+(* Direct fast paths: stage-and-commit fused, zero allocation per call.
+   [alloc] returns the address or [-1] on a front-end miss. *)
+
 let alloc t ~vcpu ~cls =
-  let s = stage_alloc t ~vcpu ~cls in
-  s.Rseq.commit ();
-  s.Rseq.value
+  let c = cache_of t vcpu in
+  let s = c.stacks.(cls) in
+  if Int_stack.is_empty s then begin
+    miss c;
+    -1
+  end
+  else begin
+    let a = Int_stack.pop s in
+    c.used_bytes <- c.used_bytes - Size_class.size cls;
+    let len = Int_stack.length s in
+    if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
+    a
+  end
 
 let dealloc t ~vcpu ~cls a =
-  let s = stage_dealloc t ~vcpu ~cls a in
-  s.Rseq.commit ();
-  s.Rseq.value
+  let c = cache_of t vcpu in
+  if
+    c.used_bytes + Size_class.size cls <= c.capacity_bytes
+    && Int_stack.length c.stacks.(cls) < class_cap t.config cls
+  then begin
+    Int_stack.push c.stacks.(cls) a;
+    c.used_bytes <- c.used_bytes + Size_class.size cls;
+    true
+  end
+  else begin
+    miss c;
+    false
+  end
 
 let flush_batch t ~vcpu ~cls ~n =
   let s = stage_flush_batch t ~vcpu ~cls ~n in

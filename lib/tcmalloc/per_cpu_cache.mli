@@ -18,12 +18,16 @@
     from their largest size classes first (small objects dominate
     allocations, Fig. 7).
 
-    Every fast-path operation is a {b restartable sequence}: the
-    [stage_*] functions perform the pure read/prepare phase and return a
-    {!Wsc_os.Rseq.staged} value whose [commit] closure holds all mutation,
-    so {!Wsc_os.Rseq.run} can abort a preempted attempt without tearing
-    the cache.  The plain [alloc]/[dealloc]/[flush_batch]/[fill] wrappers
-    stage and commit atomically (the no-preemption fast path). *)
+    Every fast-path operation is a {b restartable sequence}: staging reads
+    the cache and records a decision, a single commit holds all mutation,
+    so {!Wsc_os.Rseq} can abort a preempted attempt without tearing the
+    cache.  The per-event operations exist in three shapes, hottest first:
+    the plain [alloc]/[dealloc] fuse stage and commit into one direct,
+    allocation-free call (the no-preemption fast path);
+    [prepare_alloc]/[prepare_dealloc] + [commit_staged] stage into a
+    reusable buffer for {!Wsc_os.Rseq.run_op} (allocation-free under a
+    live injector); and the [stage_*] closures return a first-class
+    {!Wsc_os.Rseq.staged} value (batch flush/fill, tests). *)
 
 type addr = int
 
@@ -31,8 +35,8 @@ type t
 
 val create : ?config:Config.t -> unit -> t
 
-val alloc : t -> vcpu:int -> cls:int -> addr option
-(** Fast-path allocation; [None] is a front-end miss (counted). *)
+val alloc : t -> vcpu:int -> cls:int -> addr
+(** Fast-path allocation; [-1] is a front-end miss (counted). *)
 
 val dealloc : t -> vcpu:int -> cls:int -> addr -> bool
 (** Fast-path deallocation; [false] means the cache is full (counted as a
@@ -44,7 +48,25 @@ val flush_batch : t -> vcpu:int -> cls:int -> n:int -> addr list
 val fill : t -> vcpu:int -> cls:int -> addrs:addr list -> addr list
 (** Insert refilled objects; returns those that did not fit the budget. *)
 
-(** {2 Restartable (staged) fast-path operations} *)
+(** {2 Restartable fast-path operations — reusable staged-op buffer}
+
+    Protocol: call one [prepare_*] (pure, allocation-free — it only
+    records the decision in the cache-wide op buffer), then
+    {!commit_staged} to apply it.  A restart overwrites the buffer with a
+    fresh [prepare_*]; an abort that never commits leaves the cache
+    untouched.  At most one staged op may be outstanding. *)
+
+val prepare_alloc : t -> vcpu:int -> cls:int -> addr
+(** Stage one allocation; returns the address committing would pop, or
+    [-1] to stage a miss (whose commit only bumps the miss counter). *)
+
+val prepare_dealloc : t -> vcpu:int -> cls:int -> addr -> bool
+(** Stage one deallocation; [false] stages a cache-full miss. *)
+
+val commit_staged : t -> unit
+(** Apply the op staged by the last [prepare_*]; no-op if none pending. *)
+
+(** {2 Restartable (staged) fast-path operations — first-class form} *)
 
 val stage_alloc : t -> vcpu:int -> cls:int -> addr option Wsc_os.Rseq.staged
 (** Stage one allocation: the value is the object that committing would

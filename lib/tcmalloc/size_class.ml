@@ -92,5 +92,11 @@ let of_size n =
     if cls < 0 then None else Some cls
   end
 
+(* Allocation-free twin of [of_size] for the per-event hot paths: -1 means
+   "large" (pageheap-direct), no [Some] box per lookup. *)
+let index_of_size n =
+  if n <= 0 then invalid_arg "Size_class.index_of_size: nonpositive size";
+  if n > max_size then -1 else lookup.((n + 7) / 8)
+
 let internal_slack ~requested =
   match of_size requested with None -> 0 | Some cls -> size cls - requested

@@ -35,6 +35,10 @@ val of_size : int -> int option
     hierarchy and goes to the pageheap).  [n] must be positive.  O(1) via a
     lookup table. *)
 
+val index_of_size : int -> int
+(** Allocation-free twin of {!of_size}: the class index, or [-1] when the
+    request is pageheap-direct.  [n] must be positive. *)
+
 val max_size : int
 (** Size of the largest class: 256 KiB. *)
 

@@ -10,9 +10,9 @@ let tier_slot = function
 
 type t = {
   tier_ns : float array;
-  mutable prefetch_ns : float;
-  mutable sampled_ns : float;
-  mutable other_ns : float;
+  (* prefetch / sampled / other, as float-array slots so the per-event
+     accumulation stores stay unboxed *)
+  aux_ns : float array;
   tier_hits : int array;
   mutable allocs : int;
   mutable frees : int;
@@ -38,10 +38,12 @@ type t = {
   mutable stranded_reclaim_events : int;
   (* measurement-window baselines (snapshot at [mark]) *)
   mark_tier_ns : float array;
-  mutable mark_prefetch_ns : float;
-  mutable mark_sampled_ns : float;
-  mutable mark_other_ns : float;
+  mark_aux_ns : float array;
 }
+
+let aux_prefetch = 0
+let aux_sampled = 1
+let aux_other = 2
 
 let size_hist () = Histogram.create ~base:2.0 ~lo:8.0 ~hi:1.1e12 ()
 let lifetime_hist () = Histogram.create ~base:10.0 ~lo:100.0 ~hi:1e15 ()
@@ -49,9 +51,7 @@ let lifetime_hist () = Histogram.create ~base:10.0 ~lo:100.0 ~hi:1e15 ()
 let create () =
   {
     tier_ns = Array.make 5 0.0;
-    prefetch_ns = 0.0;
-    sampled_ns = 0.0;
-    other_ns = 0.0;
+    aux_ns = Array.make 3 0.0;
     tier_hits = Array.make 5 0;
     allocs = 0;
     frees = 0;
@@ -73,48 +73,49 @@ let create () =
     stranded_reclaim_bytes = 0;
     stranded_reclaim_events = 0;
     mark_tier_ns = Array.make 5 0.0;
-    mark_prefetch_ns = 0.0;
-    mark_sampled_ns = 0.0;
-    mark_other_ns = 0.0;
+    mark_aux_ns = Array.make 3 0.0;
   }
 
 let charge_tier t tier ns = t.tier_ns.(tier_slot tier) <- t.tier_ns.(tier_slot tier) +. ns
-let charge_prefetch t ns = t.prefetch_ns <- t.prefetch_ns +. ns
-let charge_sampled t ns = t.sampled_ns <- t.sampled_ns +. ns
-let charge_other t ns = t.other_ns <- t.other_ns +. ns
+let charge_prefetch t ns = t.aux_ns.(aux_prefetch) <- t.aux_ns.(aux_prefetch) +. ns
+let charge_sampled t ns = t.aux_ns.(aux_sampled) <- t.aux_ns.(aux_sampled) +. ns
+let charge_other t ns = t.aux_ns.(aux_other) <- t.aux_ns.(aux_other) +. ns
 let tier_ns t tier = t.tier_ns.(tier_slot tier)
-let prefetch_ns t = t.prefetch_ns
-let sampled_ns t = t.sampled_ns
-let other_ns t = t.other_ns
+let prefetch_ns t = t.aux_ns.(aux_prefetch)
+let sampled_ns t = t.aux_ns.(aux_sampled)
+let other_ns t = t.aux_ns.(aux_other)
 
 let total_malloc_ns t =
-  Array.fold_left ( +. ) 0.0 t.tier_ns +. t.prefetch_ns +. t.sampled_ns +. t.other_ns
+  Array.fold_left ( +. ) 0.0 t.tier_ns +. Array.fold_left ( +. ) 0.0 t.aux_ns
 
 let mark t =
   Array.blit t.tier_ns 0 t.mark_tier_ns 0 5;
-  t.mark_prefetch_ns <- t.prefetch_ns;
-  t.mark_sampled_ns <- t.sampled_ns;
-  t.mark_other_ns <- t.other_ns
+  Array.blit t.aux_ns 0 t.mark_aux_ns 0 3
 
 let tier_ns_since_mark t tier = t.tier_ns.(tier_slot tier) -. t.mark_tier_ns.(tier_slot tier)
-let prefetch_ns_since_mark t = t.prefetch_ns -. t.mark_prefetch_ns
-let sampled_ns_since_mark t = t.sampled_ns -. t.mark_sampled_ns
-let other_ns_since_mark t = t.other_ns -. t.mark_other_ns
+let prefetch_ns_since_mark t = t.aux_ns.(aux_prefetch) -. t.mark_aux_ns.(aux_prefetch)
+let sampled_ns_since_mark t = t.aux_ns.(aux_sampled) -. t.mark_aux_ns.(aux_sampled)
+let other_ns_since_mark t = t.aux_ns.(aux_other) -. t.mark_aux_ns.(aux_other)
 
 let total_malloc_ns_since_mark t =
   let tiers = ref 0.0 in
   for i = 0 to 4 do
     tiers := !tiers +. t.tier_ns.(i) -. t.mark_tier_ns.(i)
   done;
-  !tiers +. prefetch_ns_since_mark t +. sampled_ns_since_mark t +. other_ns_since_mark t
+  for i = 0 to 2 do
+    tiers := !tiers +. t.aux_ns.(i) -. t.mark_aux_ns.(i)
+  done;
+  !tiers
 
 let record_alloc t ~requested ~rounded =
   t.allocs <- t.allocs + 1;
   t.live_requested <- t.live_requested + requested;
   t.live_rounded <- t.live_rounded + rounded;
   let fsize = float_of_int requested in
-  Histogram.add t.size_count fsize;
-  Histogram.add t.size_bytes ~weight:fsize fsize
+  (* both size views share geometry: pay for the log-bin lookup once *)
+  let bin = Histogram.bin_index t.size_count fsize in
+  Histogram.add_at t.size_count bin ~weight:1.0;
+  Histogram.add_at t.size_bytes bin ~weight:fsize
 
 let record_free t ~requested ~rounded =
   t.frees <- t.frees + 1;

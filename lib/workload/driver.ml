@@ -5,17 +5,22 @@ module Audit = Wsc_tcmalloc.Audit
 module Sched = Wsc_os.Sched
 module Fault = Wsc_os.Fault
 
-type pending = { addr : int; size : int; thread : int }
-
 type t = {
   profile : Profile.t;
   sched : Sched.t;
   malloc : Malloc.t;
   clock : Clock.t;
   rng : Rng.t;
-  pending_frees : pending Binheap.t;
+  (* Pending frees as (free_time, addr, size, thread) in an int-payload
+     event heap: no per-event record, no per-drain list. *)
+  pending_frees : Event_heap.t;
   mutable active_threads : int;
-  mutable active_cpus : int list;
+  (* CPUs the pool currently occupies, ascending in [active_cpus.(0 ..
+     n_active_cpus-1)]; [cpu_mark] is the dedup/membership scratch that
+     keeps recomputation allocation-free. *)
+  mutable active_cpus : int array;
+  mutable n_active_cpus : int;
+  mutable cpu_mark : bool array;
   (* Thread slots hold OS thread identities; a slot vacated by a pool
      shrink gets a *fresh* thread id when the pool regrows (thread pools
      kill and respawn workers), which is what strands per-thread caches. *)
@@ -26,8 +31,18 @@ type t = {
   mutable started : bool;
   lifetime_sample_every : int;
   mutable lifetime_countdown : int;
-  mutable thread_series_rev : (float * int) list;
-  mutable rseq_series_rev : (float * int * int) list;
+  (* Telemetry time series in parallel unboxed arrays (one slot per kept
+     control-plane tick).  With [series_cap > 0], hitting the cap halves
+     the series in place and doubles [series_stride], so memory stays
+     bounded on arbitrarily long runs while the samples remain evenly
+     spaced; the simulation itself is unaffected. *)
+  series_cap : int;
+  mutable series_stride : int;
+  mutable series_tick : int;
+  thread_times : Fvec.t;
+  thread_values : Int_stack.t;
+  rseq_restart_values : Int_stack.t;
+  rseq_stranded_values : Int_stack.t;
   mutable next_thread_update : float;
   mutable rss_stats : Stats.Running.t;
   mutable frag_stats : Stats.Running.t;
@@ -38,88 +53,10 @@ type t = {
   faults : Fault.t option;
   audit_interval_ns : float option;
   mutable next_audit : float;
-  mutable audit_reports_rev : Audit.report list;
+  audit_reports : Audit.report Vec.t;
+  (* Preallocated pending-free drain callback (captures [t] once). *)
+  mutable on_free : key:float -> a:int -> b:int -> c:int -> unit;
 }
-
-let create ?(seed = 1) ?(lifetime_sample_every = 64) ?faults ?audit_interval_ns ~profile
-    ~sched ~malloc ~clock () =
-  {
-    profile;
-    sched;
-    malloc;
-    clock;
-    rng = Rng.create seed;
-    pending_frees = Binheap.create ();
-    active_threads = 1;
-    active_cpus = [];
-    thread_ids = [| 0 |];
-    next_thread_id = 1;
-    requests = 0.0;
-    allocs = 0;
-    started = false;
-    lifetime_sample_every;
-    lifetime_countdown = lifetime_sample_every;
-    thread_series_rev = [];
-    rseq_series_rev = [];
-    next_thread_update = 0.0;
-    rss_stats = Stats.Running.create ();
-    frag_stats = Stats.Running.create ();
-    coverage_stats = Stats.Running.create ();
-    next_coverage_sample = 0.0;
-    peak_rss = 0;
-    malloc_ns_at_reset = 0.0;
-    faults;
-    audit_interval_ns;
-    next_audit = 0.0;
-    audit_reports_rev = [];
-  }
-
-let cpus_for t n_threads =
-  let module IntSet = Set.Make (Int) in
-  let set = ref IntSet.empty in
-  for thread = 0 to n_threads - 1 do
-    set := IntSet.add (Sched.cpu_of_thread t.sched ~thread) !set
-  done;
-  IntSet.elements !set
-
-(* Worker pools resize on control-plane timescales, not per epoch. *)
-let thread_update_interval = 0.25 *. Units.sec
-
-let update_threads t ~now =
-  if now < t.next_thread_update && t.active_cpus <> [] then ()
-  else begin
-  t.next_thread_update <- now +. thread_update_interval;
-  let n = Threads.count t.profile.Profile.threads t.rng ~now in
-  if n <> t.active_threads || t.active_cpus = [] then begin
-    if n > Array.length t.thread_ids then begin
-      let old = t.thread_ids in
-      t.thread_ids <- Array.make n 0;
-      Array.blit old 0 t.thread_ids 0 (Array.length old);
-      for slot = Array.length old to n - 1 do
-        t.thread_ids.(slot) <- t.next_thread_id;
-        t.next_thread_id <- t.next_thread_id + 1
-      done
-    end
-    else if n > t.active_threads then
-      (* Regrown slots within the array get fresh worker identities. *)
-      for slot = t.active_threads to n - 1 do
-        t.thread_ids.(slot) <- t.next_thread_id;
-        t.next_thread_id <- t.next_thread_id + 1
-      done;
-    let new_cpus = cpus_for t n in
-    (* Release vCPUs for cores the shrunken pool no longer touches. *)
-    List.iter
-      (fun cpu -> if not (List.mem cpu new_cpus) then Malloc.cpu_idle t.malloc ~cpu)
-      t.active_cpus;
-    t.active_threads <- n;
-    t.active_cpus <- new_cpus
-  end;
-  t.thread_series_rev <- (now, t.active_threads) :: t.thread_series_rev;
-  let tel = Malloc.telemetry t.malloc in
-  t.rseq_series_rev <-
-    (now, Telemetry.rseq_restarts tel, Telemetry.stranded_reclaim_bytes tel)
-    :: t.rseq_series_rev
-  end
 
 let record_lifetime_sample t ~size ~lifetime =
   t.lifetime_countdown <- t.lifetime_countdown - 1;
@@ -130,14 +67,161 @@ let record_lifetime_sample t ~size ~lifetime =
     Telemetry.record_lifetime (Malloc.telemetry t.malloc) ~size ~lifetime_ns:lifetime
   end
 
+let execute_free t ~addr ~size ~thread =
+  let cross = Rng.bernoulli t.rng t.profile.Profile.cross_thread_free_fraction in
+  let thread = if cross then Rng.int t.rng t.active_threads else thread mod t.active_threads in
+  let cpu = Sched.cpu_of_thread t.sched ~thread in
+  Malloc.free_th t.malloc ~thread:t.thread_ids.(thread) ~cpu addr ~size
+
+let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults
+    ?audit_interval_ns ~profile ~sched ~malloc ~clock () =
+  let num_cpus = Wsc_hw.Topology.num_cpus (Malloc.topology malloc) in
+  let t =
+    {
+      profile;
+      sched;
+      malloc;
+      clock;
+      rng = Rng.create seed;
+      pending_frees = Event_heap.create ();
+      active_threads = 1;
+      active_cpus = Array.make (max 1 num_cpus) 0;
+      n_active_cpus = 0;
+      cpu_mark = Array.make (max 1 num_cpus) false;
+      thread_ids = [| 0 |];
+      next_thread_id = 1;
+      requests = 0.0;
+      allocs = 0;
+      started = false;
+      lifetime_sample_every;
+      lifetime_countdown = lifetime_sample_every;
+      series_cap;
+      series_stride = 1;
+      series_tick = 0;
+      thread_times = Fvec.create ();
+      thread_values = Int_stack.create ();
+      rseq_restart_values = Int_stack.create ();
+      rseq_stranded_values = Int_stack.create ();
+      next_thread_update = 0.0;
+      rss_stats = Stats.Running.create ();
+      frag_stats = Stats.Running.create ();
+      coverage_stats = Stats.Running.create ();
+      next_coverage_sample = 0.0;
+      peak_rss = 0;
+      malloc_ns_at_reset = 0.0;
+      faults;
+      audit_interval_ns;
+      next_audit = 0.0;
+      audit_reports = Vec.create ();
+      on_free = (fun ~key:_ ~a:_ ~b:_ ~c:_ -> ());
+    }
+  in
+  t.on_free <- (fun ~key:_ ~a ~b ~c -> execute_free t ~addr:a ~size:b ~thread:c);
+  t
+
+let ensure_mark t cpu =
+  let n = Array.length t.cpu_mark in
+  if cpu >= n then begin
+    let bigger_mark = Array.make (max (cpu + 1) (2 * n)) false in
+    Array.blit t.cpu_mark 0 bigger_mark 0 n;
+    t.cpu_mark <- bigger_mark;
+    let bigger = Array.make (Array.length bigger_mark) 0 in
+    Array.blit t.active_cpus 0 bigger 0 (Array.length t.active_cpus);
+    t.active_cpus <- bigger
+  end
+
+(* Recompute the occupied-CPU set for [n_threads] workers: mark, retire
+   vCPUs for cores no longer touched, then sweep the marks in id order so
+   [active_cpus] stays ascending (the order the old IntSet computation
+   produced). *)
+let update_cpus t n_threads =
+  for thread = 0 to n_threads - 1 do
+    let cpu = Sched.cpu_of_thread t.sched ~thread in
+    ensure_mark t cpu;
+    t.cpu_mark.(cpu) <- true
+  done;
+  for i = 0 to t.n_active_cpus - 1 do
+    let cpu = t.active_cpus.(i) in
+    if not t.cpu_mark.(cpu) then Malloc.cpu_idle t.malloc ~cpu
+  done;
+  let k = ref 0 in
+  for cpu = 0 to Array.length t.cpu_mark - 1 do
+    if t.cpu_mark.(cpu) then begin
+      t.active_cpus.(!k) <- cpu;
+      incr k;
+      t.cpu_mark.(cpu) <- false
+    end
+  done;
+  t.n_active_cpus <- !k
+
+(* Worker pools resize on control-plane timescales, not per epoch. *)
+let thread_update_interval = 0.25 *. Units.sec
+
+let record_series t ~now =
+  t.series_tick <- t.series_tick + 1;
+  if t.series_tick mod t.series_stride = 0 then begin
+    Fvec.push t.thread_times now;
+    Int_stack.push t.thread_values t.active_threads;
+    let tel = Malloc.telemetry t.malloc in
+    Int_stack.push t.rseq_restart_values (Telemetry.rseq_restarts tel);
+    Int_stack.push t.rseq_stranded_values (Telemetry.stranded_reclaim_bytes tel);
+    if t.series_cap > 0 && Fvec.length t.thread_times >= t.series_cap then begin
+      (* At the cap: keep every other sample in place and double the
+         recording stride. *)
+      let n = Fvec.length t.thread_times in
+      let k = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        Fvec.set t.thread_times !k (Fvec.get t.thread_times !i);
+        Int_stack.set t.thread_values !k (Int_stack.get t.thread_values !i);
+        Int_stack.set t.rseq_restart_values !k (Int_stack.get t.rseq_restart_values !i);
+        Int_stack.set t.rseq_stranded_values !k (Int_stack.get t.rseq_stranded_values !i);
+        incr k;
+        i := !i + 2
+      done;
+      Fvec.truncate t.thread_times !k;
+      Int_stack.truncate t.thread_values !k;
+      Int_stack.truncate t.rseq_restart_values !k;
+      Int_stack.truncate t.rseq_stranded_values !k;
+      t.series_stride <- t.series_stride * 2
+    end
+  end
+
+let update_threads t ~now =
+  if now < t.next_thread_update && t.n_active_cpus > 0 then ()
+  else begin
+    t.next_thread_update <- now +. thread_update_interval;
+    let n = Threads.count t.profile.Profile.threads t.rng ~now in
+    if n <> t.active_threads || t.n_active_cpus = 0 then begin
+      if n > Array.length t.thread_ids then begin
+        let old = t.thread_ids in
+        t.thread_ids <- Array.make n 0;
+        Array.blit old 0 t.thread_ids 0 (Array.length old);
+        for slot = Array.length old to n - 1 do
+          t.thread_ids.(slot) <- t.next_thread_id;
+          t.next_thread_id <- t.next_thread_id + 1
+        done
+      end
+      else if n > t.active_threads then
+        (* Regrown slots within the array get fresh worker identities. *)
+        for slot = t.active_threads to n - 1 do
+          t.thread_ids.(slot) <- t.next_thread_id;
+          t.next_thread_id <- t.next_thread_id + 1
+        done;
+      t.active_threads <- n;
+      update_cpus t n
+    end;
+    record_series t ~now
+  end
+
 let allocate_one t ~now =
   let thread = Rng.int t.rng t.active_threads in
   let cpu = Sched.cpu_of_thread t.sched ~thread in
   let size = Profile.sample_size ~now t.profile t.rng in
-  let addr = Malloc.malloc ~thread:t.thread_ids.(thread) t.malloc ~cpu ~size in
+  let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
   let lifetime = Profile.sample_lifetime t.profile t.rng ~size in
   record_lifetime_sample t ~size ~lifetime;
-  Binheap.push t.pending_frees (now +. lifetime) { addr; size; thread };
+  Event_heap.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread;
   t.allocs <- t.allocs + 1
 
 let startup_burst t =
@@ -149,17 +233,11 @@ let startup_burst t =
     let thread = Rng.int t.rng t.active_threads in
     let cpu = Sched.cpu_of_thread t.sched ~thread in
     let size = Profile.sample_size t.profile t.rng in
-    let addr = Malloc.malloc ~thread:t.thread_ids.(thread) t.malloc ~cpu ~size in
+    let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
     record_lifetime_sample t ~size ~lifetime:far_future;
-    Binheap.push t.pending_frees far_future { addr; size; thread };
+    Event_heap.push t.pending_frees far_future ~a:addr ~b:size ~c:thread;
     t.allocs <- t.allocs + 1
   done
-
-let execute_free t p =
-  let cross = Rng.bernoulli t.rng t.profile.Profile.cross_thread_free_fraction in
-  let thread = if cross then Rng.int t.rng t.active_threads else p.thread mod t.active_threads in
-  let cpu = Sched.cpu_of_thread t.sched ~thread in
-  Malloc.free ~thread:t.thread_ids.(thread) t.malloc ~cpu p.addr ~size:p.size
 
 (* Hugepage coverage requires a full pageheap walk; sample it coarsely. *)
 let coverage_sample_interval = 0.5 *. Units.sec
@@ -184,8 +262,10 @@ let step t ~dt =
      objects in caches nothing indexed anymore. *)
   (match t.faults with
   | Some f when Fault.churn_due f ~now ->
-    List.iter (fun cpu -> Malloc.cpu_idle ~flush:true t.malloc ~cpu) t.active_cpus;
-    t.active_cpus <- [];
+    for i = 0 to t.n_active_cpus - 1 do
+      Malloc.cpu_idle ~flush:true t.malloc ~cpu:t.active_cpus.(i)
+    done;
+    t.n_active_cpus <- 0;
     t.next_thread_update <- now
   | Some _ | None -> ());
   update_threads t ~now;
@@ -193,8 +273,9 @@ let step t ~dt =
     t.started <- true;
     if t.profile.Profile.startup_burst_allocs > 0 then startup_burst t
   end;
-  (* Retire frees that came due during this epoch. *)
-  List.iter (fun (_, p) -> execute_free t p) (Binheap.pop_until t.pending_frees now);
+  (* Retire frees that came due during this epoch (frees never push new
+     events, so in-place draining is safe). *)
+  Event_heap.drain_until t.pending_frees now t.on_free;
   (* Issue the epoch's allocations. *)
   let rate =
     t.profile.Profile.requests_per_thread_per_sec
@@ -214,7 +295,7 @@ let step t ~dt =
   match t.audit_interval_ns with
   | Some interval when now >= t.next_audit ->
     t.next_audit <- now +. interval;
-    t.audit_reports_rev <- Audit.run t.malloc :: t.audit_reports_rev
+    Vec.push t.audit_reports (Audit.run t.malloc)
   | Some _ | None -> ()
 
 let run t ~duration_ns ~epoch_ns =
@@ -227,9 +308,28 @@ let run t ~duration_ns ~epoch_ns =
 
 let requests_completed t = t.requests
 let allocations t = t.allocs
-let live_objects t = Binheap.length t.pending_frees
-let thread_series t = List.rev t.thread_series_rev
-let rseq_series t = List.rev t.rseq_series_rev
+let live_objects t = Event_heap.length t.pending_frees
+
+let thread_series t =
+  let out = ref [] in
+  for i = Fvec.length t.thread_times - 1 downto 0 do
+    out := (Fvec.get t.thread_times i, Int_stack.get t.thread_values i) :: !out
+  done;
+  !out
+
+let rseq_series t =
+  let out = ref [] in
+  for i = Fvec.length t.thread_times - 1 downto 0 do
+    out :=
+      ( Fvec.get t.thread_times i,
+        Int_stack.get t.rseq_restart_values i,
+        Int_stack.get t.rseq_stranded_values i )
+      :: !out
+  done;
+  !out
+
+let series_samples t = Fvec.length t.thread_times
+let series_stride t = t.series_stride
 let avg_rss_bytes t = Stats.Running.mean t.rss_stats
 let peak_rss_bytes t = t.peak_rss
 let avg_fragmentation_ratio t = Stats.Running.mean t.frag_stats
@@ -240,10 +340,10 @@ let avg_hugepage_coverage t =
 let profile t = t.profile
 let malloc t = t.malloc
 let faults t = t.faults
-let audit_reports t = List.rev t.audit_reports_rev
+let audit_reports t = Vec.to_list t.audit_reports
 
 let audit_violations t =
-  List.fold_left (fun acc r -> acc + List.length r.Audit.violations) 0 t.audit_reports_rev
+  Vec.fold t.audit_reports 0 (fun acc r -> acc + List.length r.Audit.violations)
 
 let reset_measurements t =
   t.requests <- 0.0;
@@ -257,12 +357,4 @@ let reset_measurements t =
 let measured_malloc_ns t =
   Telemetry.total_malloc_ns (Malloc.telemetry t.malloc) -. t.malloc_ns_at_reset
 
-let drain t =
-  let rec go () =
-    match Binheap.pop t.pending_frees with
-    | None -> ()
-    | Some (_, p) ->
-      execute_free t p;
-      go ()
-  in
-  go ()
+let drain t = Event_heap.drain_until t.pending_frees infinity t.on_free

@@ -22,6 +22,7 @@ type t
 val create :
   ?seed:int ->
   ?lifetime_sample_every:int ->
+  ?series_cap:int ->
   ?faults:Wsc_os.Fault.t ->
   ?audit_interval_ns:float ->
   profile:Profile.t ->
@@ -32,6 +33,13 @@ val create :
   t
 (** The startup burst (if the profile has one) is issued on the first
     step.
+
+    [series_cap] bounds the {!thread_series}/{!rseq_series} accumulators:
+    once a series reaches the cap, every other sample is dropped in place
+    and the recording stride doubles, so arbitrarily long runs keep at most
+    [series_cap] evenly spaced samples per series instead of growing
+    without bound.  [0] (the default) keeps every sample.  Only the
+    recording cadence changes; the simulation is unaffected.
 
     [faults] makes the driver consume the stream's CPU-churn bursts: when
     one fires, every active vCPU retires with its cache flushed to the
@@ -66,6 +74,13 @@ val rseq_series : t -> (float * int * int) list
     samples taken alongside {!thread_series} — the restart-overhead and
     stranded-memory trajectories under churn.  All-zero counters without a
     live injector. *)
+
+val series_samples : t -> int
+(** Samples currently kept per series (both series share the cadence). *)
+
+val series_stride : t -> int
+(** Current recording stride: 1 until [series_cap] is first hit, then
+    doubling at each subsequent halving. *)
 
 val avg_rss_bytes : t -> float
 val peak_rss_bytes : t -> int

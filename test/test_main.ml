@@ -17,4 +17,5 @@ let () =
          Test_properties.suite;
          Test_robustness.suite;
          Test_rseq.suite;
+         Test_parallel.suite;
        ])

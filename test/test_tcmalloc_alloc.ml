@@ -14,18 +14,16 @@ let topo_chiplet = Wsc_hw.Topology.default
 
 let test_pcc_miss_then_hit () =
   let pcc = Per_cpu_cache.create () in
-  Alcotest.(check bool) "empty misses" true (Per_cpu_cache.alloc pcc ~vcpu:0 ~cls:0 = None);
+  check_int "empty misses" (-1) (Per_cpu_cache.alloc pcc ~vcpu:0 ~cls:0);
   check_bool "dealloc caches object" true (Per_cpu_cache.dealloc pcc ~vcpu:0 ~cls:0 4096);
-  Alcotest.(check (option int)) "hit returns it" (Some 4096)
-    (Per_cpu_cache.alloc pcc ~vcpu:0 ~cls:0);
+  check_int "hit returns it" 4096 (Per_cpu_cache.alloc pcc ~vcpu:0 ~cls:0);
   let misses = Per_cpu_cache.misses_per_vcpu pcc in
   check_int "one miss recorded" 1 misses.(0)
 
 let test_pcc_isolation_between_vcpus () =
   let pcc = Per_cpu_cache.create () in
   ignore (Per_cpu_cache.dealloc pcc ~vcpu:0 ~cls:0 1);
-  Alcotest.(check bool) "vcpu1 cannot see vcpu0 objects" true
-    (Per_cpu_cache.alloc pcc ~vcpu:1 ~cls:0 = None)
+  check_int "vcpu1 cannot see vcpu0 objects" (-1) (Per_cpu_cache.alloc pcc ~vcpu:1 ~cls:0)
 
 let test_pcc_capacity_bound () =
   (* Per-class cap: with a 1024 B budget, one class may hold at most half
