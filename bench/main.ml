@@ -1069,6 +1069,132 @@ let simperf () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* tracecodec — streaming trace codec benchmark and regression gate.   *)
+(*                                                                     *)
+(* Records a fleet-profile driver run through the wsc_trace pipeline,  *)
+(* then measures what the binary format promises: size per event vs    *)
+(* the text v1 format (the >= 5x compression claim is a hard gate) and *)
+(* streaming decode / re-encode throughput.  The full run records the  *)
+(* numbers in BENCH_tracecodec.json; `--smoke` uses a shorter trace    *)
+(* and fails on a compression or >30% throughput regression.           *)
+(* ------------------------------------------------------------------ *)
+
+let tracecodec_json = "BENCH_tracecodec.json"
+
+let tracecodec () =
+  let module Writer = Wsc_trace.Writer in
+  let module Reader = Wsc_trace.Reader in
+  let module Recorder = Wsc_trace.Recorder in
+  let bin = Filename.temp_file "wsc_bench" ".wtrace" in
+  let txt = Filename.temp_file "wsc_bench" ".wtrace.txt" in
+  let bin2 = Filename.temp_file "wsc_bench" ".wtrace2" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ bin; txt; bin2 ])
+    (fun () ->
+      (* A real recorded run (threads, retirements, cross-CPU frees), not
+         a synthetic best case for the delta encoder. *)
+      let duration_ns = (if !smoke then 3.0 else 10.0) *. Units.sec in
+      let w = Writer.to_file bin in
+      ignore (Recorder.record_app ~seed:42 ~duration_ns ~writer:w Apps.fleet);
+      let events = Writer.events_written w in
+      Writer.close w;
+      let binary_bytes = (Unix.stat bin).Unix.st_size in
+      (* Text v1 size of the same stream, written the same way
+         [Trace.save] does, without materializing it. *)
+      let oc = open_out txt in
+      Reader.with_file bin (fun r ->
+          Reader.iter r (fun ev ->
+              match ev with
+              | Wsc_workload.Trace.Alloc { id; size; cpu } ->
+                Printf.fprintf oc "a %d %d %d\n" id size cpu
+              | Wsc_workload.Trace.Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
+              | Wsc_workload.Trace.Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns
+              | Wsc_workload.Trace.Retire { cpu; flush } ->
+                Printf.fprintf oc "r %d %d\n" cpu (if flush then 1 else 0)));
+      close_out oc;
+      let text_bytes = (Unix.stat txt).Unix.st_size in
+      let ratio = float_of_int text_bytes /. float_of_int binary_bytes in
+      (* Streaming decode and decode+re-encode throughput, best of N. *)
+      let best f =
+        List.fold_left
+          (fun acc () ->
+            let t0 = Unix.gettimeofday () in
+            f ();
+            Float.max acc (float_of_int events /. (Unix.gettimeofday () -. t0)))
+          0.0
+          (List.init (if !smoke then 2 else 3) (fun _ -> ()))
+      in
+      let decode_eps =
+        best (fun () -> Reader.with_file bin (fun r -> Reader.iter r ignore))
+      in
+      let reencode_eps =
+        best (fun () ->
+            Reader.with_file bin (fun r ->
+                Writer.with_file bin2 (fun w -> ignore (Reader.copy_into r w))))
+      in
+      let t =
+        Table.create ~title:"tracecodec - binary trace format"
+          ~columns:[ "metric"; "value" ]
+      in
+      Table.add_row t [ "events"; string_of_int events ];
+      Table.add_row t [ "binary size"; Units.bytes_to_string binary_bytes ];
+      Table.add_row t [ "text v1 size"; Units.bytes_to_string text_bytes ];
+      Table.add_row t
+        [ "bytes/event (binary)";
+          f2 ~decimals:2 (float_of_int binary_bytes /. float_of_int events) ];
+      Table.add_row t
+        [ "bytes/event (text)";
+          f2 ~decimals:2 (float_of_int text_bytes /. float_of_int events) ];
+      Table.add_row t [ "compression ratio"; Printf.sprintf "%.2fx" ratio ];
+      Table.add_row t [ "decode events/sec"; Printf.sprintf "%.2fM" (decode_eps /. 1e6) ];
+      Table.add_row t
+        [ "decode+re-encode events/sec"; Printf.sprintf "%.2fM" (reencode_eps /. 1e6) ];
+      Table.print t;
+      if ratio < 5.0 then begin
+        Printf.eprintf "tracecodec: compression ratio %.2fx is below the 5x floor\n" ratio;
+        exit 1
+      end;
+      if !smoke then begin
+        match
+          if Sys.file_exists tracecodec_json then begin
+            let ic = open_in tracecodec_json in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            json_number ~key:"decode_events_per_sec" text
+          end
+          else None
+        with
+        | None -> note "no committed %s; skipping the regression gate." tracecodec_json
+        | Some committed ->
+          let r = decode_eps /. committed in
+          note "committed decode events/sec: %.0f; measured %.0f (%.0f%%)" committed
+            decode_eps (100.0 *. r);
+          if r < 0.7 then begin
+            Printf.eprintf
+              "tracecodec: decode throughput regressed more than 30%% vs committed %s \
+               (%.0f -> %.0f)\n"
+              tracecodec_json committed decode_eps;
+            exit 1
+          end
+      end
+      else begin
+        let oc = open_out tracecodec_json in
+        Printf.fprintf oc
+          "{\n\
+          \  \"benchmark\": \"tracecodec\",\n\
+          \  \"events\": %d,\n\
+          \  \"binary_bytes\": %d,\n\
+          \  \"text_bytes\": %d,\n\
+          \  \"compression_ratio\": %.2f,\n\
+          \  \"decode_events_per_sec\": %.0f,\n\
+          \  \"reencode_events_per_sec\": %.0f\n\
+           }\n"
+          events binary_bytes text_bytes ratio decode_eps reencode_eps;
+        close_out oc;
+        note "wrote %s" tracecodec_json
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1082,6 +1208,7 @@ let experiments =
     ("table1", table1); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("table2", table2); ("fig17", fig17); ("combined", combined);
     ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
+    ("tracecodec", tracecodec);
   ]
 
 let () =

@@ -342,53 +342,197 @@ let fleet_cmd =
     (Cmd.info "fleet" ~doc:"Run a heterogeneous fleet and print a GWP-style profile.")
     Term.(const fleet $ machines $ duration_term $ seed_term $ jobs_term)
 
-(* trace-record / trace-replay *)
+(* trace record|replay|stat|verify|convert *)
 
-let trace_record app duration seed out =
-  let trace =
-    Workload.Trace.synthesize ~seed ~profile:app ~duration_ns:(duration *. Units.sec) ()
-  in
-  Workload.Trace.save trace out;
-  Printf.printf "recorded %d events from %s into %s\n" (Workload.Trace.length trace)
-    app.Profile.name out
+module Writer = Trace_stream.Writer
+module Reader = Trace_stream.Reader
+module Recorder = Trace_stream.Recorder
+module Analyzer = Trace_stream.Analyzer
+module Replay = Trace_stream.Replay
+
+let named_configs = ("baseline", Config.baseline) :: experiments
+
+(* Streaming trace errors become diagnostics + a data-error exit code
+   instead of backtraces. *)
+let trace_guard f =
+  try f () with
+  | Reader.Corrupt { block; reason } ->
+    Printf.eprintf "wscalloc: corrupt trace: block %d: %s\n" block reason;
+    exit 65
+  | Invalid_argument msg ->
+    Printf.eprintf "wscalloc: invalid trace: %s\n" msg;
+    exit 65
+
+let in_term =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "in"; "i" ] ~docv:"FILE" ~doc:"Trace file to read.")
+
+let out_term =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace file to write.")
+
+let trace_record app duration seed synthesize out =
+  let duration_ns = duration *. Units.sec in
+  let w = Writer.to_file out in
+  (if synthesize then
+     (* Generator-only stream: the driver's event generator without an
+        allocator behind it (the legacy trace-record behavior). *)
+     let trace = Workload.Trace.synthesize ~seed ~profile:app ~duration_ns () in
+     List.iter (Writer.add w) (Workload.Trace.events trace)
+   else
+     (* Record an actual solo-machine driver run through the probe. *)
+     ignore (Recorder.record_app ~seed ~duration_ns ~writer:w app));
+  let events = Writer.events_written w and blocks = Writer.blocks_written w in
+  Writer.close w;
+  Printf.printf "recorded %d events (%s run) from %s into %s (%d blocks)\n" events
+    (if synthesize then "synthesized" else "driver")
+    app.Profile.name out blocks
 
 let trace_record_cmd =
-  let out =
+  let synthesize =
     Arg.(
-      required
-      & opt (some string) None
-      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output path.")
+      value & flag
+      & info [ "synthesize" ]
+          ~doc:
+            "Emit the profile's synthetic event stream instead of recording a real \
+             driver run.")
   in
   Cmd.v
-    (Cmd.info "trace-record" ~doc:"Synthesize an allocation trace from a profile.")
-    Term.(const trace_record $ app_term $ duration_term $ seed_term $ out)
+    (Cmd.info "record" ~doc:"Record an allocation trace from a profile run.")
+    Term.(const trace_record $ app_term $ duration_term $ seed_term $ synthesize $ out_term)
 
-let trace_replay file optimized =
-  let trace = Workload.Trace.load file in
-  let config = if optimized then Config.all_optimizations else Config.baseline in
-  Printf.printf "replaying %d events (%s)...\n%!" (Workload.Trace.length trace)
-    (Config.describe config);
-  let r = Workload.Trace.replay ~config trace in
-  Printf.printf "allocations : %d (%d frees)\n" r.Workload.Trace.allocations
-    r.Workload.Trace.frees;
-  Printf.printf "peak RSS    : %s\n" (Units.bytes_to_string r.Workload.Trace.peak_rss_bytes);
-  Printf.printf "final live  : %s\n"
-    (Units.bytes_to_string r.Workload.Trace.final_stats.Malloc.live_requested_bytes);
-  Printf.printf "malloc time : %.0f us (modeled)\n" (r.Workload.Trace.malloc_ns /. 1e3)
+let config_list =
+  let parse s =
+    let names = String.split_on_char ',' (String.trim s) in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        let name = String.trim name in
+        match List.assoc_opt name named_configs with
+        | Some config -> resolve ((name, config) :: acc) rest
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown config %S (known: %s)" name
+                 (String.concat ", " (List.map fst named_configs)))))
+    in
+    resolve [] names
+  in
+  let print fmt configs =
+    Format.pp_print_string fmt (String.concat "," (List.map fst configs))
+  in
+  Arg.conv (parse, print)
+
+let trace_replay file configs jobs =
+  apply_jobs jobs;
+  Printf.printf "replaying %s under %d config(s)...\n%!" file (List.length configs);
+  let results = Replay.run_configs ~configs file in
+  let t =
+    Substrate.Table.create ~title:"Trace replay"
+      ~columns:[ "config"; "allocs"; "frees"; "peak RSS"; "final live"; "malloc us" ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Substrate.Table.add_row t
+        [
+          name;
+          string_of_int r.Replay.allocations;
+          string_of_int r.Replay.frees;
+          Units.bytes_to_string r.Replay.peak_rss_bytes;
+          Units.bytes_to_string r.Replay.final_stats.Malloc.live_requested_bytes;
+          Printf.sprintf "%.0f" (r.Replay.malloc_ns /. 1e3);
+        ])
+    results;
+  Substrate.Table.print t
 
 let trace_replay_cmd =
-  let file =
+  let configs =
     Arg.(
-      required
-      & opt (some file) None
-      & info [ "in"; "i" ] ~docv:"FILE" ~doc:"Trace file to replay.")
-  in
-  let optimized =
-    Arg.(value & flag & info [ "optimized" ] ~doc:"Enable all four optimizations.")
+      value
+      & opt config_list [ ("baseline", Config.baseline) ]
+      & info [ "configs"; "c" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated allocator configs to replay under (e.g. \
+             $(b,baseline,all)); every config sees the identical event stream.")
   in
   Cmd.v
-    (Cmd.info "trace-replay" ~doc:"Replay a recorded trace against an allocator config.")
-    Term.(const trace_replay $ file $ optimized)
+    (Cmd.info "replay"
+       ~doc:"Replay a trace against one or more allocator configs, in parallel.")
+    Term.(const (fun f c j -> trace_guard (fun () -> trace_replay f c j)) $ in_term $ configs $ jobs_term)
+
+let trace_stat file =
+  print_string (Analyzer.render (Analyzer.scan_file file))
+
+let trace_stat_cmd =
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Streaming trace analysis: size/lifetime CDFs, rates, live curve.")
+    Term.(const (fun f -> trace_guard (fun () -> trace_stat f)) $ in_term)
+
+let trace_verify file =
+  let s = Reader.verify file in
+  Printf.printf "%s: %s, %d events in %d blocks: %d allocs, %d frees, %d retires, %s simulated, %d live at end\n"
+    file
+    (match s.Reader.summary_format with `Binary -> "binary v2" | `Text_v1 -> "text v1")
+    s.Reader.events s.Reader.blocks s.Reader.allocations s.Reader.frees s.Reader.retires
+    (Units.duration_to_string s.Reader.duration_ns)
+    s.Reader.live_at_end;
+  Printf.printf "OK\n"
+
+let trace_verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+        "Stream a trace end to end, checking structure, checksums and semantic \
+         validity; exits 65 on damage.")
+    Term.(const (fun f -> trace_guard (fun () -> trace_verify f)) $ in_term)
+
+let trace_convert file out to_text =
+  let copied =
+    Reader.with_file file (fun r ->
+        if to_text then begin
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc "# wsc-alloc trace v1\n";
+              let n = ref 0 in
+              Reader.iter r (fun ev ->
+                  incr n;
+                  match ev with
+                  | Workload.Trace.Alloc { id; size; cpu } ->
+                    Printf.fprintf oc "a %d %d %d\n" id size cpu
+                  | Workload.Trace.Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
+                  | Workload.Trace.Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns
+                  | Workload.Trace.Retire { cpu; flush } ->
+                    Printf.fprintf oc "r %d %d\n" cpu (if flush then 1 else 0));
+              !n)
+        end
+        else Writer.with_file out (fun w -> Reader.copy_into r w))
+  in
+  Printf.printf "converted %d events: %s -> %s (%s)\n" copied file out
+    (if to_text then "text v1" else "binary v2")
+
+let trace_convert_cmd =
+  let to_text =
+    Arg.(
+      value & flag
+      & info [ "to-text" ]
+          ~doc:"Convert to the text v1 format instead of binary v2.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert between text v1 and binary v2 trace formats, streaming.")
+    Term.(const (fun f o t -> trace_guard (fun () -> trace_convert f o t)) $ in_term $ out_term $ to_text)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Record, replay, analyze and convert allocation traces.")
+    [ trace_record_cmd; trace_replay_cmd; trace_stat_cmd; trace_verify_cmd; trace_convert_cmd ]
 
 let () =
   let info =
@@ -397,5 +541,4 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
-          [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_record_cmd; trace_replay_cmd ]))
+       (Cmd.group info [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_cmd ]))

@@ -1,8 +1,8 @@
 (** Public umbrella API for the warehouse-scale allocator study.
 
-    Everything lives in six focused libraries; this module re-exports them
-    under stable names and adds the small amount of glue that examples and
-    the CLI want.
+    Everything lives in seven focused libraries; this module re-exports
+    them under stable names and adds the small amount of glue that examples
+    and the CLI want.
 
     {ul
     {- {!Substrate} — PRNG, distributions, statistics, histograms, clock.}
@@ -10,7 +10,8 @@
     {- {!Os} — simulated virtual memory, vCPU ids, scheduling.}
     {- {!Tcmalloc} — the allocator model and its four optimizations.}
     {- {!Workload} — application profiles and the event driver.}
-    {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}} *)
+    {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}
+    {- {!Trace_stream} — streaming binary traces: record, replay, analyze.}} *)
 
 module Substrate = Wsc_substrate
 module Hw = Wsc_hw
@@ -18,6 +19,7 @@ module Os = Wsc_os
 module Tcmalloc = Wsc_tcmalloc
 module Workload = Wsc_workload
 module Fleet_sim = Wsc_fleet
+module Trace_stream = Wsc_trace
 
 (** Convenience entry points used by the examples and the CLI. *)
 module Quick = struct

@@ -1,0 +1,194 @@
+module Event = Wsc_workload.Trace
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Format constants.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "WSCTRACE"
+let version = 2
+
+(* magic (8) + version u8 + flags u8 + 6 reserved zero bytes. *)
+let header_len = 16
+
+(* A declared block length beyond this is corruption, not a real block:
+   the writer flushes at 4096 events / 1 MiB, whichever comes first. *)
+let max_block_bytes = 1 lsl 26
+let block_flush_events = 4096
+let block_flush_bytes = 1 lsl 20
+
+let header () =
+  let b = Bytes.make header_len '\000' in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set b 8 (Char.chr version);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Varints (LEB128) and zigzag, over full-width 63-bit OCaml ints.     *)
+(* ------------------------------------------------------------------ *)
+
+let put_uvarint buf v =
+  let v = ref v in
+  while !v land lnot 0x7f <> 0 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !v)
+
+let get_uvarint b ~limit pos =
+  let v = ref 0 and shift = ref 0 and n = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= limit then malformed "varint runs past block end";
+    if !n = 9 then malformed "varint longer than 9 bytes";
+    let byte = Char.code (Bytes.unsafe_get b !pos) in
+    incr pos;
+    incr n;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte < 0x80 then continue := false
+  done;
+  !v
+
+(* Bijective on the 63-bit int ring (shifts wrap; [lsr] is logical). *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+
+let put_fixed64 buf bits =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let get_fixed64 b ~limit pos =
+  if !pos + 8 > limit then malformed "fixed64 runs past block end";
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.unsafe_get b (!pos + i))))
+  done;
+  pos := !pos + 8;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* Event encoding.                                                     *)
+(*                                                                     *)
+(* Every event starts with byte0 = tag (low 2 bits) | field (high 6):  *)
+(*   tag 0  Alloc, implicit id = prev_alloc_id + 1; field = cpu code;  *)
+(*          then uvarint size.                                         *)
+(*   tag 1  Alloc, explicit id; field = cpu code; then zigzag uvarint  *)
+(*          (id - prev_alloc_id - 1), then uvarint size.               *)
+(*   tag 2  Free; field = cpu code; then uvarint recency rank (0 =     *)
+(*          most recently allocated live object, via Live_index).      *)
+(*   tag 3  field is a subcode:                                        *)
+(*            0  Advance, dt equal to the previous Advance's dt.       *)
+(*            1  Advance, new dt: 8-byte LE IEEE double follows.       *)
+(*            2  Retire (flush=false): uvarint cpu follows.            *)
+(*            3  Retire (flush=true): uvarint cpu follows.             *)
+(* cpu code: 0..62 literal; 63 = escape, uvarint cpu follows byte0.    *)
+(*                                                                     *)
+(* Encoder and decoder share mutable context (previous alloc id,       *)
+(* previous dt bits, the live-object order statistics); the context    *)
+(* spans blocks, so blocks are an integrity boundary, not a decode     *)
+(* restart point.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type context = {
+  live : Live_index.t;
+  mutable prev_alloc_id : int;
+  mutable prev_dt_bits : int64;
+}
+
+let context () =
+  { live = Live_index.create (); prev_alloc_id = -1; prev_dt_bits = -1L }
+
+let live_length ctx = Live_index.length ctx.live
+
+let cpu_escape = 63
+
+let put_byte0 buf ~tag ~cpu =
+  if cpu < cpu_escape then Buffer.add_char buf (Char.unsafe_chr ((cpu lsl 2) lor tag))
+  else begin
+    Buffer.add_char buf (Char.unsafe_chr ((cpu_escape lsl 2) lor tag));
+    put_uvarint buf cpu
+  end
+
+let encode ctx buf (ev : Event.event) =
+  match ev with
+  | Event.Alloc { id; size; cpu } ->
+    if size <= 0 then invalid_arg "Wsc_trace: encode: alloc size <= 0";
+    if cpu < 0 then invalid_arg "Wsc_trace: encode: negative cpu";
+    if Live_index.mem ctx.live id then
+      invalid_arg (Printf.sprintf "Wsc_trace: encode: id %d already live" id);
+    let delta = id - ctx.prev_alloc_id - 1 in
+    if delta = 0 then put_byte0 buf ~tag:0 ~cpu
+    else begin
+      put_byte0 buf ~tag:1 ~cpu;
+      put_uvarint buf (zigzag delta)
+    end;
+    put_uvarint buf size;
+    ctx.prev_alloc_id <- id;
+    Live_index.append ctx.live id
+  | Event.Free { id; cpu } ->
+    if cpu < 0 then invalid_arg "Wsc_trace: encode: negative cpu";
+    if not (Live_index.mem ctx.live id) then
+      invalid_arg (Printf.sprintf "Wsc_trace: encode: free of unknown id %d" id);
+    put_byte0 buf ~tag:2 ~cpu;
+    put_uvarint buf (Live_index.remove_rank ctx.live id)
+  | Event.Advance { dt_ns } ->
+    if dt_ns < 0.0 || Float.is_nan dt_ns then
+      invalid_arg "Wsc_trace: encode: negative dt";
+    let bits = Int64.bits_of_float dt_ns in
+    if bits = ctx.prev_dt_bits then Buffer.add_char buf (Char.unsafe_chr 3)
+    else begin
+      Buffer.add_char buf (Char.unsafe_chr ((1 lsl 2) lor 3));
+      put_fixed64 buf bits;
+      ctx.prev_dt_bits <- bits
+    end
+  | Event.Retire { cpu; flush } ->
+    if cpu < 0 then invalid_arg "Wsc_trace: encode: negative cpu";
+    Buffer.add_char buf (Char.unsafe_chr (((if flush then 3 else 2) lsl 2) lor 3));
+    put_uvarint buf cpu
+
+let get_cpu ~field b ~limit pos =
+  if field = cpu_escape then get_uvarint b ~limit pos else field
+
+let decode ctx b ~limit pos : Event.event =
+  if !pos >= limit then malformed "event runs past block end";
+  let byte0 = Char.code (Bytes.unsafe_get b !pos) in
+  incr pos;
+  let tag = byte0 land 3 and field = byte0 lsr 2 in
+  match tag with
+  | 0 | 1 ->
+    let cpu = get_cpu ~field b ~limit pos in
+    let id =
+      if tag = 0 then ctx.prev_alloc_id + 1
+      else ctx.prev_alloc_id + 1 + unzigzag (get_uvarint b ~limit pos)
+    in
+    let size = get_uvarint b ~limit pos in
+    if size <= 0 then malformed "alloc size <= 0";
+    if Live_index.mem ctx.live id then malformed "alloc of already-live id %d" id;
+    ctx.prev_alloc_id <- id;
+    Live_index.append ctx.live id;
+    Event.Alloc { id; size; cpu }
+  | 2 ->
+    let cpu = get_cpu ~field b ~limit pos in
+    let rank = get_uvarint b ~limit pos in
+    if rank < 0 || rank >= Live_index.length ctx.live then
+      malformed "free rank %d out of range (%d live)" rank (Live_index.length ctx.live);
+    Event.Free { id = Live_index.remove_select ctx.live rank; cpu }
+  | _ -> (
+    match field with
+    | 0 -> Event.Advance { dt_ns = Int64.float_of_bits ctx.prev_dt_bits }
+    | 1 ->
+      let bits = get_fixed64 b ~limit pos in
+      let dt_ns = Int64.float_of_bits bits in
+      if dt_ns < 0.0 || Float.is_nan dt_ns then malformed "negative dt";
+      ctx.prev_dt_bits <- bits;
+      Event.Advance { dt_ns }
+    | 2 -> Event.Retire { cpu = get_uvarint b ~limit pos; flush = false }
+    | 3 -> Event.Retire { cpu = get_uvarint b ~limit pos; flush = true }
+    | n -> malformed "unknown subcode %d" n)

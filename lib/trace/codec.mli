@@ -1,0 +1,75 @@
+(** Binary trace codec (format v2).
+
+    A binary trace is a 16-byte header followed by length-prefixed blocks,
+    each carrying its event count and a CRC-32 of its payload, terminated
+    by an explicit end-of-stream marker (an empty block).  Framing lives in
+    {!Writer} and {!Reader}; this module holds the shared constants and the
+    per-event encode/decode state machine.
+
+    Events are delta-encoded against a mutable {!context}: allocation ids
+    against the previous allocation (sequential ids cost zero id bytes),
+    frees as the freed object's recency rank in the live set (small for the
+    mostly-die-young fleet profile, via {!Live_index}), clock advances
+    against the previous step width (a repeat costs one byte).  The context
+    persists {e across} blocks — a block is an integrity boundary, not a
+    decode restart point. *)
+
+module Event = Wsc_workload.Trace
+
+exception Malformed of string
+(** Raised by {!decode} and the varint readers on structurally or
+    semantically invalid input.  {!Reader} wraps it with the block index. *)
+
+(** {1 Format constants} *)
+
+val magic : string
+(** ["WSCTRACE"] — first 8 bytes of a binary trace. *)
+
+val version : int
+val header_len : int
+
+val max_block_bytes : int
+(** Upper bound on a declared block payload length; anything larger is
+    treated as corruption. *)
+
+val block_flush_events : int
+val block_flush_bytes : int
+(** Writer flush thresholds: a block is sealed after this many events or
+    payload bytes, whichever comes first. *)
+
+val header : unit -> bytes
+(** A fresh 16-byte file header. *)
+
+(** {1 Primitives} *)
+
+val put_uvarint : Buffer.t -> int -> unit
+(** LEB128.  Negative ints are emitted as their 63-bit two's-complement
+    bit pattern (9 bytes); [get_uvarint] restores them exactly. *)
+
+val get_uvarint : bytes -> limit:int -> int ref -> int
+
+val zigzag : int -> int
+val unzigzag : int -> int
+(** Bijective on the full 63-bit int range, including overflow cases. *)
+
+(** {1 Event codec} *)
+
+type context
+(** Shared encoder/decoder state: previous allocation id, previous dt bits,
+    and the live-object order-statistic index. *)
+
+val context : unit -> context
+
+val live_length : context -> int
+(** Number of currently-live objects in the context's live set. *)
+
+val encode : context -> Buffer.t -> Event.event -> unit
+(** Append one event to a block payload.  Enforces semantic validity so
+    that written traces are well-formed by construction.
+    @raise Invalid_argument on a non-positive size, negative cpu, negative
+    or NaN dt, an allocation of an already-live id, or a free of an id
+    that is not live. *)
+
+val decode : context -> bytes -> limit:int -> int ref -> Event.event
+(** Decode one event from a block payload, advancing [pos].
+    @raise Malformed on truncated or invalid input. *)

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3), the per-block integrity check of the binary trace
+    format.  Checksums are 32-bit values carried in non-negative OCaml
+    ints. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** [update crc b ~pos ~len] extends a running checksum over a byte range.
+    Start from [0].  @raise Invalid_argument on an out-of-bounds range. *)
+
+val bytes : ?pos:int -> ?len:int -> bytes -> int
+(** One-shot checksum of a byte range (default: the whole buffer). *)
+
+val string : string -> int
+(** One-shot checksum of a string ([string "123456789" = 0xCBF43926]). *)

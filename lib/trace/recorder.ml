@@ -1,0 +1,66 @@
+open Wsc_substrate
+module Topology = Wsc_hw.Topology
+module Sched = Wsc_os.Sched
+module Malloc = Wsc_tcmalloc.Malloc
+module Config = Wsc_tcmalloc.Config
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+module Threads = Wsc_workload.Threads
+module Event = Wsc_workload.Trace
+
+type t = {
+  writer : Writer.t;
+  id_of_addr : (int, int) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create writer = { writer; id_of_addr = Hashtbl.create 4096; next_id = 0 }
+let events_recorded t = Writer.events_written t.writer
+
+(* Addresses are reused by the allocator; ordinals are not, which is what
+   makes the trace replayable against any allocator configuration.  An
+   address maps to the id of its *current* live object: set on alloc,
+   cleared on free, so reuse is unambiguous. *)
+let probe t : Driver.probe =
+  {
+    on_alloc =
+      (fun ~addr ~size ~cpu ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Hashtbl.replace t.id_of_addr addr id;
+        Writer.add t.writer (Event.Alloc { id; size; cpu }));
+    on_free =
+      (fun ~addr ~cpu ->
+        match Hashtbl.find_opt t.id_of_addr addr with
+        | Some id ->
+          Hashtbl.remove t.id_of_addr addr;
+          Writer.add t.writer (Event.Free { id; cpu })
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Wsc_trace.Recorder: free of unrecorded address %#x" addr));
+    on_advance = (fun ~dt_ns -> Writer.add t.writer (Event.Advance { dt_ns }));
+    on_retire =
+      (fun ~cpu ~flush -> Writer.add t.writer (Event.Retire { cpu; flush }));
+  }
+
+(* Mirror of [Wsc_fleet.Machine]'s solo-job stack (same scheduler choice,
+   same seed derivation), so a recorded run is step-for-step identical to
+   running the same app on a one-job machine — the probe only observes. *)
+let record_app ?(seed = 1) ?(config = Config.baseline)
+    ?(platform = Topology.default) ?(epoch_ns = Units.ms) ~duration_ns ~writer
+    profile =
+  let clock = Clock.create () in
+  let cpus = min (Topology.num_cpus platform) profile.Profile.threads.Threads.max_threads in
+  let domains = max 1 (min 4 (cpus / 4)) in
+  let sched =
+    if domains > 1 && Topology.num_domains platform > 1 then
+      Sched.spread platform ~first_cpu:0 ~cpus ~domains
+    else Sched.slice platform ~first_cpu:0 ~cpus
+  in
+  let malloc = Malloc.create ~config ~topology:platform ~clock () in
+  let recorder = create writer in
+  let driver =
+    Driver.create ~seed ~probe:(probe recorder) ~profile ~sched ~malloc ~clock ()
+  in
+  Driver.run driver ~duration_ns ~epoch_ns;
+  driver

@@ -1,0 +1,42 @@
+(** Capture a live {!Wsc_workload.Driver} run as a streaming trace.
+
+    The recorder turns the driver's passive {!Wsc_workload.Driver.probe}
+    callbacks into trace events, mapping volatile heap addresses to stable
+    allocation ordinals (addresses are reused; ordinals are not, which is
+    what makes the trace replayable against a {e different} allocator
+    configuration).  Events stream straight into a {!Writer}; nothing is
+    materialized.
+
+    Unlike [Trace.synthesize] — which mirrors only the driver's event
+    generator — a recorded run captures whatever actually happened:
+    thread-count dynamics, CPU-churn retirements, fault-driven behavior. *)
+
+module Driver = Wsc_workload.Driver
+module Profile = Wsc_workload.Profile
+
+type t
+
+val create : Writer.t -> t
+(** The recorder writes into [writer]; the caller closes it when the run
+    is over. *)
+
+val probe : t -> Driver.probe
+(** Pass to {!Driver.create}'s [?probe] to capture that driver's stream. *)
+
+val events_recorded : t -> int
+
+val record_app :
+  ?seed:int ->
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?platform:Wsc_hw.Topology.t ->
+  ?epoch_ns:float ->
+  duration_ns:float ->
+  writer:Writer.t ->
+  Profile.t ->
+  Driver.t
+(** Run one application profile solo — the same CPU slice/spread scheduling
+    and seed derivation as a one-job {!Wsc_fleet.Machine} — with a recorder
+    attached, and return the finished driver (its allocator is reachable
+    via {!Driver.malloc}).  Because the probe only observes, the run is
+    step-for-step identical to the same run without a recorder.  The caller
+    closes [writer]. *)

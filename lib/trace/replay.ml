@@ -1,0 +1,66 @@
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Event = Wsc_workload.Trace
+
+type result = {
+  allocations : int;
+  frees : int;
+  retires : int;
+  peak_rss_bytes : int;
+  final_stats : Malloc.heap_stats;
+  malloc_ns : float;
+}
+
+(* Same semantics as [Wsc_workload.Trace.replay], but fed from a streaming
+   reader: memory is the live-object address map plus one block. *)
+let run ?(config = Wsc_tcmalloc.Config.baseline) ?(topology = Wsc_hw.Topology.default)
+    reader =
+  let clock = Clock.create () in
+  let malloc = Malloc.create ~config ~topology ~clock () in
+  let num_cpus = Wsc_hw.Topology.num_cpus topology in
+  let addr_of_id = Hashtbl.create 4096 in
+  let peak = ref 0 in
+  let allocations = ref 0 and frees = ref 0 and retires = ref 0 in
+  Reader.iter reader (fun ev ->
+      match ev with
+      | Event.Alloc { id; size; cpu } ->
+        let addr = Malloc.malloc malloc ~cpu:(cpu mod num_cpus) ~size in
+        Hashtbl.replace addr_of_id id (addr, size);
+        incr allocations
+      | Event.Free { id; cpu } ->
+        let addr, size =
+          match Hashtbl.find_opt addr_of_id id with
+          | Some entry -> entry
+          | None -> invalid_arg "Wsc_trace.Replay: free of unknown id"
+        in
+        Hashtbl.remove addr_of_id id;
+        Malloc.free malloc ~cpu:(cpu mod num_cpus) addr ~size;
+        incr frees
+      | Event.Advance { dt_ns } ->
+        Clock.advance clock dt_ns;
+        let rss = (Malloc.heap_stats malloc).Malloc.resident_bytes in
+        if rss > !peak then peak := rss
+      | Event.Retire { cpu; flush } ->
+        Malloc.cpu_idle ~flush malloc ~cpu:(cpu mod num_cpus);
+        incr retires);
+  {
+    allocations = !allocations;
+    frees = !frees;
+    retires = !retires;
+    peak_rss_bytes = !peak;
+    final_stats = Malloc.heap_stats malloc;
+    malloc_ns = Telemetry.total_malloc_ns (Malloc.telemetry malloc);
+  }
+
+let run_file ?config ?topology path =
+  Reader.with_file path (fun reader -> run ?config ?topology reader)
+
+(* One replay per configuration, fanned over the domain pool.  Each arm
+   opens its own reader, so the trace file is the only shared state and
+   every arm sees the identical event stream; [Parallel.map_list]
+   preserves order, so output is deterministic regardless of [jobs]. *)
+let run_configs ?jobs ?topology ~configs path =
+  Parallel.map_list ?jobs
+    (fun (name, config) -> (name, run_file ~config ?topology path))
+    configs

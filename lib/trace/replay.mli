@@ -1,0 +1,47 @@
+(** Streaming trace replay.
+
+    Feeds a trace into a fresh allocator event by event, never
+    materializing the stream: memory use is the live-object address map
+    plus one I/O block, so million-event traces replay in constant memory.
+
+    Replaying one trace under several configurations isolates the
+    allocator's contribution exactly — every arm sees the identical
+    allocation stream (the paper's paired-experiment methodology, minus
+    workload noise). *)
+
+type result = {
+  allocations : int;
+  frees : int;
+  retires : int;
+  peak_rss_bytes : int;
+  final_stats : Wsc_tcmalloc.Malloc.heap_stats;
+  malloc_ns : float;  (** Modeled allocator CPU time consumed. *)
+}
+
+val run :
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?topology:Wsc_hw.Topology.t ->
+  Reader.t ->
+  result
+(** Stream the reader into a fresh allocator.  Consumes the reader.
+    Event cpus are folded onto the topology ([cpu mod num_cpus]), and
+    [Retire] events re-issue the recorded {!Wsc_tcmalloc.Malloc.cpu_idle}
+    calls, so a recorded run replays to the allocator state of the
+    original. *)
+
+val run_file :
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?topology:Wsc_hw.Topology.t ->
+  string ->
+  result
+
+val run_configs :
+  ?jobs:int ->
+  ?topology:Wsc_hw.Topology.t ->
+  configs:(string * Wsc_tcmalloc.Config.t) list ->
+  string ->
+  (string * result) list
+(** Replay one trace file under each named configuration, fanned across
+    the {!Wsc_substrate.Parallel} domain pool.  Each arm opens the file
+    independently and results preserve input order, so the output is
+    bit-identical whatever [jobs] is. *)

@@ -1,0 +1,81 @@
+module Event = Wsc_workload.Trace
+
+type t = {
+  oc : out_channel;
+  payload : Buffer.t;  (* current block, encoded events *)
+  frame : Buffer.t;  (* scratch for the block frame *)
+  ctx : Codec.context;
+  mutable block_events : int;
+  mutable blocks : int;
+  mutable events : int;
+  mutable bytes : int;
+  mutable closed : bool;
+}
+
+let to_channel oc =
+  let header = Codec.header () in
+  output_bytes oc header;
+  {
+    oc;
+    payload = Buffer.create Codec.block_flush_bytes;
+    frame = Buffer.create 32;
+    ctx = Codec.context ();
+    block_events = 0;
+    blocks = 0;
+    events = 0;
+    bytes = Bytes.length header;
+    closed = false;
+  }
+
+let to_file path = to_channel (open_out_bin path)
+let events_written t = t.events
+let blocks_written t = t.blocks
+let bytes_written t = t.bytes
+let live_objects t = Codec.live_length t.ctx
+
+(* Frame layout: uvarint payload length, uvarint event count, 4-byte LE
+   CRC-32 of the payload, then the payload itself. *)
+let write_frame t ~len ~count ~crc payload =
+  Buffer.clear t.frame;
+  Codec.put_uvarint t.frame len;
+  Codec.put_uvarint t.frame count;
+  for i = 0 to 3 do
+    Buffer.add_char t.frame (Char.unsafe_chr ((crc lsr (8 * i)) land 0xff))
+  done;
+  Buffer.output_buffer t.oc t.frame;
+  output_bytes t.oc payload;
+  t.bytes <- t.bytes + Buffer.length t.frame + Bytes.length payload
+
+let flush_block t =
+  if t.block_events > 0 then begin
+    let payload = Buffer.to_bytes t.payload in
+    write_frame t ~len:(Bytes.length payload) ~count:t.block_events
+      ~crc:(Crc32.bytes payload) payload;
+    t.blocks <- t.blocks + 1;
+    t.block_events <- 0;
+    Buffer.clear t.payload
+  end
+
+let add t ev =
+  if t.closed then invalid_arg "Wsc_trace.Writer.add: writer is closed";
+  Codec.encode t.ctx t.payload ev;
+  t.block_events <- t.block_events + 1;
+  t.events <- t.events + 1;
+  if
+    t.block_events >= Codec.block_flush_events
+    || Buffer.length t.payload >= Codec.block_flush_bytes
+  then flush_block t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush_block t;
+    (* End-of-stream marker: an empty block.  Its absence is how the
+       reader distinguishes truncation from a clean end. *)
+    write_frame t ~len:0 ~count:0 ~crc:0 Bytes.empty;
+    close_out t.oc
+  end
+
+let with_file path f =
+  let t = to_file path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,44 @@
+(** Streaming binary trace sink.
+
+    Writes the binary v2 format: a {!Codec.header}, then length-prefixed
+    blocks of varint/delta-encoded events — each block carrying its event
+    count and a CRC-32 of its payload — terminated by an explicit empty
+    end-of-stream block.  Memory use is one block buffer plus the live-set
+    index, independent of trace length.
+
+    Events are validated as they are added (see {!Codec.encode}), so a
+    written trace is well-formed by construction. *)
+
+module Event = Wsc_workload.Trace
+
+type t
+
+val to_file : string -> t
+(** Open a file and write the header.  The file is invalid (truncated)
+    until {!close} seals it. *)
+
+val to_channel : out_channel -> t
+(** Same, over an existing binary channel; {!close} closes the channel. *)
+
+val add : t -> Event.event -> unit
+(** Append one event, flushing a block when it reaches the size/count
+    thresholds.  @raise Invalid_argument on a semantically invalid event
+    or a closed writer. *)
+
+val close : t -> unit
+(** Flush the open block, write the end-of-stream marker and close the
+    underlying channel.  Idempotent. *)
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] runs [f] over a fresh writer, closing it on all
+    exits. *)
+
+val events_written : t -> int
+val blocks_written : t -> int
+
+val bytes_written : t -> int
+(** Bytes emitted so far, including the header and sealed block frames
+    (the open block's buffered payload is not counted until it flushes). *)
+
+val live_objects : t -> int
+(** Objects allocated but not yet freed in the stream written so far. *)

@@ -5,6 +5,13 @@ module Audit = Wsc_tcmalloc.Audit
 module Sched = Wsc_os.Sched
 module Fault = Wsc_os.Fault
 
+type probe = {
+  on_alloc : addr:int -> size:int -> cpu:int -> unit;
+  on_free : addr:int -> cpu:int -> unit;
+  on_advance : dt_ns:float -> unit;
+  on_retire : cpu:int -> flush:bool -> unit;
+}
+
 type t = {
   profile : Profile.t;
   sched : Sched.t;
@@ -51,6 +58,7 @@ type t = {
   mutable peak_rss : int;
   mutable malloc_ns_at_reset : float;
   faults : Fault.t option;
+  probe : probe option;
   audit_interval_ns : float option;
   mutable next_audit : float;
   audit_reports : Audit.report Vec.t;
@@ -71,9 +79,10 @@ let execute_free t ~addr ~size ~thread =
   let cross = Rng.bernoulli t.rng t.profile.Profile.cross_thread_free_fraction in
   let thread = if cross then Rng.int t.rng t.active_threads else thread mod t.active_threads in
   let cpu = Sched.cpu_of_thread t.sched ~thread in
-  Malloc.free_th t.malloc ~thread:t.thread_ids.(thread) ~cpu addr ~size
+  Malloc.free_th t.malloc ~thread:t.thread_ids.(thread) ~cpu addr ~size;
+  match t.probe with Some p -> p.on_free ~addr ~cpu | None -> ()
 
-let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults
+let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults ?probe
     ?audit_interval_ns ~profile ~sched ~malloc ~clock () =
   let num_cpus = Wsc_hw.Topology.num_cpus (Malloc.topology malloc) in
   let t =
@@ -110,6 +119,7 @@ let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults
       peak_rss = 0;
       malloc_ns_at_reset = 0.0;
       faults;
+      probe;
       audit_interval_ns;
       next_audit = 0.0;
       audit_reports = Vec.create ();
@@ -142,7 +152,10 @@ let update_cpus t n_threads =
   done;
   for i = 0 to t.n_active_cpus - 1 do
     let cpu = t.active_cpus.(i) in
-    if not t.cpu_mark.(cpu) then Malloc.cpu_idle t.malloc ~cpu
+    if not t.cpu_mark.(cpu) then begin
+      Malloc.cpu_idle t.malloc ~cpu;
+      match t.probe with Some p -> p.on_retire ~cpu ~flush:false | None -> ()
+    end
   done;
   let k = ref 0 in
   for cpu = 0 to Array.length t.cpu_mark - 1 do
@@ -219,6 +232,7 @@ let allocate_one t ~now =
   let cpu = Sched.cpu_of_thread t.sched ~thread in
   let size = Profile.sample_size ~now t.profile t.rng in
   let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+  (match t.probe with Some p -> p.on_alloc ~addr ~size ~cpu | None -> ());
   let lifetime = Profile.sample_lifetime t.profile t.rng ~size in
   record_lifetime_sample t ~size ~lifetime;
   Event_heap.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread;
@@ -234,6 +248,7 @@ let startup_burst t =
     let cpu = Sched.cpu_of_thread t.sched ~thread in
     let size = Profile.sample_size t.profile t.rng in
     let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+    (match t.probe with Some p -> p.on_alloc ~addr ~size ~cpu | None -> ());
     record_lifetime_sample t ~size ~lifetime:far_future;
     Event_heap.push t.pending_frees far_future ~a:addr ~b:size ~c:thread;
     t.allocs <- t.allocs + 1
@@ -255,6 +270,7 @@ let observe_memory t ~now =
 
 let step t ~dt =
   let now = Clock.now t.clock in
+  (match t.probe with Some p -> p.on_advance ~dt_ns:dt | None -> ());
   (* CPU-churn burst: the scheduler migrated this process, every active
      vCPU retires (dense ids become reusable) and the next thread update
      re-acquires CPUs.  Each retired cache is flushed to the transfer
@@ -263,7 +279,9 @@ let step t ~dt =
   (match t.faults with
   | Some f when Fault.churn_due f ~now ->
     for i = 0 to t.n_active_cpus - 1 do
-      Malloc.cpu_idle ~flush:true t.malloc ~cpu:t.active_cpus.(i)
+      let cpu = t.active_cpus.(i) in
+      Malloc.cpu_idle ~flush:true t.malloc ~cpu;
+      match t.probe with Some p -> p.on_retire ~cpu ~flush:true | None -> ()
     done;
     t.n_active_cpus <- 0;
     t.next_thread_update <- now

@@ -19,11 +19,26 @@
 
 type t
 
+type probe = {
+  on_alloc : addr:int -> size:int -> cpu:int -> unit;
+  on_free : addr:int -> cpu:int -> unit;
+  on_advance : dt_ns:float -> unit;
+  on_retire : cpu:int -> flush:bool -> unit;
+}
+(** Passive observation hooks fired for every allocator-visible action the
+    driver takes, in exact issue order: [on_advance] at the top of each
+    {!step} (after the caller advanced the shared clock), then one callback
+    per vCPU retirement, free, and allocation.  A probe must not touch the
+    allocator; it exists so a trace recorder ({!Wsc_trace.Recorder}) can
+    capture a {e real} driver run — threads, churn, faults and all — as a
+    replayable event stream. *)
+
 val create :
   ?seed:int ->
   ?lifetime_sample_every:int ->
   ?series_cap:int ->
   ?faults:Wsc_os.Fault.t ->
+  ?probe:probe ->
   ?audit_interval_ns:float ->
   profile:Profile.t ->
   sched:Wsc_os.Sched.t ->

@@ -6,14 +6,19 @@ type event =
   | Alloc of { id : int; size : int; cpu : int }
   | Free of { id : int; cpu : int }
   | Advance of { dt_ns : float }
+  | Retire of { cpu : int; flush : bool }
 
 type t = { events : event list; length : int }
 
+(* Validate and count in one traversal (the old implementation walked the
+   list a second time just for [List.length]). *)
 let validate events =
   let live = Hashtbl.create 1024 in
-  List.iteri
-    (fun i ev ->
-      match ev with
+  let n = ref 0 in
+  List.iter
+    (fun ev ->
+      let i = !n in
+      (match ev with
       | Alloc { id; size; cpu } ->
         if size <= 0 then invalid_arg (Printf.sprintf "Trace: event %d: size <= 0" i);
         if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i);
@@ -26,28 +31,40 @@ let validate events =
           invalid_arg (Printf.sprintf "Trace: event %d: free of unknown id %d" i id);
         Hashtbl.remove live id
       | Advance { dt_ns } ->
-        if dt_ns < 0.0 then invalid_arg (Printf.sprintf "Trace: event %d: negative dt" i))
-    events
+        if dt_ns < 0.0 || Float.is_nan dt_ns then
+          invalid_arg (Printf.sprintf "Trace: event %d: negative dt" i)
+      | Retire { cpu; flush = _ } ->
+        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i));
+      incr n)
+    events;
+  !n
 
 let of_events events =
-  validate events;
-  { events; length = List.length events }
+  let length = validate events in
+  { events; length }
 
 let events t = t.events
 let length t = t.length
 
 (* Mirror the driver's event generation, but emit events instead of calling
    the allocator.  Object ids are allocation ordinals. *)
-let synthesize ?(seed = 1) ?(epoch_ns = Units.ms) ~profile ~duration_ns () =
+let synthesize ?(seed = 1) ?(epoch_ns = Units.ms)
+    ?(num_cpus = Wsc_hw.Topology.num_cpus Wsc_hw.Topology.default) ~profile
+    ~duration_ns () =
+  if num_cpus <= 0 then invalid_arg "Trace.synthesize: num_cpus <= 0";
   let rng = Rng.create seed in
   let pending : (int * int) Binheap.t = Binheap.create () (* (id, thread) *) in
   let out = ref [] in
-  let emit ev = out := ev :: !out in
+  let n_out = ref 0 in
+  let emit ev =
+    out := ev :: !out;
+    incr n_out
+  in
   let next_id = ref 0 in
   let now = ref 0.0 in
   let active_threads = ref 1 in
   let next_thread_update = ref 0.0 in
-  let cpu_of_thread thread = thread mod 64 in
+  let cpu_of_thread thread = thread mod num_cpus in
   let allocate () =
     let thread = Rng.int rng !active_threads in
     let size = Profile.sample_size ~now:!now profile rng in
@@ -87,8 +104,7 @@ let synthesize ?(seed = 1) ?(epoch_ns = Units.ms) ~profile ~duration_ns () =
   (* Close the trace: free every live object so replays end balanced. *)
   Binheap.iter pending (fun _ (id, thread) ->
       emit (Free { id; cpu = cpu_of_thread thread }));
-  let events = List.rev !out in
-  { events; length = List.length events }
+  { events = List.rev !out; length = !n_out }
 
 type replay_result = {
   allocations : int;
@@ -125,7 +141,8 @@ let replay ?(config = Wsc_tcmalloc.Config.baseline)
       | Advance { dt_ns } ->
         Clock.advance clock dt_ns;
         let rss = (Malloc.heap_stats malloc).Malloc.resident_bytes in
-        if rss > !peak then peak := rss)
+        if rss > !peak then peak := rss
+      | Retire { cpu; flush } -> Malloc.cpu_idle ~flush malloc ~cpu:(cpu mod num_cpus))
     t.events;
   {
     allocations = !allocations;
@@ -146,8 +163,30 @@ let save t path =
           match ev with
           | Alloc { id; size; cpu } -> Printf.fprintf oc "a %d %d %d\n" id size cpu
           | Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
-          | Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns)
+          | Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns
+          | Retire { cpu; flush } ->
+            Printf.fprintf oc "r %d %d\n" cpu (if flush then 1 else 0))
         t.events)
+
+let parse_line ~fail line =
+  match String.split_on_char ' ' line with
+  | [ "a"; id; size; cpu ] -> (
+    match (int_of_string_opt id, int_of_string_opt size, int_of_string_opt cpu) with
+    | Some id, Some size, Some cpu -> Alloc { id; size; cpu }
+    | _ -> fail ())
+  | [ "f"; id; cpu ] -> (
+    match (int_of_string_opt id, int_of_string_opt cpu) with
+    | Some id, Some cpu -> Free { id; cpu }
+    | _ -> fail ())
+  | [ "t"; dt ] -> (
+    match float_of_string_opt dt with
+    | Some dt_ns -> Advance { dt_ns }
+    | None -> fail ())
+  | [ "r"; cpu; flush ] -> (
+    match (int_of_string_opt cpu, int_of_string_opt flush) with
+    | Some cpu, Some flush -> Retire { cpu; flush = flush <> 0 }
+    | _ -> fail ())
+  | _ -> fail ()
 
 let load path =
   let ic = open_in path in
@@ -165,20 +204,7 @@ let load path =
              let fail () =
                invalid_arg (Printf.sprintf "Trace.load: parse error at line %d" !line_no)
              in
-             match String.split_on_char ' ' line with
-             | [ "a"; id; size; cpu ] -> (
-               match (int_of_string_opt id, int_of_string_opt size, int_of_string_opt cpu) with
-               | Some id, Some size, Some cpu -> out := Alloc { id; size; cpu } :: !out
-               | _ -> fail ())
-             | [ "f"; id; cpu ] -> (
-               match (int_of_string_opt id, int_of_string_opt cpu) with
-               | Some id, Some cpu -> out := Free { id; cpu } :: !out
-               | _ -> fail ())
-             | [ "t"; dt ] -> (
-               match float_of_string_opt dt with
-               | Some dt_ns -> out := Advance { dt_ns } :: !out
-               | None -> fail ())
-             | _ -> fail ()
+             out := parse_line ~fail line :: !out
            end
          done
        with End_of_file -> ());

@@ -1,4 +1,4 @@
-(** Allocation trace record and replay.
+(** Allocation trace record and replay (legacy in-memory facility).
 
     A trace is a portable, deterministic recording of an allocation stream:
     alloc/free events with object identities, issuing CPUs and simulated
@@ -7,26 +7,40 @@
     - {b reproducibility}: a trace replays bit-identically against any
       allocator configuration, making A/B comparisons free of workload
       noise (the strongest form of the paper's paired experiments);
-    - {b portability}: traces can be saved to a simple line-oriented text
-      format, shared, and replayed elsewhere;
+    - {b portability}: traces can be saved, shared, and replayed elsewhere;
     - {b debugging}: a failing allocator state can be reduced to the trace
       that produced it.
 
-    Traces can be synthesized from any {!Profile} (capturing exactly what a
-    {!Driver} would have done) or constructed programmatically. *)
+    {b Deprecation note.}  This module materializes the whole event stream
+    as an in-memory list and persists it in the line-per-event text v1
+    format.  It remains as a compatibility shim for small traces and
+    existing tests/examples; new code should use the streaming [wsc_trace]
+    library instead ({!module:Wsc_trace.Writer} / {!module:Wsc_trace.Reader}
+    for constant-memory binary persistence, {!module:Wsc_trace.Recorder} to
+    capture live {!Driver} runs, {!module:Wsc_trace.Replay} for streaming
+    replay).  [Wsc_trace.Reader] reads the text v1 files written by
+    {!save}, and [wscalloc trace convert] upgrades them to binary. *)
 
 type event =
   | Alloc of { id : int; size : int; cpu : int }
       (** Allocate [size] bytes on [cpu]; later events refer to [id]. *)
   | Free of { id : int; cpu : int }  (** Free a previously allocated object. *)
   | Advance of { dt_ns : float }  (** Advance simulated time. *)
+  | Retire of { cpu : int; flush : bool }
+      (** The process stopped running threads on [cpu]
+          ({!Wsc_tcmalloc.Malloc.cpu_idle}); with [flush] the retired
+          per-CPU cache drains to the transfer cache immediately.  Recorded
+          driver runs include these so replay reproduces the allocator's
+          cache state bit-exactly. *)
 
 type t
 
 val of_events : event list -> t
-(** Build a trace, validating it: every [Free] must name a previously
-    allocated, not-yet-freed id, and sizes/ids must be positive.
-    @raise Invalid_argument on malformed event streams. *)
+(** Build a trace, validating it in a single pass: every [Free] must name a
+    previously allocated, not-yet-freed id, and sizes/ids must be positive.
+    @raise Invalid_argument on malformed event streams.
+    @deprecated Prefer the streaming [Wsc_trace] pipeline for anything
+    larger than a test fixture. *)
 
 val events : t -> event list
 val length : t -> int
@@ -34,13 +48,19 @@ val length : t -> int
 val synthesize :
   ?seed:int ->
   ?epoch_ns:float ->
+  ?num_cpus:int ->
   profile:Profile.t ->
   duration_ns:float ->
   unit ->
   t
 (** Generate the exact event stream a {!Driver} with the same seed would
     issue for [profile] over [duration_ns] (allocations, lifetime-driven
-    frees, cross-thread frees, time advances). *)
+    frees, cross-thread frees, time advances).  [num_cpus] is the CPU count
+    threads are folded onto (default: the CPU count of
+    {!Wsc_hw.Topology.default}, so recorded cpus agree with {!replay}'s
+    [cpu mod num_cpus] remapping on the default topology instead of
+    silently aliasing).
+    @raise Invalid_argument if [num_cpus <= 0]. *)
 
 type replay_result = {
   allocations : int;
@@ -58,13 +78,21 @@ val replay :
 (** Run the trace against a fresh allocator.  Replaying the same trace with
     two configs isolates the allocator's contribution exactly. *)
 
-(** {2 Persistence}
+(** {2 Persistence (text v1)}
 
     One event per line: [a <id> <size> <cpu>], [f <id> <cpu>],
-    [t <dt_ns>].  Lines starting with [#] are comments. *)
+    [t <dt_ns>], [r <cpu> <0|1>].  Lines starting with [#] are comments.
+    The streaming binary v2 format ([Wsc_trace]) is ~5x smaller and
+    integrity-checked; prefer it for anything but throwaway traces. *)
 
 val save : t -> string -> unit
 (** Write to a file path. *)
 
 val load : string -> t
 (** Read from a file path.  @raise Invalid_argument on parse errors. *)
+
+val parse_line : fail:(unit -> event) -> string -> event
+(** Parse one non-comment, non-blank line of the text v1 format; calls
+    [fail] (which should raise) on a malformed line.  The text format is
+    defined here; [Wsc_trace.Reader] reuses this to stream v1 files without
+    materializing them. *)

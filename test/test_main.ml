@@ -14,6 +14,7 @@ let () =
          Test_fleet.suite;
          Test_integration.suite;
          Test_trace.suite;
+         Test_trace_stream.suite;
          Test_properties.suite;
          Test_robustness.suite;
          Test_rseq.suite;

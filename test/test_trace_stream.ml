@@ -1,0 +1,487 @@
+(* Tests for the streaming trace pipeline (wsc_trace): codec round-trips,
+   corruption detection, text-v1 conversion, live recording, and streaming
+   replay equivalence. *)
+
+open Wsc_substrate
+open Wsc_workload
+open Wsc_trace
+module Config = Wsc_tcmalloc.Config
+module Malloc = Wsc_tcmalloc.Malloc
+module Machine = Wsc_fleet.Machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let with_temp f =
+  let path = Filename.temp_file "wsc_trace_stream" ".wtrace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_events path events =
+  Writer.with_file path (fun w -> List.iter (Writer.add w) events)
+
+let read_events path =
+  Reader.with_file path (fun r -> List.rev (Reader.fold r [] (fun acc ev -> ev :: acc)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* {1 CRC32} *)
+
+let test_crc32_vector () =
+  check_int "IEEE 802.3 check value" 0xCBF43926 (Crc32.string "123456789");
+  let b = Bytes.of_string "123456789" in
+  let piecewise = Crc32.update (Crc32.update 0 b ~pos:0 ~len:4) b ~pos:4 ~len:5 in
+  check_int "incremental = one-shot" (Crc32.bytes b) piecewise;
+  check_int "empty" 0 (Crc32.string "")
+
+(* {1 Live_index} *)
+
+(* Encoder and decoder indexes stay in lockstep: ranks produced by one are
+   resolved to the same ids by the other, under random alloc/free mixes. *)
+let test_live_index_lockstep =
+  qcheck
+    (QCheck.Test.make ~name:"live_index_rank_select_lockstep" ~count:100
+       QCheck.(list_of_size (QCheck.Gen.int_range 1 400) (QCheck.int_range 0 99))
+       (fun ops ->
+         let enc = Live_index.create () and dec = Live_index.create () in
+         let live = ref [] and next = ref 0 in
+         List.for_all
+           (fun op ->
+             if op < 55 || !live = [] then begin
+               let id = !next in
+               incr next;
+               Live_index.append enc id;
+               Live_index.append dec id;
+               live := id :: !live;
+               true
+             end
+             else begin
+               let id = List.nth !live (op mod List.length !live) in
+               live := List.filter (fun x -> x <> id) !live;
+               let rank = Live_index.remove_rank enc id in
+               rank >= 0 && Live_index.remove_select dec rank = id
+             end)
+           ops))
+
+let test_live_index_compaction () =
+  (* Push far past the initial capacity with a bounded live set: memory
+     must stay bounded (capacity tracks the live set, not history). *)
+  let t = Live_index.create () in
+  for i = 0 to 99_999 do
+    Live_index.append t i;
+    if i >= 64 then ignore (Live_index.remove_rank t (i - 64))
+  done;
+  check_int "live window" 64 (Live_index.length t);
+  check_bool "old id gone" false (Live_index.mem t 0);
+  check_bool "recent id live" true (Live_index.mem t 99_999)
+
+(* {1 Codec round-trip} *)
+
+let pp_event = function
+  | Trace.Alloc { id; size; cpu } -> Printf.sprintf "a %d %d %d" id size cpu
+  | Trace.Free { id; cpu } -> Printf.sprintf "f %d %d" id cpu
+  | Trace.Advance { dt_ns } -> Printf.sprintf "t %.17g" dt_ns
+  | Trace.Retire { cpu; flush } -> Printf.sprintf "r %d %b" cpu flush
+
+let pp_events evs = String.concat "\n" (List.map pp_event evs)
+
+(* Random semantically valid event streams exercising the codec's edge
+   paths: sequential and far-jumping ids, reallocation of freed ids
+   (negative deltas), sizes from 1 B to tens of TiB, repeated and extreme
+   dts, cpus beyond the 6-bit inline range. *)
+let gen_events rand =
+  let n = Random.State.int rand 400 in
+  let live = ref [] and freed = ref [] and next = ref 0 and dts = [| 0.0; 1e6; 0.25; 1e18 |] in
+  let evs = ref [] in
+  let gen_cpu () =
+    match Random.State.int rand 10 with
+    | 0 -> 62 + Random.State.int rand 4 (* straddle the escape boundary *)
+    | 1 -> Random.State.int rand 1_000_000
+    | _ -> Random.State.int rand 8
+  in
+  for _ = 1 to n do
+    match Random.State.int rand 100 with
+    | r when r < 45 || !live = [] ->
+      let id =
+        match Random.State.int rand 10 with
+        | 0 | 1 when !freed <> [] ->
+          let id = List.hd !freed in
+          freed := List.tl !freed;
+          id
+        | 2 -> !next + Random.State.int rand 1_000_000
+        | 3 -> !next + (1 lsl (40 + Random.State.int rand 15))
+        | _ -> !next
+      in
+      next := max !next (id + 1);
+      let size =
+        match Random.State.int rand 10 with
+        | 0 -> 1 lsl (30 + Random.State.int rand 15)
+        | _ -> 1 + Random.State.int rand 4096
+      in
+      live := id :: !live;
+      evs := Trace.Alloc { id; size; cpu = gen_cpu () } :: !evs
+    | r when r < 80 ->
+      let k = Random.State.int rand (List.length !live) in
+      let id = List.nth !live k in
+      live := List.filter (fun x -> x <> id) !live;
+      freed := id :: !freed;
+      evs := Trace.Free { id; cpu = gen_cpu () } :: !evs
+    | r when r < 93 ->
+      evs := Trace.Advance { dt_ns = dts.(Random.State.int rand 4) } :: !evs
+    | _ ->
+      evs :=
+        Trace.Retire { cpu = gen_cpu (); flush = Random.State.bool rand } :: !evs
+  done;
+  List.rev !evs
+
+let events_arbitrary = QCheck.make ~print:pp_events gen_events
+
+let test_codec_roundtrip =
+  qcheck
+    (QCheck.Test.make ~name:"binary_roundtrip_identical" ~count:100 events_arbitrary
+       (fun events ->
+         with_temp (fun path ->
+             write_events path events;
+             read_events path = events)))
+
+let test_codec_roundtrip_extremes () =
+  (* Deterministic extremes on top of the random ones. *)
+  let events =
+    [
+      Trace.Alloc { id = 0; size = 1; cpu = 0 };
+      Trace.Alloc { id = max_int / 2; size = max_int; cpu = 1_000_000 };
+      Trace.Advance { dt_ns = 0.0 };
+      Trace.Advance { dt_ns = 0.0 };
+      Trace.Advance { dt_ns = Float.max_float };
+      Trace.Free { id = max_int / 2; cpu = 63 };
+      Trace.Alloc { id = 1; size = 7; cpu = 62 };
+      Trace.Retire { cpu = 1_000_000; flush = true };
+      Trace.Free { id = 0; cpu = 0 };
+      Trace.Free { id = 1; cpu = 0 };
+    ]
+  in
+  with_temp (fun path ->
+      write_events path events;
+      check_bool "extreme events roundtrip" true (read_events path = events))
+
+let test_writer_rejects_invalid () =
+  with_temp (fun path ->
+      let w = Writer.to_file path in
+      Fun.protect
+        ~finally:(fun () -> Writer.close w)
+        (fun () ->
+          Writer.add w (Trace.Alloc { id = 1; size = 8; cpu = 0 });
+          check_bool "double alloc rejected" true
+            (try
+               Writer.add w (Trace.Alloc { id = 1; size = 8; cpu = 0 });
+               false
+             with Invalid_argument _ -> true);
+          check_bool "unknown free rejected" true
+            (try
+               Writer.add w (Trace.Free { id = 99; cpu = 0 });
+               false
+             with Invalid_argument _ -> true)))
+
+(* {1 Corruption detection} *)
+
+let is_corrupt f =
+  try
+    f ();
+    false
+  with Reader.Corrupt _ -> true
+
+let test_truncation_detected =
+  qcheck
+    (QCheck.Test.make ~name:"truncated_trace_rejected" ~count:60
+       QCheck.(pair events_arbitrary (QCheck.float_bound_inclusive 1.0))
+       (fun (events, frac) ->
+         with_temp (fun path ->
+             write_events path events;
+             let full = read_file path in
+             let len = String.length full in
+             (* Cut anywhere from "just the header" to "one byte short". *)
+             let cut = 16 + int_of_float (frac *. float_of_int (len - 17)) in
+             with_temp (fun path' ->
+                 write_file path' (String.sub full 0 cut);
+                 is_corrupt (fun () ->
+                     Reader.with_file path' (fun r -> Reader.iter r ignore))))))
+
+let test_bitflip_detected =
+  qcheck
+    (QCheck.Test.make ~name:"bitflipped_trace_rejected" ~count:100
+       QCheck.(triple events_arbitrary (QCheck.int_range 0 1_000_000) (QCheck.int_range 0 7))
+       (fun (events, posr, bit) ->
+         with_temp (fun path ->
+             (* Ensure at least one block exists so there is something to
+                flip besides the end-of-stream marker. *)
+             let events =
+               if events = [] then [ Trace.Advance { dt_ns = 1.0 } ] else events
+             in
+             write_events path events;
+             let full = Bytes.of_string (read_file path) in
+             let len = Bytes.length full in
+             let pos = 16 + (posr mod (len - 16)) in
+             Bytes.set full pos
+               (Char.chr (Char.code (Bytes.get full pos) lxor (1 lsl bit)));
+             with_temp (fun path' ->
+                 write_file path' (Bytes.to_string full);
+                 is_corrupt (fun () ->
+                     Reader.with_file path' (fun r -> Reader.iter r ignore))))))
+
+(* A varint reader over raw bytes, to locate block boundaries in the file
+   and pin corruption reports to the right block index. *)
+let parse_uvarint s pos =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then continue := false
+  done;
+  !v
+
+let test_corrupt_error_names_block () =
+  with_temp (fun path ->
+      (* Two full blocks plus a partial third. *)
+      Writer.with_file path (fun w ->
+          for i = 0 to (2 * Codec.block_flush_events) + 100 do
+            Writer.add w (Trace.Alloc { id = i; size = 64; cpu = i mod 8 })
+          done);
+      let full = read_file path in
+      (* Walk the frames to find block 1's payload. *)
+      let pos = ref Codec.header_len in
+      let len0 = parse_uvarint full pos in
+      let _count0 = parse_uvarint full pos in
+      pos := !pos + 4 + len0;
+      let len1 = parse_uvarint full pos in
+      let _count1 = parse_uvarint full pos in
+      pos := !pos + 4;
+      check_bool "fixture has a second block" true (len1 > 0);
+      let corrupted = Bytes.of_string full in
+      let target = !pos + (len1 / 2) in
+      Bytes.set corrupted target
+        (Char.chr (Char.code (Bytes.get corrupted target) lxor 0x10));
+      with_temp (fun path' ->
+          write_file path' (Bytes.to_string corrupted);
+          match Reader.with_file path' (fun r -> Reader.iter r ignore) with
+          | () -> Alcotest.fail "corruption not detected"
+          | exception Reader.Corrupt { block; reason } ->
+            check_int "error names the damaged block" 1 block;
+            check_bool "reason mentions CRC" true
+              (String.length reason >= 3 && String.sub reason 0 3 = "CRC")))
+
+let test_missing_eos_detected () =
+  with_temp (fun path ->
+      write_events path [ Trace.Alloc { id = 0; size = 32; cpu = 0 } ];
+      let full = read_file path in
+      (* The end-of-stream marker is the last 6 bytes (0 len, 0 count,
+         zero checksum). *)
+      with_temp (fun path' ->
+          write_file path' (String.sub full 0 (String.length full - 6));
+          match Reader.with_file path' (fun r -> Reader.iter r ignore) with
+          | () -> Alcotest.fail "missing end-of-stream not detected"
+          | exception Reader.Corrupt { block; reason } ->
+            check_int "block index" 1 block;
+            check_bool "reason mentions end-of-stream" true
+              (String.length reason > 0
+              && String.exists (fun _ -> true) reason
+              &&
+              let re = "end-of-stream" in
+              let n = String.length re and m = String.length reason in
+              let rec scan i = i + n <= m && (String.sub reason i n = re || scan (i + 1)) in
+              scan 0)))
+
+let test_unsupported_version_rejected () =
+  with_temp (fun path ->
+      write_events path [ Trace.Advance { dt_ns = 1.0 } ];
+      let full = Bytes.of_string (read_file path) in
+      Bytes.set full 8 '\007';
+      with_temp (fun path' ->
+          write_file path' (Bytes.to_string full);
+          check_bool "future version rejected" true
+            (try
+               ignore (Reader.open_file path');
+               false
+             with Reader.Corrupt { block = 0; _ } -> true)))
+
+(* {1 Text v1 interop} *)
+
+let test_text_convert_equivalence =
+  qcheck
+    (QCheck.Test.make ~name:"text_v1_convert_equivalence" ~count:15
+       QCheck.(int_range 1 500)
+       (fun seed ->
+         let trace =
+           Trace.synthesize ~seed ~profile:Apps.redis ~duration_ns:(0.2 *. Units.sec) ()
+         in
+         with_temp (fun text_path ->
+             with_temp (fun bin_path ->
+                 Trace.save trace text_path;
+                 (* Streaming-convert text -> binary. *)
+                 let copied =
+                   Reader.with_file text_path (fun r ->
+                       Writer.with_file bin_path (fun w -> Reader.copy_into r w))
+                 in
+                 copied = Trace.length trace
+                 && read_events bin_path = Trace.events trace
+                 &&
+                 let s_text = Reader.verify text_path
+                 and s_bin = Reader.verify bin_path in
+                 s_text.Reader.summary_format = `Text_v1
+                 && s_bin.Reader.summary_format = `Binary
+                 && s_text.Reader.allocations = s_bin.Reader.allocations
+                 && s_text.Reader.frees = s_bin.Reader.frees
+                 && s_text.Reader.duration_ns = s_bin.Reader.duration_ns))))
+
+let test_text_errors_name_line () =
+  with_temp (fun path ->
+      write_file path "# wsc-alloc trace v1\na 1 100 0\nf 2 0\n";
+      check_bool "semantic error carries line number" true
+        (try
+           ignore (Reader.verify path);
+           false
+         with Invalid_argument msg ->
+           msg = "Wsc_trace.Reader: line 3: free of unknown id 2"))
+
+(* {1 Streaming scale} *)
+
+let test_million_event_stream () =
+  (* A 1M-event trace generated straight into the writer (never
+     materialized), streamed back with constant-memory verification.
+     The live window stays small, so codec state stays small too. *)
+  let n = 500_000 and window = 500 in
+  with_temp (fun path ->
+      let w = Writer.to_file path in
+      for i = 0 to n - 1 do
+        Writer.add w (Trace.Alloc { id = i; size = 1 + (i mod 1000); cpu = i mod 64 });
+        if i >= window then Writer.add w (Trace.Free { id = i - window; cpu = i mod 64 });
+        if i mod 100 = 0 then Writer.add w (Trace.Advance { dt_ns = 1e6 })
+      done;
+      Writer.close w;
+      let expected = n + (n - window) + ((n + 99) / 100) in
+      check_bool "over a million events" true (expected >= 1_000_000);
+      let s = Reader.verify path in
+      check_int "events" expected s.Reader.events;
+      check_int "allocations" n s.Reader.allocations;
+      check_int "live at end" window s.Reader.live_at_end;
+      check_bool "many blocks" true (s.Reader.blocks > 100))
+
+(* {1 Recording and replay equivalence} *)
+
+let profile = Apps.redis
+let duration_ns = 0.4 *. Units.sec
+let epoch_ns = Units.ms
+
+let direct_run ~seed ~config =
+  let machine =
+    Machine.create ~seed ~config ~platform:Wsc_hw.Topology.default
+      ~jobs:[ profile ] ()
+  in
+  Machine.run machine ~duration_ns ~epoch_ns;
+  match Machine.jobs machine with
+  | [ job ] -> (Driver.allocations job.Machine.driver, Malloc.heap_stats job.Machine.malloc)
+  | _ -> Alcotest.fail "expected one job"
+
+let test_record_replay_bit_identical () =
+  let seed = 42 in
+  with_temp (fun path ->
+      (* Record a real driver run (threads, retirement churn and all). *)
+      let w = Writer.to_file path in
+      let driver =
+        Recorder.record_app ~seed ~config:Config.baseline ~epoch_ns ~duration_ns
+          ~writer:w profile
+      in
+      let recorded_allocs = Driver.allocations driver in
+      let recorded_stats = Malloc.heap_stats (Driver.malloc driver) in
+      Writer.close w;
+      (* The probe is passive: the recorded run equals the direct run. *)
+      let direct_allocs, direct_stats = direct_run ~seed ~config:Config.baseline in
+      check_int "recording does not perturb the run" direct_allocs recorded_allocs;
+      check_bool "recorded heap state = direct heap state" true
+        (recorded_stats = direct_stats);
+      (* Streaming replay reproduces the allocator state bit-for-bit. *)
+      let r = Replay.run_file ~config:Config.baseline path in
+      check_int "replay alloc count" recorded_allocs r.Replay.allocations;
+      check_bool "replayed heap state = recorded heap state" true
+        (r.Replay.final_stats = recorded_stats))
+
+let test_multi_config_replay_deterministic () =
+  with_temp (fun path ->
+      Writer.with_file path (fun w ->
+          ignore
+            (Recorder.record_app ~seed:7 ~epoch_ns ~duration_ns:(0.2 *. Units.sec)
+               ~writer:w profile));
+      let configs =
+        [ ("baseline", Config.baseline); ("all_opts", Config.all_optimizations) ]
+      in
+      let serial = Replay.run_configs ~jobs:1 ~configs path in
+      let parallel = Replay.run_configs ~jobs:4 ~configs path in
+      check_bool "jobs=4 bit-identical to jobs=1" true (serial = parallel);
+      check_bool "arms see the identical workload" true
+        ((List.assoc "baseline" serial).Replay.allocations
+        = (List.assoc "all_opts" serial).Replay.allocations))
+
+(* {1 Analyzer} *)
+
+let test_analyzer_streaming () =
+  with_temp (fun path ->
+      Writer.with_file path (fun w ->
+          ignore
+            (Recorder.record_app ~seed:3 ~epoch_ns ~duration_ns:(0.2 *. Units.sec)
+               ~writer:w profile));
+      let s = Reader.verify path in
+      let r = Analyzer.scan_file path in
+      check_int "allocations agree with verify" s.Reader.allocations r.Analyzer.allocations;
+      check_int "frees agree with verify" s.Reader.frees r.Analyzer.frees;
+      check_int "live at end agrees" s.Reader.live_at_end r.Analyzer.live_objects_at_end;
+      check_bool "duration accumulated" true (r.Analyzer.duration_ns > 0.0);
+      check_bool "peak >= final live" true
+        (r.Analyzer.peak_live_bytes >= r.Analyzer.live_bytes_at_end);
+      check_bool "size histogram populated" true
+        (Histogram.count r.Analyzer.size_count = r.Analyzer.allocations);
+      check_bool "lifetime histogram counts frees" true
+        (Histogram.count r.Analyzer.lifetime_count = r.Analyzer.frees);
+      check_bool "live curve bounded" true (List.length r.Analyzer.live_curve <= 512);
+      check_bool "render produces tables" true
+        (String.length (Analyzer.render r) > 200))
+
+let suite =
+  [
+    ( "trace_stream_codec",
+      [
+        Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+        test_live_index_lockstep;
+        Alcotest.test_case "live index compaction" `Quick test_live_index_compaction;
+        test_codec_roundtrip;
+        Alcotest.test_case "extreme values roundtrip" `Quick test_codec_roundtrip_extremes;
+        Alcotest.test_case "writer rejects invalid" `Quick test_writer_rejects_invalid;
+      ] );
+    ( "trace_stream_integrity",
+      [
+        test_truncation_detected;
+        test_bitflip_detected;
+        Alcotest.test_case "error names block" `Quick test_corrupt_error_names_block;
+        Alcotest.test_case "missing EOS detected" `Quick test_missing_eos_detected;
+        Alcotest.test_case "future version rejected" `Quick test_unsupported_version_rejected;
+        test_text_convert_equivalence;
+        Alcotest.test_case "text error lines" `Quick test_text_errors_name_line;
+      ] );
+    ( "trace_stream_replay",
+      [
+        Alcotest.test_case "million events stream" `Quick test_million_event_stream;
+        Alcotest.test_case "record/replay bit-identical" `Quick
+          test_record_replay_bit_identical;
+        Alcotest.test_case "multi-config deterministic" `Quick
+          test_multi_config_replay_deterministic;
+        Alcotest.test_case "analyzer one-pass" `Quick test_analyzer_streaming;
+      ] );
+  ]
