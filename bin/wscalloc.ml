@@ -17,6 +17,7 @@ module Driver = Workload.Driver
 module Machine = Fleet_sim.Machine
 module Gwp = Fleet_sim.Gwp
 module Ab = Fleet_sim.Ab_test
+module Topology = Hw.Topology
 
 let experiments =
   [
@@ -85,63 +86,109 @@ let list_apps_cmd =
 
 (* simulate *)
 
+(* Snapshot errors become diagnostics + a data-error exit code, like
+   corrupt traces do. *)
+let persist_guard f =
+  try f () with
+  | Persist.Corrupt { section; reason } ->
+    Printf.eprintf "wscalloc: corrupt snapshot: section %s: %s\n" section reason;
+    exit 65
+
 let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on preempt_prob
-    audit jobs =
+    audit jobs checkpoint checkpoint_every resume_from =
+  persist_guard @@ fun () ->
   apply_jobs jobs;
   let config = if optimized then Config.all_optimizations else Config.baseline in
   if preempt_prob <> None && not rseq_on then begin
     Printf.eprintf "wscalloc: --preempt-prob requires --rseq\n";
     exit 124
   end;
-  Printf.printf "simulating %s for %.0fs (%s)...\n%!" app.Profile.name duration
-    (Config.describe config);
-  (* Hard limit at the requested size; soft limit at 85% of it so the
-     reclaim cascade engages before mmap starts failing. *)
-  let hard_limit_bytes = Option.map (fun mib -> int_of_float (mib *. 1024.0 *. 1024.0)) memory_limit_mib in
-  let soft_limit_bytes = Option.map (fun b -> b * 85 / 100) hard_limit_bytes in
-  let faults =
-    match fault_rate with
-    | None -> None
-    | Some rate ->
-      Some
-        {
-          Os.Fault.seed;
-          mmap_failure_rate = rate;
-          mmap_failure_burst = 2;
-          pressure_period_ns = 5.0 *. Units.sec;
-          pressure_duration_ns = Units.sec;
-          pressure_bytes = 64 * 1024 * 1024;
-          cpu_churn_period_ns = 3.0 *. Units.sec;
-        }
-  in
-  let rseq =
-    if rseq_on then
-      Some
-        {
-          Os.Rseq.seed;
-          preempt_prob = Option.value preempt_prob ~default:Os.Rseq.default_preempt_prob;
-          max_restarts = config.Config.rseq_max_restarts;
-        }
-    else None
-  in
-  let audit_interval_ns = if audit then Some Units.sec else None in
-  let job =
-    try
-      Quick.run_app ~seed ~config ~duration_ns:(duration *. Units.sec) ?soft_limit_bytes
-        ?hard_limit_bytes ?faults ?rseq ?audit_interval_ns app
-    with
-    | Stdlib.Out_of_memory ->
-        (* The allocator exhausted its reclaim-and-retry budget: the job
-           would be OOM-killed.  Report it as an outcome, not a crash. *)
-        Printf.eprintf
-          "job killed: out of memory under the configured limit/fault schedule\n";
-        exit 2
-    | Invalid_argument msg ->
-        (* Bad --memory-limit / --faults values are rejected by the layer
-           that owns the constraint; surface them as a usage error. *)
-        Printf.eprintf "wscalloc: %s\n" msg;
+  if checkpoint_every <> None && checkpoint = None then begin
+    Printf.eprintf "wscalloc: --checkpoint-every requires --checkpoint\n";
+    exit 124
+  end;
+  let until_ns = duration *. Units.sec in
+  let machine =
+    match resume_from with
+    | Some path ->
+      (* Every knob that shapes the simulation — config, seed, limits,
+         faults, rseq, audits — is baked into the warm state; only the
+         target duration and checkpoint cadence come from this
+         invocation. *)
+      let machine = Persist.load_machine ~path in
+      let job = List.hd (Machine.jobs machine) in
+      let name = (Driver.profile job.Machine.driver).Profile.name in
+      (match app with
+      | Some a when a.Profile.name <> name ->
+        Printf.eprintf "wscalloc: snapshot holds %S, but --app %S was given\n" name
+          a.Profile.name;
         exit 124
+      | Some _ | None -> ());
+      Printf.printf "resuming %s at %.1fs, continuing to %.0fs (%s)...\n%!" name
+        (Substrate.Clock.now (Machine.clock machine) /. Units.sec)
+        duration
+        (Config.describe (Malloc.config job.Machine.malloc));
+      machine
+    | None ->
+      let app =
+        match app with
+        | Some app -> app
+        | None ->
+          Printf.eprintf "wscalloc: --app is required (unless resuming a snapshot)\n";
+          exit 124
+      in
+      Printf.printf "simulating %s for %.0fs (%s)...\n%!" app.Profile.name duration
+        (Config.describe config);
+      (* Hard limit at the requested size; soft limit at 85% of it so the
+         reclaim cascade engages before mmap starts failing. *)
+      let hard_limit_bytes = Option.map (fun mib -> int_of_float (mib *. 1024.0 *. 1024.0)) memory_limit_mib in
+      let soft_limit_bytes = Option.map (fun b -> b * 85 / 100) hard_limit_bytes in
+      let faults =
+        match fault_rate with
+        | None -> None
+        | Some rate ->
+          Some
+            {
+              Os.Fault.seed;
+              mmap_failure_rate = rate;
+              mmap_failure_burst = 2;
+              pressure_period_ns = 5.0 *. Units.sec;
+              pressure_duration_ns = Units.sec;
+              pressure_bytes = 64 * 1024 * 1024;
+              cpu_churn_period_ns = 3.0 *. Units.sec;
+            }
+      in
+      let rseq =
+        if rseq_on then
+          Some
+            {
+              Os.Rseq.seed;
+              preempt_prob = Option.value preempt_prob ~default:Os.Rseq.default_preempt_prob;
+              max_restarts = config.Config.rseq_max_restarts;
+            }
+        else None
+      in
+      let audit_interval_ns = if audit then Some Units.sec else None in
+      (try
+         Machine.create ~seed ~config ?soft_limit_bytes ?hard_limit_bytes ?faults ?rseq
+           ?audit_interval_ns ~platform:Topology.default ~jobs:[ app ] ()
+       with Invalid_argument msg ->
+         (* Bad --memory-limit / --faults values are rejected by the layer
+            that owns the constraint; surface them as a usage error. *)
+         Printf.eprintf "wscalloc: %s\n" msg;
+         exit 124)
   in
+  (try
+     Persist.run_machine machine ~until_ns ~epoch_ns:Units.ms
+       ?checkpoint_every_ns:(Option.map (fun s -> s *. Units.sec) checkpoint_every)
+       ?checkpoint_path:checkpoint
+   with Stdlib.Out_of_memory ->
+     (* The allocator exhausted its reclaim-and-retry budget: the job
+        would be OOM-killed.  Report it as an outcome, not a crash. *)
+     Printf.eprintf
+       "job killed: out of memory under the configured limit/fault schedule\n";
+     exit 2);
+  let job = List.hd (Machine.jobs machine) in
   let m = job.Machine.malloc in
   let stats = Malloc.heap_stats m in
   let tel = Malloc.telemetry m in
@@ -209,8 +256,12 @@ let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on pre
     Printf.printf "  stranded reclaim : %s in %d passes\n"
       (Units.bytes_to_string (Telemetry.stranded_reclaim_bytes tel))
       (Telemetry.stranded_reclaim_events tel));
-  if audit then begin
-    let reports = Driver.audit_reports job.Machine.driver in
+  (* The audit block prints for --audit, and also on --resume when the
+     restored machine was created with auditing (the flag itself is not a
+     resume option: the warm state already carries the audit ticker). *)
+  let audit_reports = Driver.audit_reports job.Machine.driver in
+  if audit || audit_reports <> [] then begin
+    let reports = audit_reports in
     let violations = Driver.audit_violations job.Machine.driver in
     Printf.printf "heap audit: %d audits, %d violation(s)\n" (List.length reports)
       violations;
@@ -272,11 +323,51 @@ let simulate_cmd =
             "Run the heap auditor every simulated second; print a summary and exit \
              nonzero on any invariant violation.")
   in
+  let app_opt =
+    Arg.(
+      value
+      & opt (some app_arg) None
+      & info [ "app"; "a" ] ~docv:"APP"
+          ~doc:"Application profile to run.  Not needed with $(b,--resume).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a warm-state snapshot to $(docv) (atomically, replacing any \
+             previous one) at every $(b,--checkpoint-every) interval and once at the \
+             end of the run.  Resuming it continues bit-identically.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "checkpoint-every" ] ~docv:"SECS"
+          ~doc:
+            "Simulated seconds between checkpoints (requires $(b,--checkpoint); \
+             without it, only the end-of-run snapshot is written).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a snapshot written by $(b,--checkpoint) instead of starting \
+             cold.  $(b,--duration) is the absolute target time: resuming a 3 s \
+             snapshot with --duration 6 simulates 3 more seconds and prints stats \
+             byte-identical to an uninterrupted 6 s run.  Simulation-shaping flags \
+             (config, seed, limits, faults, rseq) are carried by the snapshot and \
+             ignored here.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
     Term.(
-      const simulate $ app_term $ duration_term $ optimized $ seed_term $ memory_limit
-      $ faults $ rseq $ preempt_prob $ audit $ jobs_term)
+      const simulate $ app_opt $ duration_term $ optimized $ seed_term $ memory_limit
+      $ faults $ rseq $ preempt_prob $ audit $ jobs_term $ checkpoint $ checkpoint_every
+      $ resume)
 
 (* ab *)
 
@@ -380,9 +471,9 @@ let trace_record app duration seed synthesize out =
   let w = Writer.to_file out in
   (if synthesize then
      (* Generator-only stream: the driver's event generator without an
-        allocator behind it (the legacy trace-record behavior). *)
-     let trace = Workload.Trace.synthesize ~seed ~profile:app ~duration_ns () in
-     List.iter (Writer.add w) (Workload.Trace.events trace)
+        allocator behind it (the legacy trace-record behavior), streamed
+        straight into the writer — no in-memory event list. *)
+     Workload.Trace.synthesize_into ~seed ~profile:app ~duration_ns (Writer.add w)
    else
      (* Record an actual solo-machine driver run through the probe. *)
      ignore (Recorder.record_app ~seed ~duration_ns ~writer:w app));
@@ -534,6 +625,39 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Record, replay, analyze and convert allocation traces.")
     [ trace_record_cmd; trace_replay_cmd; trace_stat_cmd; trace_verify_cmd; trace_convert_cmd ]
 
+(* snapshot info *)
+
+let snapshot_info file =
+  persist_guard @@ fun () ->
+  let i = Persist.info ~path:file in
+  Printf.printf "%s: %s snapshot (%s), %s simulated%s\n" file i.Persist.kind
+    (Units.bytes_to_string i.Persist.file_bytes)
+    (Units.duration_to_string i.Persist.sim_now_ns)
+    (if i.Persist.note = "" then "" else Printf.sprintf " (%s)" i.Persist.note);
+  List.iter
+    (fun (name, rss) ->
+      Printf.printf "  %-22s rss %s\n" name (Units.bytes_to_string rss))
+    i.Persist.jobs;
+  Printf.printf "OK\n"
+
+let snapshot_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file to inspect.")
+  in
+  Cmd.group
+    (Cmd.info "snapshot" ~doc:"Inspect warm-state snapshots.")
+    [
+      Cmd.v
+        (Cmd.info "info"
+           ~doc:
+             "Verify a snapshot's header and checksums and print its summary \
+              (kind, simulated time, per-job RSS); exits 65 on damage.")
+        Term.(const snapshot_info $ file);
+    ]
+
 let () =
   let info =
     Cmd.info "wscalloc" ~version:"1.0.0"
@@ -541,4 +665,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_cmd; snapshot_cmd ]))

@@ -11,7 +11,8 @@
     {- {!Tcmalloc} — the allocator model and its four optimizations.}
     {- {!Workload} — application profiles and the event driver.}
     {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}
-    {- {!Trace_stream} — streaming binary traces: record, replay, analyze.}} *)
+    {- {!Trace_stream} — streaming binary traces: record, replay, analyze.}
+    {- {!Persist} — warm-state checkpoint/restore with bit-identical resume.}} *)
 
 module Substrate = Wsc_substrate
 module Hw = Wsc_hw
@@ -20,6 +21,7 @@ module Tcmalloc = Wsc_tcmalloc
 module Workload = Wsc_workload
 module Fleet_sim = Wsc_fleet
 module Trace_stream = Wsc_trace
+module Persist = Wsc_persist.Persist
 
 (** Convenience entry points used by the examples and the CLI. *)
 module Quick = struct

@@ -58,3 +58,17 @@ let run ?jobs t ~duration_ns ~epoch_ns =
 let machines t = t.machines
 let jobs t = List.concat_map Machine.jobs t.machines
 let binary_population t = t.binaries
+
+(* Fleet checkpoints marshal the whole record so the binary population
+   array keeps its sharing with the jobs that were drawn from it. *)
+let checkpoint t =
+  let rec detached jobs k =
+    match jobs with
+    | [] -> k ()
+    | job :: rest ->
+      Wsc_workload.Driver.with_probe_detached job.Machine.driver (fun () ->
+          detached rest k)
+  in
+  detached (jobs t) (fun () -> Marshal.to_string t [ Marshal.Closures ])
+
+let resume blob : t = Marshal.from_string blob 0

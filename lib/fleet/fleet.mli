@@ -37,3 +37,12 @@ val jobs : t -> Machine.job list
 
 val binary_population : t -> Wsc_workload.Profile.t array
 (** The binaries jobs were drawn from, most popular first. *)
+
+val checkpoint : t -> string
+(** Serialize every machine plus the binary population into one blob;
+    {!resume} + {!run} is bit-identical to an uninterrupted run for any
+    [?jobs] level (machines are independent tasks).  Same-binary only —
+    see {!Wsc_persist} for the durable container. *)
+
+val resume : string -> t
+(** Inverse of {!checkpoint}. *)

@@ -64,12 +64,14 @@ let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_byte
   in
   { platform; clock; jobs = List.mapi make jobs }
 
+let step t ~dt = List.iter (fun job -> Driver.step job.driver ~dt) t.jobs
+
 let run t ~duration_ns ~epoch_ns =
   let until = Clock.now t.clock +. duration_ns in
   while Clock.now t.clock < until do
     let dt = Float.min epoch_ns (until -. Clock.now t.clock) in
     Clock.advance t.clock dt;
-    List.iter (fun job -> Driver.step job.driver ~dt) t.jobs
+    step t ~dt
   done
 
 let platform t = t.platform
@@ -81,3 +83,20 @@ let total_rss t =
     (fun acc job ->
       acc + (Malloc.heap_stats job.malloc).Malloc.resident_bytes)
     0 t.jobs
+
+(* --- Warm-state checkpointing ----------------------------------------- *)
+
+(* One Marshal-with-closures blob of the whole machine keeps the sharing
+   that matters: all jobs reference the one clock (and their tickers on
+   it), so co-located background activity resumes in the same interleaved
+   order.  Probes are detached for the duration of the marshal — they may
+   hold output channels — and reattached before returning. *)
+let checkpoint t =
+  let rec detached jobs k =
+    match jobs with
+    | [] -> k ()
+    | job :: rest -> Driver.with_probe_detached job.driver (fun () -> detached rest k)
+  in
+  detached t.jobs (fun () -> Marshal.to_string t [ Marshal.Closures ])
+
+let resume blob : t = Marshal.from_string blob 0

@@ -53,3 +53,22 @@ val clock : t -> Wsc_substrate.Clock.t
 
 val total_rss : t -> int
 (** Sum of simulated RSS across jobs. *)
+
+(** {2 Warm-state checkpointing} *)
+
+val step : t -> dt:float -> unit
+(** Step every job for one epoch; the caller must have advanced the
+    machine's clock by [dt] first (what {!run} does internally).  Exposed
+    so checkpoint-aware run loops ({!Wsc_persist}) can interleave
+    snapshots between epochs without perturbing the epoch sequence. *)
+
+val checkpoint : t -> string
+(** Serialize the whole machine — every job's driver, allocator, OS
+    state, the shared clock and its background tickers — into one blob
+    such that [resume] + continue is bit-identical to an uninterrupted
+    run.  Driver probes are omitted (they may capture channels).  The
+    blob is [Marshal]-based and same-binary only; {!Wsc_persist} wraps it
+    in a versioned, checksummed container for on-disk use. *)
+
+val resume : string -> t
+(** Inverse of {!checkpoint}. *)

@@ -1,0 +1,292 @@
+(* Versioned snapshot container over Marshal-with-closures state blobs.
+   Layout (all integers little-endian, mirroring the trace codec):
+
+     header   : magic "WSCSNAPS" (8) | version u8 | 7 reserved zero bytes
+     section* : name_len u8 | name | crc32 u32 | payload_len u64 | payload
+     end      : a section literally named "end" with an empty payload
+
+   The CRC (Wsc_trace.Crc32, IEEE 802.3) covers the payload bytes of each
+   section, so a flipped byte is attributed to the section it damaged and
+   a truncation to the section it cut short. *)
+
+open Wsc_substrate
+module Crc32 = Wsc_trace.Crc32
+module Machine = Wsc_fleet.Machine
+module Fleet = Wsc_fleet.Fleet
+module Driver = Wsc_workload.Driver
+module Malloc = Wsc_tcmalloc.Malloc
+module Profile = Wsc_workload.Profile
+
+exception Corrupt of { section : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { section; reason } ->
+      Some (Printf.sprintf "Persist.Corrupt(section %S: %s)" section reason)
+    | _ -> None)
+
+let corrupt ~section fmt =
+  Printf.ksprintf (fun reason -> raise (Corrupt { section; reason })) fmt
+
+let magic = "WSCSNAPS"
+let format_version = 1
+let header_bytes = 16
+
+(* --- Summary sections (closure-free, Marshal without flags) ----------- *)
+
+type meta = { kind : string; note : string }
+
+type job_manifest = {
+  profile_name : string;
+  requests : float;
+  allocations : int;
+  live_objects : int;
+  heap : Malloc.heap_stats;
+}
+
+type manifest = { sim_now_ns : float; job_manifests : job_manifest list }
+
+let job_manifest_of ~(profile : Profile.t) driver malloc =
+  {
+    profile_name = profile.Profile.name;
+    requests = Driver.requests_completed driver;
+    allocations = Driver.allocations driver;
+    live_objects = Driver.live_objects driver;
+    heap = Malloc.heap_stats malloc;
+  }
+
+let manifest_of_machine machine =
+  {
+    sim_now_ns = Clock.now (Machine.clock machine);
+    job_manifests =
+      List.map
+        (fun (job : Machine.job) ->
+          job_manifest_of ~profile:job.Machine.profile job.Machine.driver
+            job.Machine.malloc)
+        (Machine.jobs machine);
+  }
+
+let manifest_of_driver driver =
+  {
+    sim_now_ns = Clock.now (Malloc.clock (Driver.malloc driver));
+    job_manifests =
+      [ job_manifest_of ~profile:(Driver.profile driver) driver (Driver.malloc driver) ];
+  }
+
+let manifest_of_fleet fleet =
+  {
+    (* Machines own independent clocks; the latest one is the fleet's
+       notion of "now" (they advance in lockstep under Fleet.run). *)
+    sim_now_ns =
+      List.fold_left
+        (fun acc m -> Float.max acc (Clock.now (Machine.clock m)))
+        0.0 (Fleet.machines fleet);
+    job_manifests =
+      List.map
+        (fun (job : Machine.job) ->
+          job_manifest_of ~profile:job.Machine.profile job.Machine.driver
+            job.Machine.malloc)
+        (Fleet.jobs fleet);
+  }
+
+(* --- Writing ---------------------------------------------------------- *)
+
+let add_section buf ~name ~payload =
+  Buffer.add_uint8 buf (String.length name);
+  Buffer.add_string buf name;
+  Buffer.add_int32_le buf (Int32.of_int (Crc32.string payload));
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf payload
+
+let save ~path ~kind ~note ~manifest ~state =
+  let buf = Buffer.create (String.length state + 4096) in
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf format_version;
+  Buffer.add_string buf (String.make (header_bytes - String.length magic - 1) '\000');
+  add_section buf ~name:"meta" ~payload:(Marshal.to_string { kind; note } []);
+  add_section buf ~name:"manifest" ~payload:(Marshal.to_string manifest []);
+  add_section buf ~name:"state" ~payload:state;
+  add_section buf ~name:"end" ~payload:"";
+  (* Atomic replace: never leave a torn snapshot under the final name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path
+
+(* --- Reading ---------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse the container into name->payload, CRC-checking every section and
+   requiring the "end" marker.  [data] is the whole file. *)
+let parse_sections data =
+  let len = String.length data in
+  if len < header_bytes then
+    corrupt ~section:"header" "truncated header: %d bytes (need %d)" len header_bytes;
+  if String.sub data 0 (String.length magic) <> magic then
+    corrupt ~section:"header" "bad magic (not a wsc-alloc snapshot)";
+  let version = Char.code data.[String.length magic] in
+  if version <> format_version then
+    corrupt ~section:"header" "unsupported snapshot version %d (expected %d)" version
+      format_version;
+  let pos = ref header_bytes in
+  let sections = ref [] in
+  let finished = ref false in
+  while not !finished do
+    if len - !pos < 1 then
+      corrupt ~section:"container" "truncated at byte %d: missing section header" !pos;
+    let name_len = Char.code data.[!pos] in
+    if len - !pos < 1 + name_len + 12 then
+      corrupt ~section:"container" "truncated at byte %d: partial section header" !pos;
+    let name = String.sub data (!pos + 1) name_len in
+    let crc =
+      Int32.to_int (String.get_int32_le data (!pos + 1 + name_len)) land 0xFFFFFFFF
+    in
+    let payload_len = Int64.to_int (String.get_int64_le data (!pos + 1 + name_len + 4)) in
+    let payload_start = !pos + 1 + name_len + 12 in
+    if payload_len < 0 || payload_len > len - payload_start then
+      corrupt ~section:name "truncated payload: need %d bytes, %d remain" payload_len
+        (len - payload_start);
+    let payload = String.sub data payload_start payload_len in
+    let computed = Crc32.string payload in
+    if computed <> crc then
+      corrupt ~section:name "CRC mismatch: stored %08x, computed %08x" crc computed;
+    pos := payload_start + payload_len;
+    if name = "end" then finished := true else sections := (name, payload) :: !sections
+  done;
+  List.rev !sections
+
+let find_section sections name =
+  match List.assoc_opt name sections with
+  | Some payload -> payload
+  | None -> corrupt ~section:name "section missing from snapshot"
+
+(* Marshal.from_string on damaged or cross-binary data raises Failure;
+   surface it as structured corruption of the owning section. *)
+let unmarshal ~section payload =
+  try Marshal.from_string payload 0
+  with Failure reason -> corrupt ~section "unreadable payload: %s" reason
+
+let load_sections path =
+  let sections = parse_sections (read_file path) in
+  let m : meta = unmarshal ~section:"meta" (find_section sections "meta") in
+  let manifest : manifest =
+    unmarshal ~section:"manifest" (find_section sections "manifest")
+  in
+  (m, manifest, find_section sections "state")
+
+let check_kind ~expected (m : meta) =
+  if m.kind <> expected then
+    corrupt ~section:"meta" "snapshot holds a %s, expected a %s" m.kind expected
+
+(* The restored graph must agree with the summary written alongside it:
+   recompute the manifest from live state and compare field by field. *)
+let check_manifest ~stored ~restored =
+  if restored.sim_now_ns <> stored.sim_now_ns then
+    corrupt ~section:"manifest" "clock mismatch after restore: %.0f ns vs stored %.0f ns"
+      restored.sim_now_ns stored.sim_now_ns;
+  if List.length restored.job_manifests <> List.length stored.job_manifests then
+    corrupt ~section:"manifest" "job count mismatch after restore: %d vs stored %d"
+      (List.length restored.job_manifests)
+      (List.length stored.job_manifests);
+  List.iter2
+    (fun (got : job_manifest) (want : job_manifest) ->
+      if got <> want then
+        corrupt ~section:"manifest"
+          "job %S disagrees with stored manifest after restore \
+           (requests %.0f/%.0f, allocations %d/%d, live %d/%d, rss %d/%d)"
+          want.profile_name got.requests want.requests got.allocations want.allocations
+          got.live_objects want.live_objects got.heap.Malloc.resident_bytes
+          want.heap.Malloc.resident_bytes)
+    restored.job_manifests stored.job_manifests
+
+(* --- Public save/load ------------------------------------------------- *)
+
+let save_machine ?(note = "") machine ~path =
+  save ~path ~kind:"machine" ~note ~manifest:(manifest_of_machine machine)
+    ~state:(Machine.checkpoint machine)
+
+let load_machine ~path =
+  let m, stored, state = load_sections path in
+  check_kind ~expected:"machine" m;
+  let machine = try Machine.resume state with Failure reason -> corrupt ~section:"state" "unreadable payload: %s" reason in
+  check_manifest ~stored ~restored:(manifest_of_machine machine);
+  machine
+
+let save_driver ?(note = "") driver ~path =
+  save ~path ~kind:"driver" ~note ~manifest:(manifest_of_driver driver)
+    ~state:(Driver.checkpoint driver)
+
+let load_driver ~path =
+  let m, stored, state = load_sections path in
+  check_kind ~expected:"driver" m;
+  let driver = try Driver.resume state with Failure reason -> corrupt ~section:"state" "unreadable payload: %s" reason in
+  check_manifest ~stored ~restored:(manifest_of_driver driver);
+  driver
+
+let save_fleet ?(note = "") fleet ~path =
+  save ~path ~kind:"fleet" ~note ~manifest:(manifest_of_fleet fleet)
+    ~state:(Fleet.checkpoint fleet)
+
+let load_fleet ~path =
+  let m, stored, state = load_sections path in
+  check_kind ~expected:"fleet" m;
+  let fleet = try Fleet.resume state with Failure reason -> corrupt ~section:"state" "unreadable payload: %s" reason in
+  check_manifest ~stored ~restored:(manifest_of_fleet fleet);
+  fleet
+
+(* --- Inspection ------------------------------------------------------- *)
+
+type info = {
+  kind : string;
+  note : string;
+  sim_now_ns : float;
+  jobs : (string * int) list;
+  file_bytes : int;
+}
+
+let info ~path =
+  let data = read_file path in
+  let sections = parse_sections data in
+  let m : meta = unmarshal ~section:"meta" (find_section sections "meta") in
+  let manifest : manifest =
+    unmarshal ~section:"manifest" (find_section sections "manifest")
+  in
+  {
+    kind = m.kind;
+    note = m.note;
+    sim_now_ns = manifest.sim_now_ns;
+    jobs =
+      List.map
+        (fun jm -> (jm.profile_name, jm.heap.Malloc.resident_bytes))
+        manifest.job_manifests;
+    file_bytes = String.length data;
+  }
+
+(* --- Checkpoint-aware run loop ---------------------------------------- *)
+
+let run_machine ?checkpoint_every_ns ?checkpoint_path machine ~until_ns ~epoch_ns =
+  let clock = Machine.clock machine in
+  let every =
+    match checkpoint_every_ns with Some e when e > 0.0 -> e | Some _ | None -> infinity
+  in
+  let next_checkpoint = ref (Clock.now clock +. every) in
+  while Clock.now clock < until_ns do
+    let dt = Float.min epoch_ns (until_ns -. Clock.now clock) in
+    Clock.advance clock dt;
+    Machine.step machine ~dt;
+    match checkpoint_path with
+    | Some path when Clock.now clock >= !next_checkpoint ->
+      save_machine machine ~path;
+      next_checkpoint := !next_checkpoint +. every
+    | _ -> ()
+  done;
+  match checkpoint_path with
+  | Some path -> save_machine machine ~path
+  | None -> ()

@@ -1,0 +1,94 @@
+(** Durable warm-state snapshots: checkpoint a simulation to disk and
+    resume it bit-identically later (same binary).
+
+    The paper's span telemetry spans two weeks of production time; every
+    experiment in this reproduction previously had to start from a cold
+    heap, capping windows at minutes (EXPERIMENTS.md gaps 3/6).  A
+    snapshot captures the {e entire} simulator warm state — every
+    allocator tier (per-CPU caches, transfer caches, central free lists
+    and their spans, the pageheap with its hugepage filler/region/cache,
+    the page map, sampler, telemetry, span telemetry), the OS layer
+    underneath (VM mappings and accounting, the vCPU table, rseq state,
+    scheduler, fault streams, every RNG cursor), and the workload side
+    (driver event heaps, live-object tables, thread pools, the shared
+    clock with its background tickers) — so a resumed run continues with
+    the same heap stats, telemetry and audit reports as one that never
+    stopped.
+
+    On disk a snapshot is a versioned container in the style of the
+    binary trace format: a 16-byte header (magic + format version), then
+    named length-prefixed sections, each protected by the trace codec's
+    CRC-32 ({!Wsc_trace.Crc32}), ending with an ["end"] marker section.
+    The ["meta"] and ["manifest"] sections are closure-free summaries
+    readable by {!info}; the ["state"] section is the full object graph
+    ([Marshal] with closures, so it is only readable by the binary that
+    wrote it — the embedded code checksum turns cross-binary loads into
+    {!Corrupt} rather than undefined behavior).  After restoring, the
+    manifest is recomputed from the live state and compared field by
+    field, so silent deserialization drift fails loudly. *)
+
+exception Corrupt of { section : string; reason : string }
+(** Raised by every loader on damage: a bad or wrong-version header
+    (section ["header"]), a truncated or checksum-failing section (named
+    by the section), an unreadable payload, or restored state that
+    disagrees with the stored manifest (section ["manifest"]).  A printer
+    is registered. *)
+
+val format_version : int
+(** Version byte written after the magic; bumped on layout changes. *)
+
+(** {1 Saving and loading} *)
+
+val save_machine : ?note:string -> Wsc_fleet.Machine.t -> path:string -> unit
+(** Snapshot one machine (all co-located jobs plus their shared clock).
+    The write is atomic: a temporary file is renamed into place, so a
+    crash mid-checkpoint leaves the previous snapshot intact. *)
+
+val load_machine : path:string -> Wsc_fleet.Machine.t
+(** @raise Corrupt on any damage or manifest disagreement. *)
+
+val save_driver : ?note:string -> Wsc_workload.Driver.t -> path:string -> unit
+(** Snapshot a standalone driver (solo-process experiments). *)
+
+val load_driver : path:string -> Wsc_workload.Driver.t
+
+val save_fleet : ?note:string -> Wsc_fleet.Fleet.t -> path:string -> unit
+(** Snapshot a whole fleet; {!load_fleet} + [Fleet.run] is bit-identical
+    for any [?jobs] parallelism, machines being independent tasks. *)
+
+val load_fleet : path:string -> Wsc_fleet.Fleet.t
+
+(** {1 Inspection} *)
+
+type info = {
+  kind : string;  (** ["machine"], ["driver"] or ["fleet"]. *)
+  note : string;  (** Free-form note passed at save time. *)
+  sim_now_ns : float;  (** Simulated clock at snapshot time. *)
+  jobs : (string * int) list;
+      (** Per job: profile name and simulated resident bytes. *)
+  file_bytes : int;
+}
+
+val info : path:string -> info
+(** Read and verify the header and summary sections without
+    deserializing the state graph (the state payload is still CRC
+    checked). *)
+
+(** {1 Checkpoint-aware running} *)
+
+val run_machine :
+  ?checkpoint_every_ns:float ->
+  ?checkpoint_path:string ->
+  Wsc_fleet.Machine.t ->
+  until_ns:float ->
+  epoch_ns:float ->
+  unit
+(** Advance the machine to absolute simulated time [until_ns] exactly as
+    [Machine.run] would, snapshotting to [checkpoint_path] every
+    [checkpoint_every_ns] of simulated time and once more on completion.
+    Taking [until_ns] as an {e absolute} time is what makes segmented
+    runs bit-identical to uninterrupted ones: the epoch sequence is a
+    function of the clock position and [until_ns] alone, so resuming at
+    an epoch boundary reproduces the same [dt] sequence the
+    uninterrupted run saw.  Without [checkpoint_path] no snapshot is
+    written. *)

@@ -611,3 +611,13 @@ let config t = t.config
 let topology t = t.topology
 let clock t = t.clock
 let snapshot_spans t = Central_free_list.snapshot t.cfl ~now:(Clock.now t.clock)
+
+(* Warm-state snapshot: one [Marshal] blob of the whole allocator graph.
+   [Marshal.Closures] carries the background tickers registered on the
+   clock (they capture [t]), so a restored allocator resumes with every
+   periodic activity — cache resize, decay, stranded reclaim, span
+   snapshots — exactly where it left off.  Sharing is preserved, so spans
+   referenced from both the central free lists and the page map come back
+   as one object, and float counters round-trip bit-for-bit. *)
+let snapshot t = Marshal.to_string t [ Marshal.Closures ]
+let restore blob : t = Marshal.from_string blob 0

@@ -142,3 +142,23 @@ val clock : t -> Wsc_substrate.Clock.t
 
 val snapshot_spans : t -> unit
 (** Manually record one span-occupancy observation pass. *)
+
+(** {2 Warm-state snapshot} *)
+
+val snapshot : t -> string
+(** Serialize the entire allocator — every cache tier, the pageheap and
+    its hugepage components, the page map, sampler, telemetry, span
+    telemetry, the OS layer underneath ({!Wsc_os.Vm}, {!Wsc_os.Vcpu},
+    {!Wsc_os.Rseq}), the shared clock with all registered background
+    tickers, and every RNG cursor — into one binary blob.  Restoring
+    ({!restore}) resumes the allocator bit-identically: continuing a
+    restored instance produces exactly the same stats and telemetry as
+    never having snapshotted.  The blob uses [Marshal] with closures and
+    is therefore only readable by the same binary that wrote it; the
+    {!Wsc_persist} library wraps it in a checked, versioned container. *)
+
+val restore : string -> t
+(** Inverse of {!snapshot}.  The restored allocator owns a private copy of
+    the clock that was shared at snapshot time; callers resuming a whole
+    machine should restore at the machine level instead so clock sharing
+    is preserved across co-located jobs. *)

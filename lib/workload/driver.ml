@@ -58,7 +58,9 @@ type t = {
   mutable peak_rss : int;
   mutable malloc_ns_at_reset : float;
   faults : Fault.t option;
-  probe : probe option;
+  (* Mutable so checkpointing can detach it: probes may capture
+     unmarshalable resources (a trace writer's output channel). *)
+  mutable probe : probe option;
   audit_interval_ns : float option;
   mutable next_audit : float;
   audit_reports : Audit.report Vec.t;
@@ -376,3 +378,15 @@ let measured_malloc_ns t =
   Telemetry.total_malloc_ns (Malloc.telemetry t.malloc) -. t.malloc_ns_at_reset
 
 let drain t = Event_heap.drain_until t.pending_frees infinity t.on_free
+
+(* --- Warm-state checkpointing ----------------------------------------- *)
+
+let with_probe_detached t f =
+  let saved = t.probe in
+  t.probe <- None;
+  Fun.protect ~finally:(fun () -> t.probe <- saved) f
+
+let checkpoint t =
+  with_probe_detached t (fun () -> Marshal.to_string t [ Marshal.Closures ])
+
+let resume blob : t = Marshal.from_string blob 0

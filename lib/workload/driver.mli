@@ -128,3 +128,25 @@ val measured_malloc_ns : t -> float
 val drain : t -> unit
 (** Free every pending object immediately (end-of-run cleanup for leak
     checks in tests). *)
+
+(** {2 Warm-state checkpointing} *)
+
+val checkpoint : t -> string
+(** Serialize the driver and everything it drives — the allocator (via
+    {!Wsc_tcmalloc.Malloc.snapshot}'s representation), the shared clock
+    and its tickers, the pending-free event heap, the thread pool and
+    vCPU occupancy, fault stream, audit history, and the driver's RNG
+    cursor — into one [Marshal]-with-closures blob.  Resuming
+    ({!resume}) and continuing is bit-identical to never having
+    checkpointed.  A {!probe} is {e not} captured (it may hold an output
+    channel); the restored driver runs without one.  Same-binary only;
+    {!Wsc_persist} adds the durable, checked file container. *)
+
+val resume : string -> t
+(** Inverse of {!checkpoint}.  The restored driver owns private copies of
+    the clock/allocator it shared at checkpoint time; resume co-located
+    jobs at the machine level ({!Wsc_fleet.Machine}) to keep sharing. *)
+
+val with_probe_detached : t -> (unit -> 'a) -> 'a
+(** Run [f] with the probe unhooked (restored afterwards, also on raise).
+    Used by machine- and fleet-level checkpointing. *)

@@ -48,18 +48,12 @@ let length t = t.length
 
 (* Mirror the driver's event generation, but emit events instead of calling
    the allocator.  Object ids are allocation ordinals. *)
-let synthesize ?(seed = 1) ?(epoch_ns = Units.ms)
+let synthesize_into ?(seed = 1) ?(epoch_ns = Units.ms)
     ?(num_cpus = Wsc_hw.Topology.num_cpus Wsc_hw.Topology.default) ~profile
-    ~duration_ns () =
+    ~duration_ns emit =
   if num_cpus <= 0 then invalid_arg "Trace.synthesize: num_cpus <= 0";
   let rng = Rng.create seed in
   let pending : (int * int) Binheap.t = Binheap.create () (* (id, thread) *) in
-  let out = ref [] in
-  let n_out = ref 0 in
-  let emit ev =
-    out := ev :: !out;
-    incr n_out
-  in
   let next_id = ref 0 in
   let now = ref 0.0 in
   let active_threads = ref 1 in
@@ -103,7 +97,14 @@ let synthesize ?(seed = 1) ?(epoch_ns = Units.ms)
   done;
   (* Close the trace: free every live object so replays end balanced. *)
   Binheap.iter pending (fun _ (id, thread) ->
-      emit (Free { id; cpu = cpu_of_thread thread }));
+      emit (Free { id; cpu = cpu_of_thread thread }))
+
+let synthesize ?seed ?epoch_ns ?num_cpus ~profile ~duration_ns () =
+  let out = ref [] in
+  let n_out = ref 0 in
+  synthesize_into ?seed ?epoch_ns ?num_cpus ~profile ~duration_ns (fun ev ->
+      out := ev :: !out;
+      incr n_out);
   { events = List.rev !out; length = !n_out }
 
 type replay_result = {

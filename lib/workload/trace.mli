@@ -11,15 +11,21 @@
     - {b debugging}: a failing allocator state can be reduced to the trace
       that produced it.
 
-    {b Deprecation note.}  This module materializes the whole event stream
-    as an in-memory list and persists it in the line-per-event text v1
-    format.  It remains as a compatibility shim for small traces and
-    existing tests/examples; new code should use the streaming [wsc_trace]
-    library instead ({!module:Wsc_trace.Writer} / {!module:Wsc_trace.Reader}
-    for constant-memory binary persistence, {!module:Wsc_trace.Recorder} to
+    {b Deprecation note.}  The list-materializing API of this module
+    ({!of_events}, {!events}, {!replay}, {!save}/{!load}) holds the whole
+    event stream in memory and persists it in the line-per-event text v1
+    format.  It remains exported as a compatibility shim for small traces
+    and its own tests, but no other code in this repository calls it any
+    more and it is scheduled for removal in a later change; new code
+    should use the streaming [wsc_trace] library instead
+    ({!module:Wsc_trace.Writer} / {!module:Wsc_trace.Reader} for
+    constant-memory binary persistence, {!module:Wsc_trace.Recorder} to
     capture live {!Driver} runs, {!module:Wsc_trace.Replay} for streaming
-    replay).  [Wsc_trace.Reader] reads the text v1 files written by
-    {!save}, and [wscalloc trace convert] upgrades them to binary. *)
+    replay) together with {!synthesize_into} for generator-only streams.
+    The {!event} type, {!parse_line}, and {!synthesize_into} are {e not}
+    deprecated — they are the shared vocabulary of both pipelines.
+    [Wsc_trace.Reader] reads the text v1 files written by {!save}, and
+    [wscalloc trace convert] upgrades them to binary. *)
 
 type event =
   | Alloc of { id : int; size : int; cpu : int }
@@ -60,6 +66,22 @@ val synthesize :
     {!Wsc_hw.Topology.default}, so recorded cpus agree with {!replay}'s
     [cpu mod num_cpus] remapping on the default topology instead of
     silently aliasing).
+    @raise Invalid_argument if [num_cpus <= 0].
+    @deprecated Materializes the stream as a list; use {!synthesize_into}. *)
+
+val synthesize_into :
+  ?seed:int ->
+  ?epoch_ns:float ->
+  ?num_cpus:int ->
+  profile:Profile.t ->
+  duration_ns:float ->
+  (event -> unit) ->
+  unit
+(** Streaming form of {!synthesize}: feed each event to the callback as it
+    is generated (e.g. [Wsc_trace.Writer.add]) instead of materializing a
+    list, so generating a trace takes memory proportional to the live-object
+    population, not the stream length.  Event-for-event identical to
+    {!synthesize} for the same parameters.
     @raise Invalid_argument if [num_cpus <= 0]. *)
 
 type replay_result = {

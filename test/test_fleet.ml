@@ -79,6 +79,44 @@ let test_fleet_invalid_shape () =
   Alcotest.check_raises "bad shape" (Invalid_argument "Fleet.create: bad shape")
     (fun () -> ignore (Fleet.create ~num_machines:0 ()))
 
+(* Everything observable about a fleet, per machine: clock position, heap
+   stats and driver progress of every job.  Structural equality of this is
+   what "restore is exact" means below. *)
+let fleet_digest fleet =
+  List.map
+    (fun m ->
+      ( Wsc_substrate.Clock.now (Machine.clock m),
+        List.map
+          (fun (j : Machine.job) ->
+            ( Malloc.heap_stats j.Machine.malloc,
+              Driver.requests_completed j.Machine.driver,
+              Driver.allocations j.Machine.driver,
+              Driver.live_objects j.Machine.driver ))
+          (Machine.jobs m) ))
+    (Fleet.machines fleet)
+
+(* Restoring a fleet snapshot and continuing under [~jobs:4] must land on
+   exactly the same state as [~jobs:1]: machines are independent, so the
+   worker count is pure mechanism.  Routed through the on-disk
+   [Persist.save_fleet]/[load_fleet] container so the file path is covered
+   too, not just the in-memory [Fleet.checkpoint] blob. *)
+let test_fleet_restore_jobs_invariant () =
+  let fleet = Fleet.create ~seed:11 ~num_machines:4 ~num_binaries:6 ~jobs_per_machine:2 () in
+  Fleet.run fleet ~jobs:2 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+  let path = Filename.temp_file "wsc_fleet" ".wsnap" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Wsc_persist.Persist.save_fleet fleet ~path;
+      let serial = Wsc_persist.Persist.load_fleet ~path in
+      let parallel = Wsc_persist.Persist.load_fleet ~path in
+      Fleet.run serial ~jobs:1 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+      Fleet.run parallel ~jobs:4 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+      check_int "restored machine count" 4 (List.length (Fleet.machines serial));
+      check_bool "--jobs 4 = --jobs 1" true (fleet_digest serial = fleet_digest parallel);
+      check_bool "resumed fleets advanced past the snapshot" true
+        (fleet_digest serial <> fleet_digest fleet))
+
 (* {1 Gwp} *)
 
 let run_job profile =
@@ -184,6 +222,7 @@ let suite =
         Alcotest.test_case "popularity bias" `Quick test_fleet_popularity_bias;
         Alcotest.test_case "platform mix" `Quick test_fleet_platform_mix;
         Alcotest.test_case "invalid shape" `Quick test_fleet_invalid_shape;
+        Alcotest.test_case "restore jobs invariant" `Quick test_fleet_restore_jobs_invariant;
       ] );
     ( "gwp",
       [

@@ -176,6 +176,55 @@ let test_productivity_throughput_positive () =
   in
   check_bool "sane RPS" true (thr > 100.0 && thr < 1.0e5)
 
+(* {1 Golden-value tables}
+
+   The paper's calibration constants, pinned exactly.  The themed tests
+   above check behaviour (ordering, monotonicity, ratios); these tables
+   exist solely to catch accidental drift of any Fig. 4 / Fig. 11 /
+   Fig. 17 constant during refactors — if one fails, either revert the
+   constant or update the table *and* the paper citation next to the
+   constant's definition. *)
+
+let test_golden_cost_model () =
+  List.iter
+    (fun (tier, name, ns) ->
+      Alcotest.(check string) (name ^ " name") name (Cost_model.tier_name tier);
+      check_close (name ^ " hit ns") 1e-9 ns (Cost_model.tier_hit_ns tier))
+    [
+      (Cost_model.Per_cpu_cache, "CPUCache", 3.1);
+      (Cost_model.Transfer_cache, "TransferCache", 25.0);
+      (Cost_model.Central_free_list, "CentralFreeList", 81.3);
+      (Cost_model.Pageheap, "PageHeap", 137.0);
+      (Cost_model.Mmap, "mmap", 12916.7);
+    ];
+  check_close "prefetch 0.9ns" 1e-9 0.9 Cost_model.prefetch_ns;
+  check_close "sampling 220ns" 1e-9 220.0 Cost_model.sampling_ns;
+  check_int "five tiers" 5 (List.length Cost_model.all_tiers)
+
+let test_golden_latency () =
+  List.iter
+    (fun (locality, label, ns) ->
+      check_close label 1e-9 ns (Latency.transfer_ns locality))
+    [
+      (Latency.Same_core, "same-core 0ns", 0.0);
+      (Latency.Intra_domain, "intra-domain 40ns", 40.0);
+      (Latency.Inter_domain, "inter-domain 82.8ns", 82.8);
+      (Latency.Inter_socket, "inter-socket 135ns", 135.0);
+    ];
+  (* Fig. 11's headline: crossing a CCX boundary costs 2.07x. *)
+  check_close "fig11 ratio 2.07" 1e-9 2.07
+    (Latency.transfer_ns Latency.Inter_domain /. Latency.transfer_ns Latency.Intra_domain)
+
+let test_golden_tlb_model () =
+  check_close "reference coverage 54.4%" 1e-9 0.544 Tlb_model.reference_coverage;
+  check_close "miss sensitivity -ln(0.839)/0.018" 1e-9
+    (-.log 0.839 /. 0.018)
+    Tlb_model.miss_sensitivity;
+  check_close "walk cycle penalty 35" 1e-9 35.0 Tlb_model.walk_cycle_penalty;
+  (* The Fig. 17 calibration point the sensitivity was solved from. *)
+  check_close "0.839 at 56.2% coverage" 1e-12 0.839
+    (Tlb_model.relative_misses ~coverage:0.562)
+
 let suite =
   [
     ( "topology",
@@ -205,6 +254,12 @@ let suite =
         Alcotest.test_case "fig17 calibration" `Quick test_tlb_fig17_calibration;
         Alcotest.test_case "monotone" `Quick test_tlb_monotone;
         Alcotest.test_case "walk fraction" `Quick test_tlb_walk_fraction;
+      ] );
+    ( "golden",
+      [
+        Alcotest.test_case "fig4 cost table" `Quick test_golden_cost_model;
+        Alcotest.test_case "fig11 latency table" `Quick test_golden_latency;
+        Alcotest.test_case "fig17 tlb table" `Quick test_golden_tlb_model;
       ] );
     ( "productivity",
       [
