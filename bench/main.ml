@@ -25,8 +25,11 @@ module Profile = Wsc_workload.Profile
 module Driver = Wsc_workload.Driver
 module Machine = Wsc_fleet.Machine
 module Fleet = Wsc_fleet.Fleet
+module Campaign = Wsc_fleet.Campaign
 module Gwp = Wsc_fleet.Gwp
 module Ab = Wsc_fleet.Ab_test
+module Fault = Wsc_os.Fault
+module Supervisor = Wsc_substrate.Supervisor
 module Persist = Wsc_persist.Persist
 
 let quick = ref false
@@ -65,9 +68,13 @@ let solo ?(config = Config.baseline) ?(duration = 60.0) profile =
 let fleet_jobs =
   lazy
     (let fleet = Fleet.create ~seed:7 ~num_machines:(if !quick then 8 else 16) () in
-     Fleet.run fleet ~duration_ns:(sec 15.0) ~epoch_ns:Units.ms;
+     let (_ : Machine.summary list) =
+       Fleet.run fleet ~duration_ns:(sec 15.0) ~epoch_ns:Units.ms
+     in
      List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Fleet.jobs fleet);
-     Fleet.run fleet ~duration_ns:(sec 30.0) ~epoch_ns:Units.ms;
+     let (_ : Machine.summary list) =
+       Fleet.run fleet ~duration_ns:(sec 30.0) ~epoch_ns:Units.ms
+     in
      Fleet.jobs fleet)
 
 (* Span-lifecycle observatory for Figs. 13/16: a fleet-like job with
@@ -165,7 +172,9 @@ let fig3 () =
       ~population:(Array.init 400 (fun rank -> Apps.fleet_binary ~rank))
       ()
   in
-  Fleet.run fleet ~duration_ns:(sec 6.0) ~epoch_ns:Units.ms;
+  let (_ : Machine.summary list) =
+    Fleet.run fleet ~duration_ns:(sec 6.0) ~epoch_ns:Units.ms
+  in
   let jobs = Fleet.jobs fleet in
   let usage = Gwp.binary_usage jobs in
   let total_ns = List.fold_left (fun a u -> a +. u.Gwp.malloc_ns) 0.0 usage in
@@ -1101,7 +1110,7 @@ let tracecodec () =
       Writer.close w;
       let binary_bytes = (Unix.stat bin).Unix.st_size in
       (* Text v1 size of the same stream, written the same way
-         [Trace.save] does, without materializing it. *)
+         the text v1 codec does, without materializing it. *)
       let oc = open_out txt in
       Reader.with_file bin (fun r ->
           Reader.iter r (fun ev ->
@@ -1319,10 +1328,14 @@ let longhorizon () =
         (Fleet.create ~seed:42 ~num_machines:fig14_machines ~num_binaries:8
            ~jobs_per_machine:2 ~config ())
     in
-    Fleet.run !fleet ~duration_ns:(fig14_warmup_s *. Units.sec) ~epoch_ns:Units.ms;
+    let (_ : Machine.summary list) =
+      Fleet.run !fleet ~duration_ns:(fig14_warmup_s *. Units.sec) ~epoch_ns:Units.ms
+    in
     List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Fleet.jobs !fleet);
     for _seg = 1 to fig14_segments do
-      Fleet.run !fleet ~duration_ns:(segment_s *. Units.sec) ~epoch_ns:Units.ms;
+      let (_ : Machine.summary list) =
+        Fleet.run !fleet ~duration_ns:(segment_s *. Units.sec) ~epoch_ns:Units.ms
+      in
       Persist.save_fleet !fleet ~path:tmp;
       fleet := Persist.load_fleet ~path:tmp
     done;
@@ -1357,6 +1370,164 @@ let longhorizon () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* fleetcampaign — crash-tolerant campaign throughput + memory gate.   *)
+(*                                                                     *)
+(* The full run drives a 600-machine chaos campaign (supervised        *)
+(* retries, sharded streaming aggregation) at the default domain count *)
+(* and records machines/sec, machine-epochs/sec and the OCaml heap     *)
+(* high-water mark in BENCH_fleetcampaign.json.  `--smoke` first       *)
+(* proves the robustness contract on a small campaign — killed after   *)
+(* one shard, resumed, aggregate bit-identical to the fault-free       *)
+(* single-domain reference, zero quarantines — then fails on a >30%    *)
+(* machine-epochs/sec regression against the committed file.           *)
+(* ------------------------------------------------------------------ *)
+
+let fleetcampaign_json = "BENCH_fleetcampaign.json"
+
+let fleetcampaign () =
+  let machines = if !smoke then 100 else 600 in
+  let duration_s = 0.5 in
+  (* The same per-machine duration in smoke and full runs keeps
+     machine-epochs/sec comparable: per-machine fixed costs amortize over
+     the same epoch count, so only the machine count shrinks in smoke. *)
+  let spec =
+    {
+      Campaign.default_spec with
+      Campaign.seed = 17;
+      machines;
+      duration_ns = duration_s *. Units.sec;
+      chaos =
+        { Fault.chaos_seed = 5; crash_prob = 0.2; hang_prob = 0.1; corrupt_prob = 0.1 };
+      (* 0.4 failure probability per attempt and 26 attempts: quarantine
+         needs 26 straight failures, so coverage stays total and the
+         chaos aggregate must equal the fault-free one. *)
+      policy = { Supervisor.default_policy with Supervisor.max_attempts = 26 };
+      shard_size = 25;
+    }
+  in
+  if !smoke then begin
+    (* Correctness first, on a smaller/shorter campaign: fault-free jobs=1
+       reference vs a chaos campaign killed after one shard and resumed on
+       four domains. *)
+    let cspec =
+      { spec with Campaign.machines = 32; duration_ns = 0.3 *. Units.sec;
+        shard_size = 12 }
+    in
+    let reference =
+      Campaign.run ~jobs:1 { cspec with Campaign.chaos = Fault.no_chaos }
+    in
+    let captured = ref None in
+    let first =
+      Campaign.run ~jobs:4
+        ~on_shard:(fun ~shard:_ ck ->
+          captured := Some (Marshal.from_string (Marshal.to_string ck []) 0))
+        ~max_shards:1 cspec
+    in
+    let resumed = Campaign.run ~jobs:4 ?resume:!captured cspec in
+    if first.Campaign.r_finished then begin
+      Printf.eprintf "fleetcampaign: kill after one shard did not pause the campaign\n";
+      exit 1
+    end;
+    if resumed.Campaign.r_quarantined <> [] then begin
+      Printf.eprintf "fleetcampaign: %d machine(s) quarantined at the bench seed\n"
+        (List.length resumed.Campaign.r_quarantined);
+      exit 1
+    end;
+    if
+      Campaign.render_aggregate resumed.Campaign.r_aggregate
+      <> Campaign.render_aggregate reference.Campaign.r_aggregate
+    then begin
+      Printf.eprintf
+        "fleetcampaign: killed+resumed chaos aggregate differs from the fault-free \
+         jobs=1 reference\n";
+      exit 1
+    end;
+    note
+      "kill/resume bit-identity holds: %d machines, %d attempts (%d crashes, %d \
+       stragglers, %d corrupt), 100%% coverage"
+      cspec.Campaign.machines resumed.Campaign.r_stats.Campaign.st_attempts
+      resumed.Campaign.r_stats.Campaign.st_crashes
+      resumed.Campaign.r_stats.Campaign.st_stragglers
+      resumed.Campaign.r_stats.Campaign.st_corruptions
+  end;
+  (* Throughput: one uninterrupted chaos campaign at the default domain
+     count.  machine-epochs/sec (completed machines x epochs per machine
+     over wall time) is duration-invariant, so the smoke gate can compare
+     its short campaign against the committed full-size number. *)
+  let t0 = Unix.gettimeofday () in
+  let r = Campaign.run spec in
+  let wall = Unix.gettimeofday () -. t0 in
+  let heap_mb =
+    float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+    /. 1048576.0
+  in
+  if r.Campaign.r_quarantined <> [] then begin
+    Printf.eprintf "fleetcampaign: %d machine(s) quarantined at the bench seed\n"
+      (List.length r.Campaign.r_quarantined);
+    exit 1
+  end;
+  let epochs_per_machine = spec.Campaign.duration_ns /. spec.Campaign.epoch_ns in
+  let machines_per_sec = float_of_int machines /. wall in
+  let machine_epochs_per_sec = machines_per_sec *. epochs_per_machine in
+  note
+    "%d machines (%d attempts) in %.1f s: %.1f machines/sec, %.0f machine-epochs/sec"
+    machines r.Campaign.r_stats.Campaign.st_attempts wall machines_per_sec
+    machine_epochs_per_sec;
+  note "heap high-water mark: %.1f MB (supervisor state is O(shard = %d))" heap_mb
+    spec.Campaign.shard_size;
+  if !smoke then begin
+    match
+      if Sys.file_exists fleetcampaign_json then begin
+        let ic = open_in fleetcampaign_json in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        json_number ~key:"machine_epochs_per_sec" text
+      end
+      else None
+    with
+    | None -> note "no committed %s; skipping the regression gate." fleetcampaign_json
+    | Some committed ->
+      let ratio = machine_epochs_per_sec /. committed in
+      note "committed machine-epochs/sec: %.0f; measured %.0f (%.0f%%)" committed
+        machine_epochs_per_sec (100.0 *. ratio);
+      (* The smoke campaign is ~1/6 of the committed width, so domain
+         spawn and warmup amortize worse and it measures ~70-75% of the
+         committed rate on an idle machine; 0.5 leaves CI headroom while
+         still catching a 2x slowdown. *)
+      if ratio < 0.5 then begin
+        Printf.eprintf
+          "fleetcampaign: machine-epochs/sec fell below half of committed %s \
+           (%.0f -> %.0f)\n"
+          fleetcampaign_json committed machine_epochs_per_sec;
+        exit 1
+      end
+  end
+  else begin
+    let oc = open_out fleetcampaign_json in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"fleetcampaign\",\n\
+      \  \"machines\": %d,\n\
+      \  \"duration_s\": %.2f,\n\
+      \  \"attempts\": %d,\n\
+      \  \"crashes\": %d,\n\
+      \  \"stragglers\": %d,\n\
+      \  \"corrupt_results\": %d,\n\
+      \  \"quarantined\": %d,\n\
+      \  \"machines_per_sec\": %.2f,\n\
+      \  \"machine_epochs_per_sec\": %.0f,\n\
+      \  \"peak_heap_mb\": %.1f\n\
+       }\n"
+      machines duration_s r.Campaign.r_stats.Campaign.st_attempts
+      r.Campaign.r_stats.Campaign.st_crashes r.Campaign.r_stats.Campaign.st_stragglers
+      r.Campaign.r_stats.Campaign.st_corruptions
+      (List.length r.Campaign.r_quarantined)
+      machines_per_sec machine_epochs_per_sec heap_mb;
+    close_out oc;
+    note "wrote %s" fleetcampaign_json
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1371,6 +1542,7 @@ let experiments =
     ("fig16", fig16); ("table2", table2); ("fig17", fig17); ("combined", combined);
     ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
     ("tracecodec", tracecodec); ("longhorizon", longhorizon);
+    ("fleetcampaign", fleetcampaign);
   ]
 
 let () =

@@ -408,30 +408,191 @@ let ab_cmd =
 
 (* fleet *)
 
-let fleet machines duration seed jobs =
+module Campaign = Fleet_sim.Campaign
+module Sup = Substrate.Supervisor
+
+(* --chaos "crash=P,hang=P,corrupt=P[,seed=N]" *)
+let chaos_arg =
+  let parse s =
+    let parts = List.map String.trim (String.split_on_char ',' s) in
+    let rec build (c : Os.Fault.chaos) = function
+      | [] -> Ok c
+      | part :: rest -> (
+        match String.split_on_char '=' part with
+        | [ key; v ] -> (
+          match (key, float_of_string_opt v) with
+          | "crash", Some p -> build { c with Os.Fault.crash_prob = p } rest
+          | "hang", Some p -> build { c with Os.Fault.hang_prob = p } rest
+          | "corrupt", Some p -> build { c with Os.Fault.corrupt_prob = p } rest
+          | "seed", Some _ -> (
+            match int_of_string_opt v with
+            | Some n -> build { c with Os.Fault.chaos_seed = n } rest
+            | None -> Error (`Msg (Printf.sprintf "bad chaos seed %S" v)))
+          | _ -> Error (`Msg (Printf.sprintf "bad chaos component %S" part)))
+        | _ -> Error (`Msg (Printf.sprintf "bad chaos component %S (want key=value)" part)))
+    in
+    match build { Os.Fault.no_chaos with Os.Fault.chaos_seed = 1 } parts with
+    | Ok c -> (
+      match Os.Fault.validate_chaos c with
+      | () -> Ok c
+      | exception Invalid_argument msg -> Error (`Msg msg))
+    | Error _ as e -> e
+  in
+  let print fmt c = Format.pp_print_string fmt (Os.Fault.describe_chaos c) in
+  Arg.conv (parse, print)
+
+let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_after
+    aggregate_out =
   apply_jobs jobs;
-  Printf.printf "running a %d-machine fleet for %.0fs...\n%!" machines duration;
-  let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines () in
-  Fleet_sim.Fleet.run fleet ~duration_ns:(duration *. Units.sec) ~epoch_ns:Units.ms;
-  let jobs = Fleet_sim.Fleet.jobs fleet in
-  Printf.printf "fleet malloc cycle share: %.2f%%\n"
-    (100.0 *. Gwp.fleet_malloc_cycle_fraction jobs);
-  let ext, internal = Gwp.fragmentation_ratio jobs in
-  Printf.printf "fleet fragmentation: %.1f%% external + %.1f%% internal\n" (100.0 *. ext)
-    (100.0 *. internal);
-  let usage = Gwp.binary_usage jobs in
-  Printf.printf "top binaries by malloc cycles:\n";
-  List.iteri
-    (fun i u -> if i < 10 then Printf.printf "  %-16s %.0f us\n" u.Gwp.binary (u.Gwp.malloc_ns /. 1e3))
-    usage
+  if machines <= 0 then begin
+    Printf.eprintf "wscalloc: --machines must be positive\n";
+    exit 124
+  end;
+  if duration <= 0.0 then begin
+    Printf.eprintf "wscalloc: --duration must be positive\n";
+    exit 124
+  end;
+  let campaign_mode =
+    chaos <> None || retries <> None || shard_every <> None || resume_dir <> None
+    || stop_after <> None || aggregate_out <> None
+  in
+  if not campaign_mode then begin
+    Printf.printf "running a %d-machine fleet for %.0fs...\n%!" machines duration;
+    let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines () in
+    let (_ : Machine.summary list) =
+      Fleet_sim.Fleet.run fleet ~duration_ns:(duration *. Units.sec) ~epoch_ns:Units.ms
+    in
+    let jobs = Fleet_sim.Fleet.jobs fleet in
+    Printf.printf "fleet malloc cycle share: %.2f%%\n"
+      (100.0 *. Gwp.fleet_malloc_cycle_fraction jobs);
+    let ext, internal = Gwp.fragmentation_ratio jobs in
+    Printf.printf "fleet fragmentation: %.1f%% external + %.1f%% internal\n" (100.0 *. ext)
+      (100.0 *. internal);
+    let usage = Gwp.binary_usage jobs in
+    Printf.printf "top binaries by malloc cycles:\n";
+    List.iteri
+      (fun i u -> if i < 10 then Printf.printf "  %-16s %.0f us\n" u.Gwp.binary (u.Gwp.malloc_ns /. 1e3))
+      usage
+  end
+  else
+    persist_guard @@ fun () ->
+    let chaos = Option.value chaos ~default:Os.Fault.no_chaos in
+    let policy =
+      match retries with
+      | None -> Sup.default_policy
+      | Some k -> { Sup.default_policy with Sup.max_attempts = k + 1 }
+    in
+    let spec =
+      {
+        Campaign.default_spec with
+        Campaign.seed;
+        machines;
+        duration_ns = duration *. Units.sec;
+        chaos;
+        policy;
+        shard_size =
+          Option.value shard_every ~default:Campaign.default_spec.Campaign.shard_size;
+      }
+    in
+    (try Campaign.validate_spec spec
+     with Invalid_argument msg ->
+       Printf.eprintf "wscalloc: %s\n" msg;
+       exit 124);
+    Printf.printf "campaign: %d machines x %.0fs, %s, %d attempts max, shard %d%s\n%!"
+      machines duration
+      (Os.Fault.describe_chaos chaos)
+      policy.Sup.max_attempts spec.Campaign.shard_size
+      (match resume_dir with
+      | Some dir -> Printf.sprintf ", resume dir %s" dir
+      | None -> "");
+    let result =
+      Persist.run_campaign ?resume_dir ?max_shards:stop_after spec
+    in
+    print_string (Campaign.render_result result);
+    (match aggregate_out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Campaign.render_aggregate result.Campaign.r_aggregate));
+      Printf.printf "wrote aggregate to %s\n" path
+    | None -> ());
+    if not result.Campaign.r_finished then exit 3
 
 let fleet_cmd =
   let machines =
     Arg.(value & opt int 10 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Fleet size.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some chaos_arg) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Campaign mode: deterministic per-attempt machine failure injection, e.g. \
+             $(b,crash=0.2,hang=0.1,corrupt=0.1,seed=1).  The schedule is a pure \
+             function of (seed, machine, attempt), so retries and resumes replay \
+             the same failures.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Campaign mode: retry each failed machine up to $(docv) times (with \
+             seeded exponential backoff charged to simulated time) before \
+             quarantining it.")
+  in
+  let shard_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-every" ] ~docv:"M"
+          ~doc:
+            "Campaign mode: checkpoint granularity — machines per shard (default \
+             16).  Supervisor memory is O(shard), not O(machines).")
+  in
+  let resume_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume-dir" ] ~docv:"DIR"
+          ~doc:
+            "Campaign mode: write a durable campaign-NNNN.wsnap checkpoint into \
+             $(docv) after every shard, and resume from the newest loadable one if \
+             the directory already holds shards of this campaign.  A killed \
+             campaign rerun with the same flags continues instead of restarting; \
+             exits 65 if the directory holds shards of a different spec.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"SHARDS"
+          ~doc:
+            "Campaign mode: stop cleanly after $(docv) shards this invocation \
+             (deterministic stand-in for a mid-campaign kill; exits 3 when the \
+             campaign is left incomplete).")
+  in
+  let aggregate_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "aggregate-out" ] ~docv:"FILE"
+          ~doc:
+            "Campaign mode: also write the deterministic aggregate block to \
+             $(docv) — byte-identical across job counts, chaos schedules and \
+             kill/resume points, so CI can diff runs.")
+  in
   Cmd.v
-    (Cmd.info "fleet" ~doc:"Run a heterogeneous fleet and print a GWP-style profile.")
-    Term.(const fleet $ machines $ duration_term $ seed_term $ jobs_term)
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a heterogeneous fleet and print a GWP-style profile; campaign flags \
+          switch to supervised crash-tolerant execution with streaming aggregation.")
+    Term.(
+      const fleet $ machines $ duration_term $ seed_term $ jobs_term $ chaos $ retries
+      $ shard_every $ resume_dir $ stop_after $ aggregate_out)
 
 (* trace record|replay|stat|verify|convert *)
 
@@ -594,13 +755,8 @@ let trace_convert file out to_text =
               let n = ref 0 in
               Reader.iter r (fun ev ->
                   incr n;
-                  match ev with
-                  | Workload.Trace.Alloc { id; size; cpu } ->
-                    Printf.fprintf oc "a %d %d %d\n" id size cpu
-                  | Workload.Trace.Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
-                  | Workload.Trace.Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns
-                  | Workload.Trace.Retire { cpu; flush } ->
-                    Printf.fprintf oc "r %d %d\n" cpu (if flush then 1 else 0));
+                  output_string oc (Workload.Trace.line_of_event ev);
+                  output_char oc '\n');
               !n)
         end
         else Writer.with_file out (fun w -> Reader.copy_into r w))

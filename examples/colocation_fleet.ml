@@ -16,7 +16,9 @@ module Machine = Fleet_sim.Machine
 let () =
   let fleet = Fleet.create ~seed:3 ~num_machines:10 ~num_binaries:40 () in
   Printf.printf "running 10 machines x 2 co-located jobs for 30 simulated seconds...\n%!";
-  Fleet.run fleet ~duration_ns:(30.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let summaries = Fleet.run fleet ~duration_ns:(30.0 *. Units.sec) ~epoch_ns:Units.ms in
+  Printf.printf "collected %d machine summaries\n"
+    (List.length summaries);
   let jobs = Fleet.jobs fleet in
 
   Printf.printf "\nfleet malloc cycle share: %.2f%% (paper: 4.3%%)\n"

@@ -42,9 +42,21 @@ module Quick = struct
     Wsc_fleet.Machine.run machine ~duration_ns ~epoch_ns;
     List.hd (Wsc_fleet.Machine.jobs machine)
 
+  (** Run a default-shaped fleet and return the per-machine summaries
+      ({!Wsc_fleet.Machine.summary}) in machine order — the streaming
+      record {!Wsc_fleet.Fleet.run} now produces instead of discarding
+      results. *)
+  let run_fleet ?jobs ?(seed = 7) ?(num_machines = 24)
+      ?(duration_ns = 10.0 *. Units.sec) ?(epoch_ns = Units.ms)
+      ?(config = Wsc_tcmalloc.Config.baseline) () =
+    let fleet = Wsc_fleet.Fleet.create ~seed ~num_machines ~config () in
+    (fleet, Wsc_fleet.Fleet.run ?jobs fleet ~duration_ns ~epoch_ns)
+
   (** A/B one optimization flag for one application against the baseline.
       [jobs] fans the replica arms out over that many domains (the result
-      is identical for any job count). *)
+      is identical for any job count).  Fleet-level outcomes
+      ({!Wsc_fleet.Ab_test.run_fleet}) are CPU-weighted from the measured
+      run's machine summaries. *)
   let ab ?jobs ?seed ?duration_ns profile ~experiment =
     Wsc_fleet.Ab_test.run_app ?jobs ?seed ?duration_ns
       ~control:Wsc_tcmalloc.Config.baseline ~experiment profile

@@ -157,19 +157,30 @@ let run_fleet ?jobs ?(seed = 11) ?(num_machines = 12) ?(warmup_ns = 20.0 *. Unit
     ?(duration_ns = 40.0 *. Units.sec) ?(epoch_ns = Units.ms) ~control ~experiment () =
   let build config =
     let fleet = Fleet.create ~seed ~num_machines ~config () in
-    Fleet.run ?jobs fleet ~duration_ns:warmup_ns ~epoch_ns;
+    (* The warmup's summaries describe transient heap build-up; only the
+       measured window below feeds the comparison. *)
+    let (_ : Machine.summary list) =
+      Fleet.run ?jobs fleet ~duration_ns:warmup_ns ~epoch_ns
+    in
     List.iter (fun j -> Driver.reset_measurements j.Machine.driver) (Fleet.jobs fleet);
-    Fleet.run ?jobs fleet ~duration_ns ~epoch_ns;
-    Fleet.jobs fleet
+    let summaries = Fleet.run ?jobs fleet ~duration_ns ~epoch_ns in
+    (Fleet.jobs fleet, summaries)
   in
-  let control_jobs = build control in
-  let experiment_jobs = build experiment in
-  let outcomes =
-    List.map2
-      (fun c e -> (compare_jobs ~control:c ~experiment:e, Gwp.job_cpu_ns c))
-      control_jobs experiment_jobs
+  let control_jobs, control_summaries = build control in
+  let experiment_jobs, _ = build experiment in
+  (* Weights come from the measured-run summaries (machine order matches
+     Fleet.jobs: machines in order, jobs in creation order within each). *)
+  let weights =
+    List.concat_map
+      (fun (s : Machine.summary) ->
+        List.map (fun (js : Machine.job_summary) -> js.Machine.js_cpu_ns) s.Machine.sm_jobs)
+      control_summaries
   in
-  let all = List.map fst outcomes and weights = List.map snd outcomes in
+  let all =
+    List.map2 (fun c e -> compare_jobs ~control:c ~experiment:e) control_jobs
+      experiment_jobs
+  in
+  let outcomes = List.combine all weights in
   let fleet = aggregate "fleet" all weights in
   let names = List.sort_uniq compare (List.map (fun o -> o.app) all) in
   let per_app =

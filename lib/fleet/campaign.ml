@@ -1,0 +1,439 @@
+open Wsc_substrate
+module Topology = Wsc_hw.Topology
+module Fault = Wsc_os.Fault
+
+type spec = {
+  seed : int;
+  machines : int;
+  num_binaries : int;
+  jobs_per_machine : int;
+  zipf_s : float;
+  config : Wsc_tcmalloc.Config.t;
+  duration_ns : float;
+  epoch_ns : float;
+  straggler_factor : float;
+  chaos : Fault.chaos;
+  policy : Supervisor.policy;
+  shard_size : int;
+}
+
+let default_spec =
+  {
+    seed = 7;
+    machines = 24;
+    num_binaries = 50;
+    jobs_per_machine = 2;
+    zipf_s = 0.9;
+    config = Wsc_tcmalloc.Config.baseline;
+    duration_ns = 10.0 *. Units.sec;
+    epoch_ns = Units.ms;
+    straggler_factor = 4.0;
+    chaos = Fault.no_chaos;
+    policy = Supervisor.default_policy;
+    shard_size = 16;
+  }
+
+let validate_spec s =
+  if s.machines <= 0 then invalid_arg "Campaign: machines must be positive";
+  if s.num_binaries < 5 then invalid_arg "Campaign: num_binaries must be >= 5";
+  if s.jobs_per_machine <= 0 then invalid_arg "Campaign: jobs_per_machine must be positive";
+  if s.duration_ns <= 0.0 || s.epoch_ns <= 0.0 then
+    invalid_arg "Campaign: duration/epoch must be positive";
+  if s.straggler_factor <= 1.0 then
+    invalid_arg "Campaign: straggler_factor must exceed 1";
+  if s.shard_size <= 0 then invalid_arg "Campaign: shard_size must be positive";
+  Fault.validate_chaos s.chaos;
+  Supervisor.validate_policy s.policy
+
+let spec_digest s =
+  Digest.string
+    (Marshal.to_string
+       ( s.seed, s.machines, s.num_binaries, s.jobs_per_machine, s.zipf_s, s.config,
+         s.duration_ns, s.epoch_ns, s.straggler_factor, s.chaos, s.policy, s.shard_size )
+       [])
+
+(* --- Streaming aggregate ----------------------------------------------- *)
+
+type aggregate = {
+  mutable a_machines : int;
+  mutable a_jobs : int;
+  mutable a_requests : float;
+  mutable a_allocations : int;
+  mutable a_frees : int;
+  mutable a_live_objects : int;
+  mutable a_malloc_ns : float;
+  mutable a_cpu_ns : float;
+  mutable a_allocated_bytes : float;
+  mutable a_avg_rss_bytes : float;
+  mutable a_resident_bytes : int;
+  mutable a_live_bytes : int;
+  mutable a_external_frag_bytes : int;
+  mutable a_internal_frag_bytes : int;
+  mutable a_hugepage_cov_sum : float;
+  mutable a_size_count : Histogram.t option;
+  mutable a_size_bytes : Histogram.t option;
+  a_binaries : (string, float * float * int) Hashtbl.t;
+}
+
+let empty_aggregate () =
+  {
+    a_machines = 0;
+    a_jobs = 0;
+    a_requests = 0.0;
+    a_allocations = 0;
+    a_frees = 0;
+    a_live_objects = 0;
+    a_malloc_ns = 0.0;
+    a_cpu_ns = 0.0;
+    a_allocated_bytes = 0.0;
+    a_avg_rss_bytes = 0.0;
+    a_resident_bytes = 0;
+    a_live_bytes = 0;
+    a_external_frag_bytes = 0;
+    a_internal_frag_bytes = 0;
+    a_hugepage_cov_sum = 0.0;
+    a_size_count = None;
+    a_size_bytes = None;
+    a_binaries = Hashtbl.create 64;
+  }
+
+let merge_histogram slot h =
+  match !slot with None -> slot := Some h | Some acc -> slot := Some (Histogram.merge acc h)
+
+let merge_summary agg (s : Machine.summary) =
+  agg.a_machines <- agg.a_machines + 1;
+  List.iter
+    (fun (js : Machine.job_summary) ->
+      agg.a_jobs <- agg.a_jobs + 1;
+      agg.a_requests <- agg.a_requests +. js.Machine.js_requests;
+      agg.a_allocations <- agg.a_allocations + js.Machine.js_allocations;
+      agg.a_frees <- agg.a_frees + js.Machine.js_frees;
+      agg.a_live_objects <- agg.a_live_objects + js.Machine.js_live_objects;
+      agg.a_malloc_ns <- agg.a_malloc_ns +. js.Machine.js_malloc_ns;
+      agg.a_cpu_ns <- agg.a_cpu_ns +. js.Machine.js_cpu_ns;
+      agg.a_allocated_bytes <- agg.a_allocated_bytes +. js.Machine.js_allocated_bytes;
+      agg.a_avg_rss_bytes <- agg.a_avg_rss_bytes +. js.Machine.js_avg_rss_bytes;
+      let heap = js.Machine.js_heap in
+      agg.a_resident_bytes <-
+        agg.a_resident_bytes + heap.Wsc_tcmalloc.Malloc.resident_bytes;
+      agg.a_live_bytes <-
+        agg.a_live_bytes + heap.Wsc_tcmalloc.Malloc.live_requested_bytes;
+      agg.a_external_frag_bytes <-
+        agg.a_external_frag_bytes + heap.Wsc_tcmalloc.Malloc.external_fragmentation_bytes;
+      agg.a_internal_frag_bytes <-
+        agg.a_internal_frag_bytes + heap.Wsc_tcmalloc.Malloc.internal_fragmentation_bytes;
+      agg.a_hugepage_cov_sum <- agg.a_hugepage_cov_sum +. js.Machine.js_hugepage_coverage;
+      (let count = ref agg.a_size_count and bytes = ref agg.a_size_bytes in
+       merge_histogram count js.Machine.js_size_count;
+       merge_histogram bytes js.Machine.js_size_bytes;
+       agg.a_size_count <- !count;
+       agg.a_size_bytes <- !bytes);
+      let prev_ns, prev_bytes, prev_jobs =
+        Option.value ~default:(0.0, 0.0, 0) (Hashtbl.find_opt agg.a_binaries js.Machine.js_profile)
+      in
+      Hashtbl.replace agg.a_binaries js.Machine.js_profile
+        ( prev_ns +. js.Machine.js_malloc_ns,
+          prev_bytes +. js.Machine.js_allocated_bytes,
+          prev_jobs + 1 ))
+    s.Machine.sm_jobs
+
+let render_aggregate agg =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "campaign aggregate v1";
+  line "  machines            : %d" agg.a_machines;
+  line "  jobs                : %d" agg.a_jobs;
+  line "  requests            : %.17g" agg.a_requests;
+  line "  allocations         : %d" agg.a_allocations;
+  line "  frees               : %d" agg.a_frees;
+  line "  live objects        : %d" agg.a_live_objects;
+  line "  malloc ns           : %.17g" agg.a_malloc_ns;
+  line "  request cpu ns      : %.17g" agg.a_cpu_ns;
+  line "  allocated bytes     : %.17g" agg.a_allocated_bytes;
+  line "  avg rss bytes       : %.17g" agg.a_avg_rss_bytes;
+  line "  resident bytes      : %d" agg.a_resident_bytes;
+  line "  live bytes          : %d" agg.a_live_bytes;
+  line "  external frag bytes : %d" agg.a_external_frag_bytes;
+  line "  internal frag bytes : %d" agg.a_internal_frag_bytes;
+  line "  hugepage coverage   : %.17g"
+    (if agg.a_jobs = 0 then 0.0 else agg.a_hugepage_cov_sum /. float_of_int agg.a_jobs);
+  line "  malloc cycle share  : %.17g"
+    (if agg.a_cpu_ns <= 0.0 then 0.0 else agg.a_malloc_ns /. agg.a_cpu_ns);
+  (match (agg.a_size_count, agg.a_size_bytes) with
+  | Some count, Some bytes ->
+    line "  size histogram      : %d bins, %.17g objects, %.17g bytes"
+      (Array.length (Histogram.bins count))
+      (Histogram.total_weight count) (Histogram.total_weight bytes)
+  | _ -> line "  size histogram      : empty");
+  let binaries =
+    Hashtbl.fold (fun name (ns, bytes, jobs) acc -> (name, ns, bytes, jobs) :: acc)
+      agg.a_binaries []
+    |> List.sort (fun (na, nsa, _, _) (nb, nsb, _, _) ->
+           match compare nsb nsa with 0 -> compare na nb | c -> c)
+  in
+  line "  binaries            : %d" (List.length binaries);
+  line "  top binaries by malloc cycles:";
+  List.iteri
+    (fun i (name, ns, bytes, jobs) ->
+      if i < 10 then
+        line "    %-20s %.17g ns  %.17g bytes  %d jobs" name ns bytes jobs)
+    binaries;
+  line "end aggregate";
+  Buffer.contents b
+
+(* --- Campaign state ----------------------------------------------------- *)
+
+type quarantine = { q_machine : int; q_attempts : int; q_failure : string }
+
+type stats = {
+  mutable st_attempts : int;
+  mutable st_crashes : int;
+  mutable st_stragglers : int;
+  mutable st_corruptions : int;
+  mutable st_backoff_ns : float;
+  mutable st_sim_ns : float;
+}
+
+type checkpoint = {
+  ck_digest : string;
+  mutable ck_next_index : int;
+  ck_aggregate : aggregate;
+  mutable ck_quarantined : quarantine list;  (* newest first *)
+  ck_stats : stats;
+}
+
+let checkpoint_spec_digest ck = ck.ck_digest
+let checkpoint_next_index ck = ck.ck_next_index
+let checkpoint_sim_ns ck = ck.ck_stats.st_sim_ns
+
+let fresh_state digest =
+  {
+    ck_digest = digest;
+    ck_next_index = 0;
+    ck_aggregate = empty_aggregate ();
+    ck_quarantined = [];
+    ck_stats =
+      {
+        st_attempts = 0;
+        st_crashes = 0;
+        st_stragglers = 0;
+        st_corruptions = 0;
+        st_backoff_ns = 0.0;
+        st_sim_ns = 0.0;
+      };
+  }
+
+type result = {
+  r_aggregate : aggregate;
+  r_quarantined : quarantine list;
+  r_stats : stats;
+  r_machines : int;
+  r_finished : bool;
+}
+
+let coverage r =
+  if r.r_machines = 0 then 0.0
+  else float_of_int r.r_aggregate.a_machines /. float_of_int r.r_machines
+
+let render_result r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (render_aggregate r.r_aggregate);
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "robustness:";
+  line "  coverage            : %d/%d machines (%.1f%%)" r.r_aggregate.a_machines
+    r.r_machines (100.0 *. coverage r);
+  line "  quarantined         : %d" (List.length r.r_quarantined);
+  line "  attempts            : %d (%d retries)" r.r_stats.st_attempts
+    (r.r_stats.st_attempts - r.r_aggregate.a_machines - List.length r.r_quarantined);
+  line "  crashes             : %d" r.r_stats.st_crashes;
+  line "  stragglers          : %d" r.r_stats.st_stragglers;
+  line "  corrupt results     : %d" r.r_stats.st_corruptions;
+  line "  backoff             : %.3f simulated s" (r.r_stats.st_backoff_ns /. Units.sec);
+  line "  simulated time      : %.3f machine-s" (r.r_stats.st_sim_ns /. Units.sec);
+  List.iter
+    (fun q ->
+      line "  machine %-6d quarantined after %d attempts: %s" q.q_machine q.q_attempts
+        q.q_failure)
+    r.r_quarantined;
+  if not r.r_finished then line "  state               : paused (campaign incomplete)";
+  Buffer.contents b
+
+(* --- Per-machine execution ---------------------------------------------- *)
+
+(* Machine i's shape is drawn from its own generator — not from a shared
+   sequential stream like Fleet.create — so any machine can be (re)built
+   in isolation: retries, resumes and shard boundaries never shift what
+   machine i is. *)
+let machine_shape spec binaries index =
+  let rng =
+    Rng.create (((spec.seed * 1_000_003) lxor (index * 2_654_435_761)) land max_int)
+  in
+  let platform = Topology.generations.(Dist.categorical rng Fleet.platform_mix) in
+  let jobs =
+    List.init spec.jobs_per_machine (fun _ ->
+        binaries.(Dist.zipf rng ~n:(Array.length binaries) ~s:spec.zipf_s))
+  in
+  (platform, jobs)
+
+let corrupt_summary (s : Machine.summary) =
+  (* Flip a counter but keep the stale digest: Machine.summary_valid now
+     rejects the record, exactly like a torn write would be caught. *)
+  match s.Machine.sm_jobs with
+  | [] -> s
+  | (js : Machine.job_summary) :: rest ->
+    {
+      s with
+      Machine.sm_jobs =
+        { js with Machine.js_allocations = js.Machine.js_allocations lxor 1 } :: rest;
+    }
+
+let run_attempt spec binaries ~index ~attempt ~wasted =
+  let platform, jobs = machine_shape spec binaries index in
+  let machine =
+    Machine.create ~seed:(spec.seed + (7919 * (index + 1))) ~config:spec.config ~platform
+      ~jobs ()
+  in
+  let clock = Machine.clock machine in
+  let deadline = spec.straggler_factor *. spec.duration_ns in
+  let inject = Fault.chaos_event spec.chaos ~machine:index ~attempt in
+  let inject_at, mode =
+    match inject with
+    | Some (Fault.Chaos_crash { at_fraction }) ->
+      (at_fraction *. spec.duration_ns, `Crash)
+    | Some (Fault.Chaos_hang { at_fraction; stall_factor }) ->
+      (at_fraction *. spec.duration_ns, `Hang (stall_factor *. deadline))
+    | Some Fault.Chaos_corrupt | None -> (infinity, `None)
+  in
+  let injected = ref false in
+  (try
+     while Clock.now clock < spec.duration_ns do
+       let now = Clock.now clock in
+       (* Straggler detection: the machine's until_ns deadline. *)
+       if now > deadline then
+         raise
+           (Supervisor.Failed
+              (Supervisor.Straggler { deadline_ns = deadline; observed_ns = now }));
+       if (not !injected) && now >= inject_at then begin
+         injected := true;
+         match mode with
+         | `Crash -> raise (Supervisor.Failed (Supervisor.Crash "injected machine crash"))
+         | `Hang stall_ns ->
+           (* The machine wedges: its clock runs past the deadline with no
+              progress; the check above trips on the next iteration. *)
+           Clock.advance clock stall_ns
+         | `None -> ()
+       end
+       else begin
+         let dt = Float.min spec.epoch_ns (spec.duration_ns -. now) in
+         Clock.advance clock dt;
+         Machine.step machine ~dt
+       end
+     done;
+     (* The loop exits as soon as the clock passes [duration_ns], so an
+        injection scheduled inside the final epoch fires here, and a
+        stalled clock (which overshoots the loop condition) must have the
+        deadline re-checked after the loop. *)
+     (if (not !injected) && inject_at < infinity then begin
+        injected := true;
+        match mode with
+        | `Crash -> raise (Supervisor.Failed (Supervisor.Crash "injected machine crash"))
+        | `Hang stall_ns -> Clock.advance clock stall_ns
+        | `None -> ()
+      end);
+     let now = Clock.now clock in
+     if now > deadline then
+       raise
+         (Supervisor.Failed
+            (Supervisor.Straggler { deadline_ns = deadline; observed_ns = now }))
+   with e ->
+     (* Charge the simulated time this doomed attempt burned before dying. *)
+     wasted := !wasted +. Float.min (Clock.now clock) deadline;
+     raise e);
+  let s = Machine.summary machine in
+  match inject with Some Fault.Chaos_corrupt -> corrupt_summary s | _ -> s
+
+let supervise_machine spec binaries index =
+  let wasted = ref 0.0 in
+  let outcome =
+    Supervisor.run spec.policy ~task:index
+      ~validate:(fun s ->
+        if Machine.summary_valid s then Ok () else Error "summary digest mismatch")
+      (fun ~attempt -> run_attempt spec binaries ~index ~attempt ~wasted)
+  in
+  (outcome, !wasted)
+
+(* Index-ordered merge of one supervised outcome (on the calling domain). *)
+let merge_outcome state spec index ((outcome, wasted) : Machine.summary Supervisor.outcome * float) =
+  let stats = state.ck_stats in
+  stats.st_attempts <- stats.st_attempts + outcome.Supervisor.attempts;
+  stats.st_backoff_ns <- stats.st_backoff_ns +. outcome.Supervisor.backoff_ns;
+  let corrupt_attempts = ref 0 in
+  List.iter
+    (fun (f : Supervisor.failure) ->
+      match f with
+      | Supervisor.Crash _ -> stats.st_crashes <- stats.st_crashes + 1
+      | Supervisor.Straggler _ -> stats.st_stragglers <- stats.st_stragglers + 1
+      | Supervisor.Corrupt _ ->
+        stats.st_corruptions <- stats.st_corruptions + 1;
+        incr corrupt_attempts)
+    outcome.Supervisor.failures;
+  (* wasted covers crashed/hung attempts; corrupt and completed attempts
+     ran their full duration before being judged. *)
+  let completed = match outcome.Supervisor.verdict with Supervisor.Completed _ -> 1 | Supervisor.Quarantined -> 0 in
+  stats.st_sim_ns <-
+    stats.st_sim_ns +. wasted +. outcome.Supervisor.backoff_ns
+    +. (float_of_int (!corrupt_attempts + completed) *. spec.duration_ns);
+  match outcome.Supervisor.verdict with
+  | Supervisor.Completed summary -> merge_summary state.ck_aggregate summary
+  | Supervisor.Quarantined ->
+    let q_failure =
+      match List.rev outcome.Supervisor.failures with
+      | last :: _ -> Supervisor.describe_failure last
+      | [] -> "no failure recorded"
+    in
+    state.ck_quarantined <-
+      { q_machine = index; q_attempts = outcome.Supervisor.attempts; q_failure }
+      :: state.ck_quarantined
+
+(* --- The campaign loop -------------------------------------------------- *)
+
+let run ?jobs ?(on_shard = fun ~shard:_ _ -> ()) ?resume ?max_shards spec =
+  validate_spec spec;
+  let digest = spec_digest spec in
+  let binaries = Fleet.default_population spec.num_binaries in
+  let state =
+    match resume with
+    | None -> fresh_state digest
+    | Some ck ->
+      if ck.ck_digest <> digest then
+        invalid_arg "Campaign.run: checkpoint belongs to a different campaign spec";
+      ck
+  in
+  let shards_run = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && state.ck_next_index < spec.machines do
+    let lo = state.ck_next_index in
+    let hi = min spec.machines (lo + spec.shard_size) in
+    (* One shard of supervised machines in flight at a time: aggregate
+       memory is O(shard_size), never O(machines). *)
+    let outcomes =
+      Parallel.map ?jobs
+        (fun i -> supervise_machine spec binaries i)
+        (Array.init (hi - lo) (fun k -> lo + k))
+    in
+    Array.iteri (fun k outcome -> merge_outcome state spec (lo + k) outcome) outcomes;
+    state.ck_next_index <- hi;
+    on_shard ~shard:(lo / spec.shard_size) state;
+    incr shards_run;
+    match max_shards with
+    | Some m when !shards_run >= m -> stopped := true
+    | _ -> ()
+  done;
+  {
+    r_aggregate = state.ck_aggregate;
+    r_quarantined =
+      List.sort (fun a b -> compare a.q_machine b.q_machine) state.ck_quarantined;
+    r_stats = state.ck_stats;
+    r_machines = spec.machines;
+    r_finished = state.ck_next_index >= spec.machines;
+  }

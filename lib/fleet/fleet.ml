@@ -50,14 +50,20 @@ let create ?(seed = 7) ?(num_machines = 24) ?(num_binaries = 50) ?(jobs_per_mach
 
 let run ?jobs t ~duration_ns ~epoch_ns =
   (* Machines are independent tasks: each owns its clock, RNGs, and
-     allocator state, so they may run on any domain.  There is nothing to
-     reduce — each machine's post-run state is the result. *)
-  ignore
-    (Parallel.map_list ?jobs (fun m -> Machine.run m ~duration_ns ~epoch_ns) t.machines)
+     allocator state, so they may run on any domain.  Parallel.map_list
+     returns in task-index order, so the summary list is machine-ordered
+     and identical for any job count. *)
+  Parallel.map_list ?jobs
+    (fun m ->
+      Machine.run m ~duration_ns ~epoch_ns;
+      Machine.summary m)
+    t.machines
 
 let machines t = t.machines
 let jobs t = List.concat_map Machine.jobs t.machines
 let binary_population t = t.binaries
+let default_population num_binaries = make_binaries num_binaries
+let platform_mix = platform_weights
 
 (* Fleet checkpoints marshal the whole record so the binary population
    array keeps its sharing with the jobs that were drawn from it. *)

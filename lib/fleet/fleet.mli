@@ -24,11 +24,12 @@ val create :
     population (top-5 production workloads + synthetic tail) entirely;
     it must be ordered most-popular first and have >= 5 entries. *)
 
-val run : ?jobs:int -> t -> duration_ns:float -> epoch_ns:float -> unit
-(** Run every machine for the given simulated duration.  Machines advance
-    on up to [jobs] domains (default {!Wsc_substrate.Parallel.default_jobs});
-    results are identical for any job count because every machine owns all
-    state it touches. *)
+val run : ?jobs:int -> t -> duration_ns:float -> epoch_ns:float -> Machine.summary list
+(** Run every machine for the given simulated duration and return their
+    post-run summaries in machine order.  Machines advance on up to [jobs]
+    domains (default {!Wsc_substrate.Parallel.default_jobs}); results —
+    including the summary list — are identical for any job count because
+    every machine owns all state it touches and the merge is index-ordered. *)
 
 val machines : t -> Machine.t list
 
@@ -37,6 +38,15 @@ val jobs : t -> Machine.job list
 
 val binary_population : t -> Wsc_workload.Profile.t array
 (** The binaries jobs were drawn from, most popular first. *)
+
+val default_population : int -> Wsc_workload.Profile.t array
+(** The population {!create} builds without [?population]: the top-5 named
+    production workloads followed by synthetic fleet-profile variants.
+    Exposed so {!Campaign} draws from the same binary universe. *)
+
+val platform_mix : float array
+(** Categorical weights over {!Wsc_hw.Topology.generations} used when
+    drawing machine platforms (newer generations dominate). *)
 
 val checkpoint : t -> string
 (** Serialize every machine plus the binary population into one blob;

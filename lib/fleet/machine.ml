@@ -9,6 +9,8 @@ module Threads = Wsc_workload.Threads
 module Fault = Wsc_os.Fault
 module Vm = Wsc_os.Vm
 module Rseq = Wsc_os.Rseq
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Productivity = Wsc_hw.Productivity
 
 type job = {
   profile : Profile.t;
@@ -83,6 +85,62 @@ let total_rss t =
     (fun acc job ->
       acc + (Malloc.heap_stats job.malloc).Malloc.resident_bytes)
     0 t.jobs
+
+(* --- Result summaries -------------------------------------------------- *)
+
+type job_summary = {
+  js_profile : string;
+  js_requests : float;
+  js_allocations : int;
+  js_frees : int;
+  js_live_objects : int;
+  js_heap : Malloc.heap_stats;
+  js_malloc_ns : float;
+  js_cpu_ns : float;
+  js_allocated_bytes : float;
+  js_avg_rss_bytes : float;
+  js_hugepage_coverage : float;
+  js_size_count : Histogram.t;
+  js_size_bytes : Histogram.t;
+}
+
+type summary = { sm_now_ns : float; sm_jobs : job_summary list; sm_digest : string }
+
+let summary_digest_of ~now_ns jobs =
+  (* Closure-free marshal: the digest survives the Persist container and
+     stays comparable across processes of the same binary. *)
+  Digest.string (Marshal.to_string (now_ns, jobs) [])
+
+let job_summary (job : job) =
+  let profile = job.profile in
+  let tel = Malloc.telemetry job.malloc in
+  let requests = Driver.requests_completed job.driver in
+  let cpi = Productivity.baseline_cpi profile.Profile.productivity in
+  {
+    js_profile = profile.Profile.name;
+    js_requests = requests;
+    js_allocations = Telemetry.alloc_count tel;
+    js_frees = Telemetry.free_count tel;
+    js_live_objects = Driver.live_objects job.driver;
+    js_heap = Malloc.heap_stats job.malloc;
+    js_malloc_ns = Driver.measured_malloc_ns job.driver;
+    js_cpu_ns =
+      requests
+      *. profile.Profile.productivity.Productivity.instructions_per_request
+      *. cpi /. 3.0;
+    js_allocated_bytes = Histogram.total_weight (Telemetry.size_histogram_bytes tel);
+    js_avg_rss_bytes = Driver.avg_rss_bytes job.driver;
+    js_hugepage_coverage = Driver.avg_hugepage_coverage job.driver;
+    js_size_count = Telemetry.size_histogram_count tel;
+    js_size_bytes = Telemetry.size_histogram_bytes tel;
+  }
+
+let summary t =
+  let now_ns = Clock.now t.clock in
+  let jobs = List.map job_summary t.jobs in
+  { sm_now_ns = now_ns; sm_jobs = jobs; sm_digest = summary_digest_of ~now_ns jobs }
+
+let summary_valid s = s.sm_digest = summary_digest_of ~now_ns:s.sm_now_ns s.sm_jobs
 
 (* --- Warm-state checkpointing ----------------------------------------- *)
 

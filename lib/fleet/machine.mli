@@ -54,6 +54,43 @@ val clock : t -> Wsc_substrate.Clock.t
 val total_rss : t -> int
 (** Sum of simulated RSS across jobs. *)
 
+(** {2 Result summaries}
+
+    A machine's post-run outcome, compacted into a closure-free record a
+    campaign can aggregate and checkpoint without holding the machine
+    itself alive.  Everything is plain data ([Marshal] without flags), so
+    summaries stream through {!Wsc_persist}'s container unchanged. *)
+
+type job_summary = {
+  js_profile : string;
+  js_requests : float;
+  js_allocations : int;
+  js_frees : int;
+  js_live_objects : int;
+  js_heap : Wsc_tcmalloc.Malloc.heap_stats;
+  js_malloc_ns : float;  (** Measured allocator ns since the last reset. *)
+  js_cpu_ns : float;  (** Modeled request CPU ({!Gwp.job_cpu_ns} formula). *)
+  js_allocated_bytes : float;
+  js_avg_rss_bytes : float;
+  js_hugepage_coverage : float;
+  js_size_count : Wsc_substrate.Histogram.t;
+  js_size_bytes : Wsc_substrate.Histogram.t;
+}
+
+type summary = {
+  sm_now_ns : float;  (** The machine clock when the summary was taken. *)
+  sm_jobs : job_summary list;  (** Creation order (same as {!jobs}). *)
+  sm_digest : string;  (** Integrity digest over the fields above. *)
+}
+
+val summary : t -> summary
+(** Snapshot the machine's results.  Pure read: the machine can keep
+    running afterwards. *)
+
+val summary_valid : summary -> bool
+(** Recompute the digest and compare — how a supervisor detects a
+    corrupted result before merging it into an aggregate. *)
+
 (** {2 Warm-state checkpointing} *)
 
 val step : t -> dt:float -> unit

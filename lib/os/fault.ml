@@ -118,6 +118,63 @@ let churn_due t ~now =
   end
   else false
 
+(* --- Machine-level chaos (campaign failure injection) ----------------- *)
+
+type chaos = {
+  chaos_seed : int;
+  crash_prob : float;
+  hang_prob : float;
+  corrupt_prob : float;
+}
+
+let no_chaos = { chaos_seed = 0; crash_prob = 0.0; hang_prob = 0.0; corrupt_prob = 0.0 }
+
+let validate_chaos c =
+  let check name p =
+    if p < 0.0 || p > 1.0 || Float.is_nan p then
+      invalid_arg (Printf.sprintf "Fault.validate_chaos: %s must be in [0, 1]" name)
+  in
+  check "crash_prob" c.crash_prob;
+  check "hang_prob" c.hang_prob;
+  check "corrupt_prob" c.corrupt_prob;
+  if c.crash_prob +. c.hang_prob +. c.corrupt_prob > 1.0 then
+    invalid_arg "Fault.validate_chaos: mode probabilities must sum to <= 1"
+
+let describe_chaos c =
+  if c.crash_prob = 0.0 && c.hang_prob = 0.0 && c.corrupt_prob = 0.0 then "no chaos"
+  else
+    Printf.sprintf "crash %.3f, hang %.3f, corrupt %.3f (seed %d)" c.crash_prob
+      c.hang_prob c.corrupt_prob c.chaos_seed
+
+type chaos_event =
+  | Chaos_crash of { at_fraction : float }
+  | Chaos_hang of { at_fraction : float; stall_factor : float }
+  | Chaos_corrupt
+
+(* Like pressure spikes, the schedule is a pure function of its
+   coordinates — here (seed, machine, attempt) — so a machine retried on a
+   different domain, or rebuilt after a resume, replays the identical
+   failure history. *)
+let chaos_event c ~machine ~attempt =
+  if c.crash_prob = 0.0 && c.hang_prob = 0.0 && c.corrupt_prob = 0.0 then None
+  else begin
+    let rng =
+      Rng.create
+        (((c.chaos_seed * 1_000_003)
+         lxor (machine * 2_654_435_761)
+         lxor (attempt * 40_503))
+        land max_int)
+    in
+    let u = Rng.unit_float rng in
+    if u < c.crash_prob then Some (Chaos_crash { at_fraction = Rng.unit_float rng })
+    else if u < c.crash_prob +. c.hang_prob then
+      Some
+        (Chaos_hang
+           { at_fraction = Rng.unit_float rng; stall_factor = 1.0 +. Rng.unit_float rng })
+    else if u < c.crash_prob +. c.hang_prob +. c.corrupt_prob then Some Chaos_corrupt
+    else None
+  end
+
 let install t ~vm =
   if t.config.mmap_failure_rate > 0.0 then
     Vm.set_fault_hook vm (Some (fun ~bytes:_ -> transient_mmap_failure t));

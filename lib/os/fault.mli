@@ -73,3 +73,45 @@ val churn_bursts : t -> int
     that only drops the ids silently orphans their cache contents. *)
 
 val config : t -> config
+
+(** {2 Machine-level chaos}
+
+    Campaign-grade failure injection: where the streams above perturb a
+    {e running} process (mmap refusals, pressure, churn), chaos decides
+    whether a whole simulated machine's run attempt crashes, hangs past
+    its deadline, or returns a corrupted result.  The schedule is a pure
+    function of (seed, machine index, attempt), so a retried or resumed
+    machine replays the identical failure history regardless of domain
+    count or execution order — the property {!Wsc_fleet.Campaign}'s
+    bit-identical aggregation rests on. *)
+
+type chaos = {
+  chaos_seed : int;  (** Root seed of the schedule. *)
+  crash_prob : float;  (** Per-attempt probability of a mid-run crash. *)
+  hang_prob : float;
+      (** Per-attempt probability of a simulated-clock stall past the
+          machine's deadline (detected as a straggler). *)
+  corrupt_prob : float;  (** Per-attempt probability of a damaged result. *)
+}
+
+val no_chaos : chaos
+(** Every mode disabled. *)
+
+val validate_chaos : chaos -> unit
+(** @raise Invalid_argument unless each probability is in [0, 1] and the
+    modes sum to at most 1 (they are mutually exclusive per attempt). *)
+
+val describe_chaos : chaos -> string
+
+type chaos_event =
+  | Chaos_crash of { at_fraction : float }
+      (** Raise after [at_fraction] of the attempt's simulated duration. *)
+  | Chaos_hang of { at_fraction : float; stall_factor : float }
+      (** At [at_fraction] of the run, stall the simulated clock by
+          [stall_factor] times the machine's deadline — guaranteed to trip
+          the straggler check. *)
+  | Chaos_corrupt  (** Complete the run, then damage the result summary. *)
+
+val chaos_event : chaos -> machine:int -> attempt:int -> chaos_event option
+(** The (pure, seeded) failure drawn for this machine's [attempt]
+    (1-based); [None] means the attempt runs clean. *)

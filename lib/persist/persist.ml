@@ -13,6 +13,7 @@ open Wsc_substrate
 module Crc32 = Wsc_trace.Crc32
 module Machine = Wsc_fleet.Machine
 module Fleet = Wsc_fleet.Fleet
+module Campaign = Wsc_fleet.Campaign
 module Driver = Wsc_workload.Driver
 module Malloc = Wsc_tcmalloc.Malloc
 module Profile = Wsc_workload.Profile
@@ -240,6 +241,74 @@ let load_fleet ~path =
   let fleet = try Fleet.resume state with Failure reason -> corrupt ~section:"state" "unreadable payload: %s" reason in
   check_manifest ~stored ~restored:(manifest_of_fleet fleet);
   fleet
+
+(* --- Campaign shards --------------------------------------------------- *)
+
+(* A campaign checkpoint is closure-free (plain records, float arrays and a
+   string hashtable), so its state section marshals without flags and stays
+   readable across binaries — unlike machine/fleet snapshots. *)
+
+let save_campaign ?(note = "") ck ~path =
+  save ~path ~kind:"campaign" ~note
+    ~manifest:{ sim_now_ns = Campaign.checkpoint_sim_ns ck; job_manifests = [] }
+    ~state:(Marshal.to_string ck [])
+
+let load_campaign ~path =
+  let m, stored, state = load_sections path in
+  check_kind ~expected:"campaign" m;
+  let ck : Campaign.checkpoint = unmarshal ~section:"state" state in
+  if Campaign.checkpoint_sim_ns ck <> stored.sim_now_ns then
+    corrupt ~section:"manifest"
+      "campaign clock mismatch after restore: %.0f ns vs stored %.0f ns"
+      (Campaign.checkpoint_sim_ns ck) stored.sim_now_ns;
+  ck
+
+let campaign_shard_path ~dir shard =
+  Filename.concat dir (Printf.sprintf "campaign-%04d.wsnap" shard)
+
+(* Newest loadable shard in [dir]: damaged shards (torn writes are already
+   impossible, but disk rot is not) are skipped in favor of older ones, so
+   a campaign degrades to re-running a shard instead of restarting. *)
+let scan_campaign_dir dir =
+  let shard_of name =
+    try Scanf.sscanf name "campaign-%d.wsnap%!" Option.some with _ -> None
+  in
+  let shards =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map shard_of
+    |> List.sort (fun a b -> compare b a)
+  in
+  let rec first_loadable = function
+    | [] -> None
+    | shard :: rest -> (
+      match load_campaign ~path:(campaign_shard_path ~dir shard) with
+      | ck -> Some (shard, ck)
+      | exception Corrupt _ -> first_loadable rest)
+  in
+  first_loadable shards
+
+let run_campaign ?jobs ?resume_dir ?max_shards spec =
+  Campaign.validate_spec spec;
+  match resume_dir with
+  | None -> Campaign.run ?jobs ?max_shards spec
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Persist.run_campaign: %s is not a directory" dir);
+    let resume =
+      match scan_campaign_dir dir with
+      | None -> None
+      | Some (_, ck) ->
+        if Campaign.checkpoint_spec_digest ck <> Campaign.spec_digest spec then
+          corrupt ~section:"meta"
+            "resume dir %s holds shards of a different campaign spec" dir;
+        Some ck
+    in
+    let on_shard ~shard ck =
+      save_campaign ck ~path:(campaign_shard_path ~dir shard)
+        ~note:(Printf.sprintf "shard %d" shard)
+    in
+    Campaign.run ?jobs ~on_shard ?resume ?max_shards spec
 
 (* --- Inspection ------------------------------------------------------- *)
 

@@ -58,10 +58,44 @@ val save_fleet : ?note:string -> Wsc_fleet.Fleet.t -> path:string -> unit
 
 val load_fleet : path:string -> Wsc_fleet.Fleet.t
 
-(** {1 Inspection} *)
+(** {1 Campaign shards}
+
+    A {!Wsc_fleet.Campaign} checkpoints its streaming state at shard
+    boundaries into numbered files [campaign-NNNN.wsnap] inside a resume
+    directory.  Unlike machine/fleet snapshots, campaign checkpoints are
+    closure-free, so they survive across binaries. *)
+
+val save_campaign :
+  ?note:string -> Wsc_fleet.Campaign.checkpoint -> path:string -> unit
+(** Atomic write-then-rename of one campaign checkpoint (kind
+    ["campaign"]); a kill mid-write leaves the previous shard intact. *)
+
+val load_campaign : path:string -> Wsc_fleet.Campaign.checkpoint
+(** @raise Corrupt on damage, wrong kind, or a checkpoint whose restored
+    simulated clock disagrees with the stored manifest. *)
+
+val campaign_shard_path : dir:string -> int -> string
+(** [campaign_shard_path ~dir n] is [dir/campaign-NNNN.wsnap]. *)
+
+val run_campaign :
+  ?jobs:int ->
+  ?resume_dir:string ->
+  ?max_shards:int ->
+  Wsc_fleet.Campaign.spec ->
+  Wsc_fleet.Campaign.result
+(** Run (or resume) a campaign with durable shard checkpoints.  With
+    [resume_dir] the directory is created if missing, the newest loadable
+    shard is restored (damaged shards are skipped in favor of older
+    ones), and every subsequent shard boundary is checkpointed there.
+    Resuming a directory whose shards belong to a different spec raises
+    {!Corrupt}.  For a fixed spec, any combination of [jobs], kills and
+    resumes yields the identical aggregate (see
+    {!Wsc_fleet.Campaign.run}).  [max_shards] bounds how many shards this
+    invocation processes — the deterministic stand-in for a mid-campaign
+    kill. *)
 
 type info = {
-  kind : string;  (** ["machine"], ["driver"] or ["fleet"]. *)
+  kind : string;  (** ["machine"], ["driver"], ["fleet"] or ["campaign"]. *)
   note : string;  (** Free-form note passed at save time. *)
   sim_now_ns : float;  (** Simulated clock at snapshot time. *)
   jobs : (string * int) list;

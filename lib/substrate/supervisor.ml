@@ -1,0 +1,103 @@
+type policy = {
+  max_attempts : int;
+  base_backoff_ns : float;
+  backoff_multiplier : float;
+  max_backoff_ns : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    base_backoff_ns = 100.0 *. Units.ms;
+    backoff_multiplier = 2.0;
+    max_backoff_ns = 10.0 *. Units.sec;
+    jitter = 0.25;
+    seed = 1;
+  }
+
+let validate_policy p =
+  if p.max_attempts < 1 then invalid_arg "Supervisor: max_attempts must be >= 1";
+  if p.base_backoff_ns < 0.0 || Float.is_nan p.base_backoff_ns then
+    invalid_arg "Supervisor: base_backoff_ns must be >= 0";
+  if p.backoff_multiplier < 1.0 then
+    invalid_arg "Supervisor: backoff_multiplier must be >= 1";
+  if p.max_backoff_ns < p.base_backoff_ns then
+    invalid_arg "Supervisor: max_backoff_ns must be >= base_backoff_ns";
+  if p.jitter < 0.0 || p.jitter >= 1.0 then
+    invalid_arg "Supervisor: jitter must be in [0, 1)"
+
+(* One throwaway generator per (policy seed, task, failure ordinal): the
+   delay depends on nothing drawn before it, so retries of task [i] cost
+   the same simulated time whether its neighbors failed or not. *)
+let backoff_ns p ~task ~failures =
+  if failures < 1 then invalid_arg "Supervisor.backoff_ns: failures must be >= 1";
+  let raw =
+    p.base_backoff_ns *. (p.backoff_multiplier ** float_of_int (failures - 1))
+  in
+  let capped = Float.min raw p.max_backoff_ns in
+  if p.jitter = 0.0 then capped
+  else begin
+    let rng =
+      Rng.create
+        (((p.seed * 1_000_003) lxor (task * 2_654_435_761) lxor (failures * 97_001))
+        land max_int)
+    in
+    capped *. (1.0 -. p.jitter +. (2.0 *. p.jitter *. Rng.unit_float rng))
+  end
+
+type failure =
+  | Crash of string
+  | Straggler of { deadline_ns : float; observed_ns : float }
+  | Corrupt of string
+
+let describe_failure = function
+  | Crash msg -> Printf.sprintf "crash: %s" msg
+  | Straggler { deadline_ns; observed_ns } ->
+    Printf.sprintf "straggler: %.0f ns past the %.0f ns deadline"
+      (observed_ns -. deadline_ns) deadline_ns
+  | Corrupt msg -> Printf.sprintf "corrupt result: %s" msg
+
+exception Failed of failure
+
+let () =
+  Printexc.register_printer (function
+    | Failed f -> Some (Printf.sprintf "Supervisor.Failed(%s)" (describe_failure f))
+    | _ -> None)
+
+type 'a verdict = Completed of 'a | Quarantined
+
+type 'a outcome = {
+  verdict : 'a verdict;
+  attempts : int;
+  backoff_ns : float;
+  failures : failure list;
+}
+
+let run p ~task ?(validate = fun _ -> Ok ()) f =
+  validate_policy p;
+  let failures = ref [] in
+  let backoff = ref 0.0 in
+  let rec attempt_from n =
+    let result =
+      match f ~attempt:n with
+      | value -> (
+        match validate value with
+        | Ok () -> Ok value
+        | Error msg -> Error (Corrupt msg))
+      | exception Failed failure -> Error failure
+      | exception exn -> Error (Crash (Printexc.to_string exn))
+    in
+    match result with
+    | Ok value -> { verdict = Completed value; attempts = n; backoff_ns = !backoff; failures = List.rev !failures }
+    | Error failure ->
+      failures := failure :: !failures;
+      if n >= p.max_attempts then
+        { verdict = Quarantined; attempts = n; backoff_ns = !backoff; failures = List.rev !failures }
+      else begin
+        backoff := !backoff +. backoff_ns p ~task ~failures:n;
+        attempt_from (n + 1)
+      end
+  in
+  attempt_from 1

@@ -1,0 +1,68 @@
+(** Supervised execution of restartable tasks.
+
+    A warehouse-scale campaign runs thousands of independent simulated
+    machines; some of them crash, straggle past their deadline, or return
+    damaged results.  The supervisor turns one fallible task into a
+    bounded retry loop with seeded exponential backoff charged to
+    {e simulated} time, and quarantines tasks that exhaust their budget so
+    the campaign degrades to partial coverage instead of aborting.
+
+    Determinism contract: everything the supervisor decides — the backoff
+    schedule, the failure classification, the final verdict — is a pure
+    function of the policy, the task index, and the task's own behavior.
+    No wall clock, no shared state: supervised tasks can run on any domain
+    in any order and the per-task outcome is identical. *)
+
+type policy = {
+  max_attempts : int;  (** Total attempts (first try + retries), >= 1. *)
+  base_backoff_ns : float;  (** Simulated delay before the first retry. *)
+  backoff_multiplier : float;  (** Growth per consecutive failure, >= 1. *)
+  max_backoff_ns : float;  (** Ceiling on any single backoff delay. *)
+  jitter : float;
+      (** Seeded jitter fraction in [0, 1): each delay is scaled by a
+          deterministic draw from [1 - jitter, 1 + jitter). *)
+  seed : int;  (** Root seed of the jitter streams. *)
+}
+
+val default_policy : policy
+(** 4 attempts, 100 ms base, x2 growth, 10 s ceiling, 0.25 jitter. *)
+
+val validate_policy : policy -> unit
+(** @raise Invalid_argument on a nonsensical policy. *)
+
+val backoff_ns : policy -> task:int -> failures:int -> float
+(** Simulated delay charged before the retry that follows the [failures]-th
+    consecutive failure (1-based).  Pure: same policy, task and failure
+    ordinal always yield the same delay. *)
+
+type failure =
+  | Crash of string  (** The task raised mid-run. *)
+  | Straggler of { deadline_ns : float; observed_ns : float }
+      (** The task's simulated clock passed its deadline (hang). *)
+  | Corrupt of string  (** The task returned, but validation rejected it. *)
+
+val describe_failure : failure -> string
+
+exception Failed of failure
+(** Tasks raise this to report a classified failure; any other exception
+    is recorded as a {!Crash} of its printed form. *)
+
+type 'a verdict =
+  | Completed of 'a
+  | Quarantined  (** Every attempt failed; the task is excluded. *)
+
+type 'a outcome = {
+  verdict : 'a verdict;
+  attempts : int;  (** Attempts actually made, in [1, max_attempts]. *)
+  backoff_ns : float;  (** Total simulated backoff charged to this task. *)
+  failures : failure list;  (** Oldest first; length = failed attempts. *)
+}
+
+val run :
+  policy -> task:int -> ?validate:('a -> (unit, string) result) ->
+  (attempt:int -> 'a) -> 'a outcome
+(** Run [f ~attempt:1], retrying with backoff on failure until success or
+    [max_attempts].  [validate] (default: accept) screens returned values;
+    a rejection counts as a {!Corrupt} failure and is retried like any
+    other.  Backoff is charged after every failure except the last attempt
+    of a quarantined task (there is no retry to wait for). *)

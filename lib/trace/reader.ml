@@ -148,8 +148,8 @@ let iter_binary t f =
   loop 0
 
 (* ------------------------------------------------------------------ *)
-(* Text v1 stream: same line format as [Wsc_workload.Trace.save], with  *)
-(* the same semantic validation [Trace.of_events] applies, streamed.    *)
+(* Text v1 stream: the [Wsc_workload.Trace.line_of_event] line format,  *)
+(* semantically validated (live-id discipline, positive sizes) streamed. *)
 (* ------------------------------------------------------------------ *)
 
 let iter_text t f =

@@ -6,8 +6,9 @@
       Any damage — a flipped bit, a truncated tail, a missing end-of-stream
       marker, garbage past the end — raises {!Corrupt} carrying the index
       of the offending block.
-    - {b text v1} (written by [Wsc_workload.Trace.save]): streamed line by
-      line with the same semantic validation [Trace.of_events] applies;
+    - {b text v1} (the [Wsc_workload.Trace.line_of_event] line format):
+      streamed line by line with full semantic validation (live-id
+      discipline, positive sizes);
       errors raise [Invalid_argument] with the line number.
 
     Either way, memory use is one block (or line) plus the live-set index —

@@ -7,7 +7,7 @@
     configuration).  Events stream straight into a {!Writer}; nothing is
     materialized.
 
-    Unlike [Trace.synthesize] — which mirrors only the driver's event
+    Unlike [Trace.synthesize_into] — which mirrors only the driver's event
     generator — a recorded run captures whatever actually happened:
     thread-count dynamics, CPU-churn retirements, fault-driven behavior. *)
 

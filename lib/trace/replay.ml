@@ -12,7 +12,7 @@ type result = {
   malloc_ns : float;
 }
 
-(* Same semantics as [Wsc_workload.Trace.replay], but fed from a streaming
+(* Replay a recorded event stream against a fresh allocator, fed from a streaming
    reader: memory is the live-object address map plus one block. *)
 let run ?(config = Wsc_tcmalloc.Config.baseline) ?(topology = Wsc_hw.Topology.default)
     reader =

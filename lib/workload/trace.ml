@@ -1,6 +1,4 @@
 open Wsc_substrate
-module Malloc = Wsc_tcmalloc.Malloc
-module Telemetry = Wsc_tcmalloc.Telemetry
 
 type event =
   | Alloc of { id : int; size : int; cpu : int }
@@ -8,50 +6,12 @@ type event =
   | Advance of { dt_ns : float }
   | Retire of { cpu : int; flush : bool }
 
-type t = { events : event list; length : int }
-
-(* Validate and count in one traversal (the old implementation walked the
-   list a second time just for [List.length]). *)
-let validate events =
-  let live = Hashtbl.create 1024 in
-  let n = ref 0 in
-  List.iter
-    (fun ev ->
-      let i = !n in
-      (match ev with
-      | Alloc { id; size; cpu } ->
-        if size <= 0 then invalid_arg (Printf.sprintf "Trace: event %d: size <= 0" i);
-        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i);
-        if Hashtbl.mem live id then
-          invalid_arg (Printf.sprintf "Trace: event %d: id %d already live" i id);
-        Hashtbl.replace live id ()
-      | Free { id; cpu } ->
-        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i);
-        if not (Hashtbl.mem live id) then
-          invalid_arg (Printf.sprintf "Trace: event %d: free of unknown id %d" i id);
-        Hashtbl.remove live id
-      | Advance { dt_ns } ->
-        if dt_ns < 0.0 || Float.is_nan dt_ns then
-          invalid_arg (Printf.sprintf "Trace: event %d: negative dt" i)
-      | Retire { cpu; flush = _ } ->
-        if cpu < 0 then invalid_arg (Printf.sprintf "Trace: event %d: negative cpu" i));
-      incr n)
-    events;
-  !n
-
-let of_events events =
-  let length = validate events in
-  { events; length }
-
-let events t = t.events
-let length t = t.length
-
 (* Mirror the driver's event generation, but emit events instead of calling
    the allocator.  Object ids are allocation ordinals. *)
 let synthesize_into ?(seed = 1) ?(epoch_ns = Units.ms)
     ?(num_cpus = Wsc_hw.Topology.num_cpus Wsc_hw.Topology.default) ~profile
     ~duration_ns emit =
-  if num_cpus <= 0 then invalid_arg "Trace.synthesize: num_cpus <= 0";
+  if num_cpus <= 0 then invalid_arg "Trace.synthesize_into: num_cpus <= 0";
   let rng = Rng.create seed in
   let pending : (int * int) Binheap.t = Binheap.create () (* (id, thread) *) in
   let next_id = ref 0 in
@@ -99,75 +59,13 @@ let synthesize_into ?(seed = 1) ?(epoch_ns = Units.ms)
   Binheap.iter pending (fun _ (id, thread) ->
       emit (Free { id; cpu = cpu_of_thread thread }))
 
-let synthesize ?seed ?epoch_ns ?num_cpus ~profile ~duration_ns () =
-  let out = ref [] in
-  let n_out = ref 0 in
-  synthesize_into ?seed ?epoch_ns ?num_cpus ~profile ~duration_ns (fun ev ->
-      out := ev :: !out;
-      incr n_out);
-  { events = List.rev !out; length = !n_out }
+(* --- Text v1 line format ----------------------------------------------- *)
 
-type replay_result = {
-  allocations : int;
-  frees : int;
-  peak_rss_bytes : int;
-  final_stats : Malloc.heap_stats;
-  malloc_ns : float;
-}
-
-let replay ?(config = Wsc_tcmalloc.Config.baseline)
-    ?(topology = Wsc_hw.Topology.default) t =
-  let clock = Clock.create () in
-  let malloc = Malloc.create ~config ~topology ~clock () in
-  let num_cpus = Wsc_hw.Topology.num_cpus topology in
-  let addr_of_id = Hashtbl.create 4096 in
-  let peak = ref 0 in
-  let allocations = ref 0 and frees = ref 0 in
-  List.iter
-    (fun ev ->
-      match ev with
-      | Alloc { id; size; cpu } ->
-        let addr = Malloc.malloc malloc ~cpu:(cpu mod num_cpus) ~size in
-        Hashtbl.replace addr_of_id id (addr, size);
-        incr allocations
-      | Free { id; cpu } ->
-        let addr, size =
-          match Hashtbl.find_opt addr_of_id id with
-          | Some entry -> entry
-          | None -> invalid_arg "Trace.replay: free of unknown id"
-        in
-        Hashtbl.remove addr_of_id id;
-        Malloc.free malloc ~cpu:(cpu mod num_cpus) addr ~size;
-        incr frees
-      | Advance { dt_ns } ->
-        Clock.advance clock dt_ns;
-        let rss = (Malloc.heap_stats malloc).Malloc.resident_bytes in
-        if rss > !peak then peak := rss
-      | Retire { cpu; flush } -> Malloc.cpu_idle ~flush malloc ~cpu:(cpu mod num_cpus))
-    t.events;
-  {
-    allocations = !allocations;
-    frees = !frees;
-    peak_rss_bytes = !peak;
-    final_stats = Malloc.heap_stats malloc;
-    malloc_ns = Telemetry.total_malloc_ns (Malloc.telemetry malloc);
-  }
-
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "# wsc-alloc trace v1\n";
-      List.iter
-        (fun ev ->
-          match ev with
-          | Alloc { id; size; cpu } -> Printf.fprintf oc "a %d %d %d\n" id size cpu
-          | Free { id; cpu } -> Printf.fprintf oc "f %d %d\n" id cpu
-          | Advance { dt_ns } -> Printf.fprintf oc "t %.17g\n" dt_ns
-          | Retire { cpu; flush } ->
-            Printf.fprintf oc "r %d %d\n" cpu (if flush then 1 else 0))
-        t.events)
+let line_of_event = function
+  | Alloc { id; size; cpu } -> Printf.sprintf "a %d %d %d" id size cpu
+  | Free { id; cpu } -> Printf.sprintf "f %d %d" id cpu
+  | Advance { dt_ns } -> Printf.sprintf "t %.17g" dt_ns
+  | Retire { cpu; flush } -> Printf.sprintf "r %d %d" cpu (if flush then 1 else 0)
 
 let parse_line ~fail line =
   match String.split_on_char ' ' line with
@@ -188,25 +86,3 @@ let parse_line ~fail line =
     | Some cpu, Some flush -> Retire { cpu; flush = flush <> 0 }
     | _ -> fail ())
   | _ -> fail ()
-
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let out = ref [] in
-      let line_no = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr line_no;
-           let line = String.trim line in
-           if line <> "" && line.[0] <> '#' then begin
-             let fail () =
-               invalid_arg (Printf.sprintf "Trace.load: parse error at line %d" !line_no)
-             in
-             out := parse_line ~fail line :: !out
-           end
-         done
-       with End_of_file -> ());
-      of_events (List.rev !out))

@@ -1,31 +1,17 @@
-(** Allocation trace record and replay (legacy in-memory facility).
+(** Allocation trace vocabulary: the event type, the streaming generator,
+    and the text v1 line codec.
 
     A trace is a portable, deterministic recording of an allocation stream:
     alloc/free events with object identities, issuing CPUs and simulated
-    timestamps.  Traces serve three purposes in an allocator study:
-
-    - {b reproducibility}: a trace replays bit-identically against any
-      allocator configuration, making A/B comparisons free of workload
-      noise (the strongest form of the paper's paired experiments);
-    - {b portability}: traces can be saved, shared, and replayed elsewhere;
-    - {b debugging}: a failing allocator state can be reduced to the trace
-      that produced it.
-
-    {b Deprecation note.}  The list-materializing API of this module
-    ({!of_events}, {!events}, {!replay}, {!save}/{!load}) holds the whole
-    event stream in memory and persists it in the line-per-event text v1
-    format.  It remains exported as a compatibility shim for small traces
-    and its own tests, but no other code in this repository calls it any
-    more and it is scheduled for removal in a later change; new code
-    should use the streaming [wsc_trace] library instead
-    ({!module:Wsc_trace.Writer} / {!module:Wsc_trace.Reader} for
-    constant-memory binary persistence, {!module:Wsc_trace.Recorder} to
-    capture live {!Driver} runs, {!module:Wsc_trace.Replay} for streaming
-    replay) together with {!synthesize_into} for generator-only streams.
-    The {!event} type, {!parse_line}, and {!synthesize_into} are {e not}
-    deprecated — they are the shared vocabulary of both pipelines.
-    [Wsc_trace.Reader] reads the text v1 files written by {!save}, and
-    [wscalloc trace convert] upgrades them to binary. *)
+    timestamps.  This module holds the pieces shared by every trace
+    pipeline; the actual storage and replay machinery is the streaming
+    [wsc_trace] library ({!module:Wsc_trace.Writer} /
+    {!module:Wsc_trace.Reader} for constant-memory binary persistence,
+    {!module:Wsc_trace.Recorder} to capture live {!Driver} runs,
+    {!module:Wsc_trace.Replay} for streaming replay).  The legacy
+    list-materializing API ([of_events] / [events] / [replay] /
+    [save] / [load]) that previously lived here has been removed — it held
+    whole streams in memory and nothing used it outside its own tests. *)
 
 type event =
   | Alloc of { id : int; size : int; cpu : int }
@@ -39,36 +25,6 @@ type event =
           driver runs include these so replay reproduces the allocator's
           cache state bit-exactly. *)
 
-type t
-
-val of_events : event list -> t
-(** Build a trace, validating it in a single pass: every [Free] must name a
-    previously allocated, not-yet-freed id, and sizes/ids must be positive.
-    @raise Invalid_argument on malformed event streams.
-    @deprecated Prefer the streaming [Wsc_trace] pipeline for anything
-    larger than a test fixture. *)
-
-val events : t -> event list
-val length : t -> int
-
-val synthesize :
-  ?seed:int ->
-  ?epoch_ns:float ->
-  ?num_cpus:int ->
-  profile:Profile.t ->
-  duration_ns:float ->
-  unit ->
-  t
-(** Generate the exact event stream a {!Driver} with the same seed would
-    issue for [profile] over [duration_ns] (allocations, lifetime-driven
-    frees, cross-thread frees, time advances).  [num_cpus] is the CPU count
-    threads are folded onto (default: the CPU count of
-    {!Wsc_hw.Topology.default}, so recorded cpus agree with {!replay}'s
-    [cpu mod num_cpus] remapping on the default topology instead of
-    silently aliasing).
-    @raise Invalid_argument if [num_cpus <= 0].
-    @deprecated Materializes the stream as a list; use {!synthesize_into}. *)
-
 val synthesize_into :
   ?seed:int ->
   ?epoch_ns:float ->
@@ -77,41 +33,27 @@ val synthesize_into :
   duration_ns:float ->
   (event -> unit) ->
   unit
-(** Streaming form of {!synthesize}: feed each event to the callback as it
-    is generated (e.g. [Wsc_trace.Writer.add]) instead of materializing a
-    list, so generating a trace takes memory proportional to the live-object
-    population, not the stream length.  Event-for-event identical to
-    {!synthesize} for the same parameters.
+(** Generate the exact event stream a {!Driver} with the same seed would
+    issue for [profile] over [duration_ns] (allocations, lifetime-driven
+    frees, cross-thread frees, time advances), feeding each event to the
+    callback as it is generated (e.g. [Wsc_trace.Writer.add]) — memory is
+    proportional to the live-object population, not the stream length.
+    The stream ends balanced: every live object is freed at the end.
+    [num_cpus] is the CPU count threads are folded onto (default: the CPU
+    count of {!Wsc_hw.Topology.default}).
     @raise Invalid_argument if [num_cpus <= 0]. *)
 
-type replay_result = {
-  allocations : int;
-  frees : int;
-  peak_rss_bytes : int;
-  final_stats : Wsc_tcmalloc.Malloc.heap_stats;
-  malloc_ns : float;  (** Modeled allocator CPU time consumed. *)
-}
-
-val replay :
-  ?config:Wsc_tcmalloc.Config.t ->
-  ?topology:Wsc_hw.Topology.t ->
-  t ->
-  replay_result
-(** Run the trace against a fresh allocator.  Replaying the same trace with
-    two configs isolates the allocator's contribution exactly. *)
-
-(** {2 Persistence (text v1)}
+(** {2 Text v1 line codec}
 
     One event per line: [a <id> <size> <cpu>], [f <id> <cpu>],
     [t <dt_ns>], [r <cpu> <0|1>].  Lines starting with [#] are comments.
     The streaming binary v2 format ([Wsc_trace]) is ~5x smaller and
-    integrity-checked; prefer it for anything but throwaway traces. *)
+    integrity-checked; the text form remains for hand-written fixtures and
+    [wscalloc trace convert] upgrades it to binary. *)
 
-val save : t -> string -> unit
-(** Write to a file path. *)
-
-val load : string -> t
-(** Read from a file path.  @raise Invalid_argument on parse errors. *)
+val line_of_event : event -> string
+(** Render one event as its text v1 line (no trailing newline).
+    Round-trips exactly through {!parse_line}. *)
 
 val parse_line : fail:(unit -> event) -> string -> event
 (** Parse one non-comment, non-blank line of the text v1 format; calls

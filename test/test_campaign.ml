@@ -1,0 +1,323 @@
+(* Tests for the supervisor retry layer and crash-tolerant fleet campaigns:
+   backoff determinism, quarantine on budget exhaustion, and the headline
+   property — a chaos-riddled, killed-and-resumed, multi-domain campaign
+   aggregates bit-identically to a fault-free 1-domain run. *)
+
+open Wsc_substrate
+module Campaign = Wsc_fleet.Campaign
+module Fault = Wsc_os.Fault
+module Persist = Wsc_persist.Persist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* {1 Supervisor} *)
+
+let no_jitter =
+  {
+    Supervisor.max_attempts = 5;
+    base_backoff_ns = 100.0 *. Units.ms;
+    backoff_multiplier = 2.0;
+    max_backoff_ns = 350.0 *. Units.ms;
+    jitter = 0.0;
+    seed = 1;
+  }
+
+let test_backoff_schedule_deterministic () =
+  (* Jitter-free: the schedule is exactly base * mult^(failures-1), capped. *)
+  Alcotest.(check (float 1e-9))
+    "first retry" (100.0 *. Units.ms)
+    (Supervisor.backoff_ns no_jitter ~task:3 ~failures:1);
+  Alcotest.(check (float 1e-9))
+    "second retry doubles" (200.0 *. Units.ms)
+    (Supervisor.backoff_ns no_jitter ~task:3 ~failures:2);
+  Alcotest.(check (float 1e-9))
+    "third retry capped" (350.0 *. Units.ms)
+    (Supervisor.backoff_ns no_jitter ~task:3 ~failures:3);
+  (* With jitter the draw is seeded by (seed, task, failures): pure, and
+     bounded by the jitter band around the capped base delay. *)
+  let jittery = { no_jitter with Supervisor.jitter = 0.25; seed = 42 } in
+  for task = 0 to 20 do
+    for failures = 1 to 4 do
+      let d1 = Supervisor.backoff_ns jittery ~task ~failures in
+      let d2 = Supervisor.backoff_ns jittery ~task ~failures in
+      check_bool "same (task, failures) -> same delay" true (d1 = d2);
+      let base =
+        Float.min
+          (100.0 *. Units.ms *. (2.0 ** float_of_int (failures - 1)))
+          (350.0 *. Units.ms)
+      in
+      check_bool "delay inside the jitter band" true
+        (d1 >= 0.75 *. base && d1 < 1.25 *. base)
+    done
+  done
+
+let test_supervisor_retry_then_succeed () =
+  let outcome =
+    Supervisor.run no_jitter ~task:7 (fun ~attempt ->
+        if attempt <= 2 then
+          raise (Supervisor.Failed (Supervisor.Crash "boom"))
+        else "done")
+  in
+  check_bool "completed" true (outcome.Supervisor.verdict = Supervisor.Completed "done");
+  check_int "three attempts" 3 outcome.Supervisor.attempts;
+  check_int "two recorded failures" 2 (List.length outcome.Supervisor.failures);
+  Alcotest.(check (float 1e-9))
+    "backoff charged for both failures" (300.0 *. Units.ms)
+    outcome.Supervisor.backoff_ns
+
+let test_supervisor_exhaustion_quarantines () =
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run no_jitter ~task:2 (fun ~attempt:_ ->
+        incr calls;
+        failwith "always broken")
+  in
+  check_bool "quarantined" true (outcome.Supervisor.verdict = Supervisor.Quarantined);
+  check_int "budget fully used" no_jitter.Supervisor.max_attempts !calls;
+  check_int "every failure recorded" no_jitter.Supervisor.max_attempts
+    (List.length outcome.Supervisor.failures);
+  (* No retry follows the final failure, so its backoff is not charged. *)
+  Alcotest.(check (float 1e-9))
+    "backoff excludes the terminal attempt"
+    (100.0 *. Units.ms +. 200.0 *. Units.ms +. 350.0 *. Units.ms +. 350.0 *. Units.ms)
+    outcome.Supervisor.backoff_ns
+
+let test_supervisor_validate_rejection_retries () =
+  let outcome =
+    Supervisor.run no_jitter ~task:1
+      ~validate:(fun v -> if v < 3 then Error "too small" else Ok ())
+      (fun ~attempt -> attempt)
+  in
+  check_bool "eventually accepted" true
+    (outcome.Supervisor.verdict = Supervisor.Completed 3);
+  check_bool "rejections classified as Corrupt" true
+    (List.for_all
+       (function Supervisor.Corrupt _ -> true | _ -> false)
+       outcome.Supervisor.failures);
+  check_int "two rejections" 2 (List.length outcome.Supervisor.failures)
+
+(* {1 Campaign} *)
+
+let chaos =
+  { Fault.chaos_seed = 5; crash_prob = 0.25; hang_prob = 0.15; corrupt_prob = 0.1 }
+
+(* Generous retry budget: with a 0.5 total failure probability per attempt,
+   quarantine needs 25 consecutive failures — never happens at test seeds,
+   so the chaos aggregate must match the fault-free one exactly. *)
+let patient = { Supervisor.default_policy with Supervisor.max_attempts = 25 }
+
+let small_spec seed =
+  {
+    Campaign.default_spec with
+    Campaign.seed;
+    machines = 8;
+    num_binaries = 8;
+    jobs_per_machine = 2;
+    duration_ns = 0.2 *. Units.sec;
+    shard_size = 3;
+    policy = patient;
+  }
+
+(* Deep-copy a live checkpoint (they mutate as the campaign continues). *)
+let snapshot_checkpoint (ck : Campaign.checkpoint) : Campaign.checkpoint =
+  Marshal.from_string (Marshal.to_string ck []) 0
+
+let campaign_chaos_resume_bit_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"chaos_killed_resumed_campaign_matches_fault_free"
+       ~count:4
+       QCheck.(int_range 1 1000)
+       (fun seed ->
+         let spec = { (small_spec seed) with Campaign.chaos } in
+         let reference =
+           Campaign.run ~jobs:1 { spec with Campaign.chaos = Fault.no_chaos }
+         in
+         (* Run one shard under chaos on 3 domains, "kill" it, then resume
+            from the captured checkpoint. *)
+         let captured = ref None in
+         let first =
+           Campaign.run ~jobs:3
+             ~on_shard:(fun ~shard:_ ck -> captured := Some (snapshot_checkpoint ck))
+             ~max_shards:1 spec
+         in
+         let resumed =
+           match !captured with
+           | None -> QCheck.Test.fail_report "no checkpoint captured"
+           | Some ck -> Campaign.run ~jobs:3 ~resume:ck spec
+         in
+         (not first.Campaign.r_finished)
+         && resumed.Campaign.r_finished
+         && resumed.Campaign.r_quarantined = []
+         && Campaign.render_aggregate resumed.Campaign.r_aggregate
+            = Campaign.render_aggregate reference.Campaign.r_aggregate
+         (* Chaos really happened: the robustness stats differ. *)
+         && resumed.Campaign.r_stats.Campaign.st_attempts
+            > reference.Campaign.r_stats.Campaign.st_attempts))
+
+let test_campaign_exhaustion_partial_coverage () =
+  (* Every attempt crashes and the budget is tiny: every machine must be
+     quarantined, with a coverage report instead of an exception. *)
+  let spec =
+    {
+      (small_spec 3) with
+      Campaign.chaos =
+        { Fault.chaos_seed = 1; crash_prob = 1.0; hang_prob = 0.0; corrupt_prob = 0.0 };
+      policy = { Supervisor.default_policy with Supervisor.max_attempts = 2 };
+    }
+  in
+  let r = Campaign.run ~jobs:2 spec in
+  check_bool "finished despite losses" true r.Campaign.r_finished;
+  check_int "no machine completed" 0 r.Campaign.r_aggregate.Campaign.a_machines;
+  check_int "all machines quarantined" spec.Campaign.machines
+    (List.length r.Campaign.r_quarantined);
+  Alcotest.(check (float 0.0)) "zero coverage" 0.0 (Campaign.coverage r);
+  check_int "both attempts burned per machine" (2 * spec.Campaign.machines)
+    r.Campaign.r_stats.Campaign.st_attempts;
+  check_int "every failure was a crash" (2 * spec.Campaign.machines)
+    r.Campaign.r_stats.Campaign.st_crashes;
+  check_bool "report lists the quarantines" true
+    (List.for_all
+       (fun q -> q.Campaign.q_attempts = 2)
+       r.Campaign.r_quarantined);
+  (* The quarantine list is index-ordered in the result. *)
+  check_bool "quarantine list sorted" true
+    (List.sort compare r.Campaign.r_quarantined = r.Campaign.r_quarantined)
+
+let test_campaign_chaos_charges_simulated_time () =
+  let spec = { (small_spec 11) with Campaign.chaos } in
+  let clean = Campaign.run ~jobs:1 { spec with Campaign.chaos = Fault.no_chaos } in
+  let noisy = Campaign.run ~jobs:1 spec in
+  check_bool "retries charged backoff to simulated time" true
+    (noisy.Campaign.r_stats.Campaign.st_backoff_ns > 0.0);
+  check_bool "wasted attempts charged machine time" true
+    (noisy.Campaign.r_stats.Campaign.st_sim_ns
+    > clean.Campaign.r_stats.Campaign.st_sim_ns);
+  check_bool "failure mix recorded" true
+    (noisy.Campaign.r_stats.Campaign.st_crashes > 0
+    || noisy.Campaign.r_stats.Campaign.st_stragglers > 0
+    || noisy.Campaign.r_stats.Campaign.st_corruptions > 0)
+
+let test_campaign_resume_rejects_other_spec () =
+  let spec = small_spec 21 in
+  let captured = ref None in
+  let (_ : Campaign.result) =
+    Campaign.run ~jobs:1
+      ~on_shard:(fun ~shard:_ ck -> captured := Some (snapshot_checkpoint ck))
+      ~max_shards:1 spec
+  in
+  let ck = Option.get !captured in
+  let other = { spec with Campaign.seed = spec.Campaign.seed + 1 } in
+  check_bool "digest mismatch rejected" true
+    (try
+       ignore (Campaign.run ~resume:ck other);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Durable shards (Persist)} *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "wsc_campaign" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_campaign_durable_kill_resume () =
+  let spec = { (small_spec 31) with Campaign.machines = 9; chaos } in
+  let reference = Campaign.run ~jobs:1 { spec with Campaign.chaos = Fault.no_chaos } in
+  with_temp_dir (fun dir ->
+      (* "Kill" after two of three shards. *)
+      let first = Persist.run_campaign ~jobs:4 ~resume_dir:dir ~max_shards:2 spec in
+      check_bool "paused incomplete" true (not first.Campaign.r_finished);
+      check_bool "both shard files exist" true
+        (Sys.file_exists (Persist.campaign_shard_path ~dir 0)
+        && Sys.file_exists (Persist.campaign_shard_path ~dir 1));
+      (* Shard files are inspectable like any snapshot. *)
+      let i = Persist.info ~path:(Persist.campaign_shard_path ~dir 1) in
+      check_string "campaign kind" "campaign" i.Persist.kind;
+      (* Resume picks up shard 1 and finishes the campaign. *)
+      let resumed = Persist.run_campaign ~jobs:4 ~resume_dir:dir spec in
+      check_bool "finished" true resumed.Campaign.r_finished;
+      check_int "no quarantine at this seed" 0 (List.length resumed.Campaign.r_quarantined);
+      check_string "resumed chaos aggregate == fault-free --jobs 1 aggregate"
+        (Campaign.render_aggregate reference.Campaign.r_aggregate)
+        (Campaign.render_aggregate resumed.Campaign.r_aggregate))
+
+let test_campaign_corrupt_shard_falls_back () =
+  let spec = { (small_spec 41) with Campaign.machines = 9; chaos } in
+  let reference = Campaign.run ~jobs:1 { spec with Campaign.chaos = Fault.no_chaos } in
+  with_temp_dir (fun dir ->
+      let (_ : Campaign.result) =
+        Persist.run_campaign ~jobs:2 ~resume_dir:dir ~max_shards:2 spec
+      in
+      (* Damage the newest shard: resume must fall back to shard 0 and
+         still converge on the same aggregate. *)
+      let path = Persist.campaign_shard_path ~dir 1 in
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let bytes = Bytes.of_string data in
+      let pos = Bytes.length bytes - 40 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xFF));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Bytes.to_string bytes));
+      check_bool "damaged shard rejected by the loader" true
+        (try
+           ignore (Persist.load_campaign ~path);
+           false
+         with Persist.Corrupt _ -> true);
+      let resumed = Persist.run_campaign ~jobs:2 ~resume_dir:dir spec in
+      check_bool "finished" true resumed.Campaign.r_finished;
+      check_string "fallback resume still bit-identical"
+        (Campaign.render_aggregate reference.Campaign.r_aggregate)
+        (Campaign.render_aggregate resumed.Campaign.r_aggregate))
+
+let test_campaign_dir_spec_mismatch_is_corrupt () =
+  let spec = { (small_spec 51) with Campaign.machines = 6 } in
+  with_temp_dir (fun dir ->
+      let (_ : Campaign.result) =
+        Persist.run_campaign ~resume_dir:dir ~max_shards:1 spec
+      in
+      let other = { spec with Campaign.seed = spec.Campaign.seed + 1 } in
+      check_bool "foreign shards rejected as Corrupt" true
+        (try
+           ignore (Persist.run_campaign ~resume_dir:dir other);
+           false
+         with Persist.Corrupt _ -> true))
+
+let suite =
+  [
+    ( "supervisor",
+      [
+        Alcotest.test_case "backoff schedule deterministic" `Quick
+          test_backoff_schedule_deterministic;
+        Alcotest.test_case "retry then succeed" `Quick test_supervisor_retry_then_succeed;
+        Alcotest.test_case "exhaustion quarantines" `Quick
+          test_supervisor_exhaustion_quarantines;
+        Alcotest.test_case "validate rejection retries" `Quick
+          test_supervisor_validate_rejection_retries;
+      ] );
+    ( "campaign",
+      [
+        campaign_chaos_resume_bit_identity;
+        Alcotest.test_case "exhaustion yields partial coverage" `Quick
+          test_campaign_exhaustion_partial_coverage;
+        Alcotest.test_case "chaos charges simulated time" `Quick
+          test_campaign_chaos_charges_simulated_time;
+        Alcotest.test_case "resume rejects other spec" `Quick
+          test_campaign_resume_rejects_other_spec;
+      ] );
+    ( "campaign_shards",
+      [
+        Alcotest.test_case "durable kill and resume" `Quick
+          test_campaign_durable_kill_resume;
+        Alcotest.test_case "corrupt shard falls back" `Quick
+          test_campaign_corrupt_shard_falls_back;
+        Alcotest.test_case "foreign shard dir rejected" `Quick
+          test_campaign_dir_spec_mismatch_is_corrupt;
+      ] );
+  ]

@@ -102,7 +102,9 @@ let fleet_digest fleet =
    too, not just the in-memory [Fleet.checkpoint] blob. *)
 let test_fleet_restore_jobs_invariant () =
   let fleet = Fleet.create ~seed:11 ~num_machines:4 ~num_binaries:6 ~jobs_per_machine:2 () in
-  Fleet.run fleet ~jobs:2 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+  let (_ : Machine.summary list) =
+    Fleet.run fleet ~jobs:2 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms
+  in
   let path = Filename.temp_file "wsc_fleet" ".wsnap" in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
@@ -110,8 +112,9 @@ let test_fleet_restore_jobs_invariant () =
       Wsc_persist.Persist.save_fleet fleet ~path;
       let serial = Wsc_persist.Persist.load_fleet ~path in
       let parallel = Wsc_persist.Persist.load_fleet ~path in
-      Fleet.run serial ~jobs:1 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
-      Fleet.run parallel ~jobs:4 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms;
+      let s1 = Fleet.run serial ~jobs:1 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms in
+      let s4 = Fleet.run parallel ~jobs:4 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms in
+      check_bool "--jobs 4 summaries = --jobs 1 summaries" true (s1 = s4);
       check_int "restored machine count" 4 (List.length (Fleet.machines serial));
       check_bool "--jobs 4 = --jobs 1" true (fleet_digest serial = fleet_digest parallel);
       check_bool "resumed fleets advanced past the snapshot" true

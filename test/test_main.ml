@@ -20,4 +20,5 @@ let () =
          Test_robustness.suite;
          Test_rseq.suite;
          Test_parallel.suite;
+         Test_campaign.suite;
        ])

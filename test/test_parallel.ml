@@ -87,8 +87,10 @@ let fleet_fingerprint fleet =
 let test_fleet_parallel_determinism () =
   let run jobs =
     let fleet = Fleet.create ~seed:23 ~num_machines:4 () in
-    Fleet.run ~jobs fleet ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
-    fleet_fingerprint fleet
+    let summaries =
+      Fleet.run ~jobs fleet ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms
+    in
+    (summaries, fleet_fingerprint fleet)
   in
   check_bool "4-domain fleet == 1-domain fleet" true (run 1 = run 4)
 

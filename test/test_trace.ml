@@ -1,119 +1,92 @@
-(* Tests for trace record/replay and the sampler's heap-profile estimator. *)
+(* Tests for the trace event vocabulary (streaming generator + text v1
+   line codec) and the sampler's heap-profile estimator. *)
 
 open Wsc_substrate
 open Wsc_workload
-module Config = Wsc_tcmalloc.Config
-module Malloc = Wsc_tcmalloc.Malloc
 module Sampler = Wsc_tcmalloc.Sampler
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let tiny_trace =
-  Trace.of_events
+(* Materialize a synthesized stream (fine at test scale). *)
+let synth ?(seed = 1) ~profile ~duration_ns () =
+  let out = ref [] in
+  Trace.synthesize_into ~seed ~profile ~duration_ns (fun ev -> out := ev :: !out);
+  List.rev !out
+
+let test_synthesize_deterministic () =
+  let run () = synth ~seed:9 ~profile:Apps.f1_query ~duration_ns:(0.5 *. Units.sec) () in
+  check_bool "same seed, same stream" true (run () = run ());
+  let other = synth ~seed:10 ~profile:Apps.f1_query ~duration_ns:(0.5 *. Units.sec) () in
+  check_bool "different seed, different stream" true (run () <> other)
+
+let test_synthesize_balanced () =
+  let events = synth ~seed:4 ~profile:Apps.monarch ~duration_ns:(0.5 *. Units.sec) () in
+  check_bool "nonempty" true (List.length events > 100);
+  let live = Hashtbl.create 1024 in
+  let allocs = ref 0 and frees = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Alloc { id; size; cpu } ->
+        check_bool "positive size" true (size > 0);
+        check_bool "valid cpu" true (cpu >= 0);
+        check_bool "fresh id" false (Hashtbl.mem live id);
+        Hashtbl.replace live id ();
+        incr allocs
+      | Trace.Free { id; cpu } ->
+        check_bool "valid cpu" true (cpu >= 0);
+        check_bool "free of live id" true (Hashtbl.mem live id);
+        Hashtbl.remove live id;
+        incr frees
+      | Trace.Advance { dt_ns } -> check_bool "positive dt" true (dt_ns > 0.0)
+      | Trace.Retire _ -> ())
+    events;
+  (* synthesize_into closes the stream with frees for everything live. *)
+  check_int "stream balances" !allocs !frees;
+  check_int "nothing live at the end" 0 (Hashtbl.length live)
+
+let test_line_roundtrip () =
+  let fail () = Alcotest.fail "parse_line rejected a line_of_event output" in
+  List.iter
+    (fun ev ->
+      let line = Trace.line_of_event ev in
+      check_bool
+        (Printf.sprintf "roundtrip %S" line)
+        true
+        (Trace.parse_line ~fail line = ev))
     [
       Trace.Alloc { id = 1; size = 100; cpu = 0 };
-      Trace.Alloc { id = 2; size = 5000; cpu = 1 };
-      Trace.Advance { dt_ns = 1e6 };
+      Trace.Alloc { id = max_int; size = 2 * Units.mib; cpu = 63 };
       Trace.Free { id = 1; cpu = 2 };
-      Trace.Alloc { id = 3; size = 2 * Units.mib; cpu = 0 };
       Trace.Advance { dt_ns = 1e6 };
-      Trace.Free { id = 3; cpu = 0 };
-      Trace.Free { id = 2; cpu = 1 };
+      (* %.17g must survive floats with no short decimal form. *)
+      Trace.Advance { dt_ns = 0.1 +. 0.2 };
+      Trace.Retire { cpu = 5; flush = true };
+      Trace.Retire { cpu = 0; flush = false };
     ]
 
-let test_trace_validation () =
-  Alcotest.check_raises "free before alloc"
-    (Invalid_argument "Trace: event 0: free of unknown id 7") (fun () ->
-      ignore (Trace.of_events [ Trace.Free { id = 7; cpu = 0 } ]));
-  Alcotest.check_raises "double alloc of id"
-    (Invalid_argument "Trace: event 1: id 1 already live") (fun () ->
-      ignore
-        (Trace.of_events
-           [ Trace.Alloc { id = 1; size = 8; cpu = 0 }; Trace.Alloc { id = 1; size = 8; cpu = 0 } ]));
-  Alcotest.check_raises "bad size" (Invalid_argument "Trace: event 0: size <= 0")
-    (fun () -> ignore (Trace.of_events [ Trace.Alloc { id = 1; size = 0; cpu = 0 } ]))
+let test_parse_line_rejects_garbage () =
+  let saw_fail = ref 0 in
+  let sentinel = Trace.Advance { dt_ns = 0.0 } in
+  let fail () = incr saw_fail; sentinel in
+  List.iter
+    (fun line -> ignore (Trace.parse_line ~fail line))
+    [ "not a trace line"; "a 1 100"; "a x y z"; "f 1"; "t"; "r 1"; "q 1 2" ];
+  check_int "every malformed line rejected" 7 !saw_fail
 
-let test_trace_replay_balanced () =
-  let r = Trace.replay tiny_trace in
-  check_int "allocations" 3 r.Trace.allocations;
-  check_int "frees" 3 r.Trace.frees;
-  check_int "nothing live at the end" 0
-    r.Trace.final_stats.Malloc.live_requested_bytes;
-  check_bool "peak observed" true (r.Trace.peak_rss_bytes > 0)
-
-let test_trace_replay_deterministic () =
-  let trace =
-    Trace.synthesize ~seed:9 ~profile:Apps.f1_query ~duration_ns:(1.0 *. Units.sec) ()
-  in
-  let r1 = Trace.replay trace and r2 = Trace.replay trace in
-  check_int "same allocations" r1.Trace.allocations r2.Trace.allocations;
-  check_int "same final rss" r1.Trace.final_stats.Malloc.resident_bytes
-    r2.Trace.final_stats.Malloc.resident_bytes
-
-let test_trace_synthesize_balanced () =
-  let trace =
-    Trace.synthesize ~seed:4 ~profile:Apps.monarch ~duration_ns:(0.5 *. Units.sec) ()
-  in
-  check_bool "nonempty" true (Trace.length trace > 100);
-  let r = Trace.replay trace in
-  (* synthesize closes the trace with frees for everything live. *)
-  check_int "replay balances" r.Trace.allocations r.Trace.frees;
-  check_int "no leak" 0 r.Trace.final_stats.Malloc.live_requested_bytes
-
-let test_trace_config_isolation () =
-  (* The same trace under two configs: workload identical, allocator state
-     differs — the memory numbers may differ but conservation holds. *)
-  let trace =
-    Trace.synthesize ~seed:5 ~profile:Apps.bigtable ~duration_ns:(1.0 *. Units.sec) ()
-  in
-  let a = Trace.replay ~config:Config.baseline trace in
-  let b = Trace.replay ~config:Config.all_optimizations trace in
-  check_int "identical workload" a.Trace.allocations b.Trace.allocations;
-  check_int "both leak-free" 0
-    (a.Trace.final_stats.Malloc.live_requested_bytes
-    + b.Trace.final_stats.Malloc.live_requested_bytes)
-
-let test_trace_save_load_roundtrip () =
-  let path = Filename.temp_file "wsc_trace" ".txt" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      Trace.save tiny_trace path;
-      let loaded = Trace.load path in
-      check_bool "roundtrip preserves events" true
-        (Trace.events loaded = Trace.events tiny_trace))
-
-let test_trace_load_rejects_garbage () =
-  let path = Filename.temp_file "wsc_trace" ".txt" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "a 1 100 0\nnot a trace line\n";
-      close_out oc;
-      Alcotest.check_raises "parse error"
-        (Invalid_argument "Trace.load: parse error at line 2") (fun () ->
-          ignore (Trace.load path)))
-
-let test_trace_roundtrip_property =
+let test_line_roundtrip_property =
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name:"trace_save_load_replay_identical" ~count:10
+    (QCheck.Test.make ~name:"synthesized_stream_text_roundtrip" ~count:10
        QCheck.(int_range 1 500)
        (fun seed ->
-         let trace =
-           Trace.synthesize ~seed ~profile:Apps.redis ~duration_ns:(0.2 *. Units.sec) ()
+         let events =
+           synth ~seed ~profile:Apps.redis ~duration_ns:(0.2 *. Units.sec) ()
          in
-         let path = Filename.temp_file "wsc_trace_prop" ".txt" in
-         Fun.protect
-           ~finally:(fun () -> Sys.remove path)
-           (fun () ->
-             Trace.save trace path;
-             let loaded = Trace.load path in
-             let r1 = Trace.replay trace and r2 = Trace.replay loaded in
-             r1.Trace.allocations = r2.Trace.allocations
-             && r1.Trace.final_stats.Malloc.resident_bytes
-                = r2.Trace.final_stats.Malloc.resident_bytes)))
+         let fail () = QCheck.Test.fail_report "parse_line rejected a rendered line" in
+         List.for_all
+           (fun ev -> Trace.parse_line ~fail (Trace.line_of_event ev) = ev)
+           events))
 
 (* {1 Sampler heap profiling} *)
 
@@ -142,14 +115,11 @@ let suite =
   [
     ( "trace",
       [
-        Alcotest.test_case "validation" `Quick test_trace_validation;
-        Alcotest.test_case "replay balanced" `Quick test_trace_replay_balanced;
-        Alcotest.test_case "replay deterministic" `Quick test_trace_replay_deterministic;
-        Alcotest.test_case "synthesize balanced" `Quick test_trace_synthesize_balanced;
-        Alcotest.test_case "config isolation" `Quick test_trace_config_isolation;
-        Alcotest.test_case "save/load roundtrip" `Quick test_trace_save_load_roundtrip;
-        Alcotest.test_case "load rejects garbage" `Quick test_trace_load_rejects_garbage;
-        test_trace_roundtrip_property;
+        Alcotest.test_case "synthesize deterministic" `Quick test_synthesize_deterministic;
+        Alcotest.test_case "synthesize balanced" `Quick test_synthesize_balanced;
+        Alcotest.test_case "line roundtrip" `Quick test_line_roundtrip;
+        Alcotest.test_case "parse rejects garbage" `Quick test_parse_line_rejects_garbage;
+        test_line_roundtrip_property;
       ] );
     ( "sampler_profile",
       [ Alcotest.test_case "live profile" `Quick test_sampler_live_profile ] );
