@@ -1528,6 +1528,275 @@ let fleetcampaign () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* salvage — storage chaos + degraded-mode recovery.                   *)
+(*                                                                     *)
+(* Writes one trace corpus through the Wsc_os.Storage fault shim at a  *)
+(* sweep of bit-flip rates, then measures what `trace repair` +        *)
+(* `replay --salvage` get back: recovery fraction, loss accounting,    *)
+(* and salvage-scan throughput vs the strict reader (resync overhead). *)
+(* Hard gates (smoke and full): a clean trace round-trips              *)
+(* byte-identically through repair; every repaired trace satisfies the *)
+(* strict reader; recovery at flip rate 1e-6 is >= 99%; a campaign     *)
+(* shard with a damaged primary summary region repairs bit-identically *)
+(* via the v2 trailer; and scrub + resume of a corrupted campaign      *)
+(* directory reproduces the fault-free aggregate.                      *)
+(* ------------------------------------------------------------------ *)
+
+let salvage_json = "BENCH_salvage.json"
+
+let salvage () =
+  let module Writer = Wsc_trace.Writer in
+  let module Reader = Wsc_trace.Reader in
+  let module Salvage = Wsc_trace.Salvage in
+  let module Replay = Wsc_trace.Replay in
+  let module Storage = Wsc_os.Storage in
+  let module Event = Wsc_workload.Trace in
+  let dir = Filename.temp_file "wsc_salvage" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path name = Filename.concat dir name in
+  let file_bytes p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "salvage: %s\n" m; exit 1) fmt in
+  (* -- Trace corpus, fault-free reference. ------------------------- *)
+  let duration_ns = (if !smoke then 4.0 else 30.0) *. Units.sec in
+  let emit w =
+    Event.synthesize_into ~seed:11 ~profile:Apps.monarch ~duration_ns (Writer.add w)
+  in
+  let clean = path "clean.wtrace" in
+  let events =
+    let w = Writer.to_file clean in
+    emit w;
+    let n = Writer.events_written w in
+    Writer.close w;
+    n
+  in
+  let clean_bytes = (Unix.stat clean).Unix.st_size in
+  let repaired_clean = path "clean.repaired" in
+  let rep0 = Salvage.repair ~src:clean ~dst:repaired_clean () in
+  if not (Salvage.clean rep0) then fail "clean trace scanned as damaged";
+  if file_bytes clean <> file_bytes repaired_clean then
+    fail "clean trace did not round-trip byte-identically through repair";
+  let strict_eps =
+    let t0 = Unix.gettimeofday () in
+    Reader.with_file clean (fun r -> Reader.iter r ignore);
+    float_of_int events /. (Unix.gettimeofday () -. t0)
+  in
+  (* -- Flip-rate sweep through the storage chaos shim. -------------- *)
+  let rates = [ 1e-7; 1e-6; 1e-5; 1e-4 ] in
+  let arms =
+    List.map
+      (fun rate ->
+        let st =
+          Storage.create
+            ~faults:
+              {
+                Wsc_os.Fault.no_storage_faults with
+                Wsc_os.Fault.storage_seed = 23;
+                flip_rate = rate;
+              }
+            ()
+        in
+        let damaged = path (Printf.sprintf "flips-%g.wtrace" rate) in
+        let w = Writer.to_file ~storage:st damaged in
+        emit w;
+        Writer.close w;
+        let repaired = path (Printf.sprintf "flips-%g.repaired" rate) in
+        let t0 = Unix.gettimeofday () in
+        let rep = Salvage.repair ~src:damaged ~dst:repaired () in
+        let scan_eps = float_of_int events /. (Unix.gettimeofday () -. t0) in
+        (* Degraded-mode guarantee: repair output always satisfies the
+           strict reader, whatever the damage. *)
+        let s = Reader.verify repaired in
+        if s.Reader.events <> rep.Salvage.events_recovered then
+          fail "repaired trace re-reads %d events, salvage reported %d" s.Reader.events
+            rep.Salvage.events_recovered;
+        let recovery = float_of_int rep.Salvage.events_recovered /. float_of_int events in
+        (rate, Storage.flips st, rep, recovery, scan_eps))
+      rates
+  in
+  let t =
+    Table.create ~title:"salvage - recovery vs write-path flip rate"
+      ~columns:
+        [ "flip rate"; "flips"; "recovered"; "lost"; "dropped"; "recovery"; "scan Mev/s" ]
+  in
+  List.iter
+    (fun (rate, flips, rep, recovery, scan_eps) ->
+      Table.add_row t
+        [
+          Printf.sprintf "%g" rate;
+          string_of_int flips;
+          string_of_int rep.Salvage.events_recovered;
+          string_of_int rep.Salvage.events_lost;
+          string_of_int rep.Salvage.events_dropped;
+          pct (100.0 *. recovery);
+          f2 ~decimals:2 (scan_eps /. 1e6);
+        ])
+    arms;
+  Table.print t;
+  note "corpus: %d events, %s; strict decode %.2f Mev/s" events
+    (Units.bytes_to_string clean_bytes)
+    (strict_eps /. 1e6);
+  let recovery_at target =
+    let _, _, _, recovery, _ = List.find (fun (r, _, _, _, _) -> r = target) arms in
+    recovery
+  in
+  if recovery_at 1e-6 < 0.99 then
+    fail "recovery at flip rate 1e-6 is %.4f, below the 0.99 floor" (recovery_at 1e-6);
+  (* Degraded replay of the 1e-6 arm: must not raise and must agree with
+     the repair scan on what was recovered. *)
+  let _, _, rep_1e6, _, _ =
+    List.find (fun (r, _, _, _, _) -> r = 1e-6) arms
+  in
+  let res, rep_replay = Replay.run_salvage (path "flips-1e-06.wtrace") in
+  if rep_replay.Salvage.events_recovered <> rep_1e6.Salvage.events_recovered then
+    fail "replay --salvage recovered %d events, repair recovered %d"
+      rep_replay.Salvage.events_recovered rep_1e6.Salvage.events_recovered;
+  note "degraded replay at 1e-6: %d allocs, %d frees, peak RSS %s" res.Replay.allocations
+    res.Replay.frees
+    (Units.bytes_to_string res.Replay.peak_rss_bytes);
+  (* -- Crash arm: torn final write + lost tail. ---------------------- *)
+  let crash_st =
+    Storage.create
+      ~faults:
+        {
+          Wsc_os.Fault.no_storage_faults with
+          Wsc_os.Fault.storage_seed = 29;
+          torn_write_rate = 0.002;
+          truncate_rate = 0.5;
+        }
+      ()
+  in
+  let torn = path "torn.wtrace" in
+  let w = Writer.to_file ~storage:crash_st torn in
+  emit w;
+  Writer.close w;
+  if Storage.torn_writes crash_st + Storage.truncations crash_st = 0 then
+    fail "crash arm drew no torn writes or truncations at seed 29";
+  let torn_rep = Salvage.scan torn in
+  if Salvage.clean torn_rep then fail "torn trace scanned as clean";
+  if not torn_rep.Salvage.missing_eos then
+    fail "torn trace still carries an end-of-stream marker";
+  note "crash arm: %s" (Salvage.describe torn_rep);
+  (* -- Snapshot self-healing + campaign scrub. ----------------------- *)
+  let spec =
+    {
+      Campaign.default_spec with
+      Campaign.seed = 7;
+      machines = 18;
+      duration_ns = 0.3 *. Units.sec;
+      shard_size = 6;
+    }
+  in
+  let camp = path "camp" in
+  let reference = Persist.run_campaign ~resume_dir:camp spec in
+  let reference_agg = Campaign.render_aggregate reference.Campaign.r_aggregate in
+  (* A shard with a damaged primary summary region must audit as
+     salvageable and repair bit-identically from the v2 trailer. *)
+  let shard = Persist.campaign_shard_path ~dir:camp 1 in
+  let pristine = file_bytes shard in
+  let dmg = path "shard.dmg" in
+  let oc = open_out_bin dmg in
+  String.iteri
+    (fun i c -> output_char oc (if i = 46 then Char.chr (Char.code c lxor 0xff) else c))
+    pristine;
+  close_out oc;
+  let a = Persist.audit ~path:dmg in
+  if a.Persist.a_intact then fail "damaged shard audits as intact";
+  if not a.Persist.a_salvageable then fail "damaged shard audits as unrecoverable";
+  let fixed = path "shard.fixed" in
+  let (_ : Persist.audit) = Persist.repair ~src:dmg ~dst:fixed () in
+  if file_bytes fixed <> pristine then
+    fail "snapshot repair of a damaged summary region is not bit-identical";
+  note "snapshot repair: damaged byte 46 of %s rebuilt bit-identically"
+    (Filename.basename shard);
+  (* Corrupt the newest shard mid-state, scrub (quarantines it), resume:
+     the aggregate must match the fault-free reference. *)
+  let shards = (spec.Campaign.machines + spec.Campaign.shard_size - 1) / spec.Campaign.shard_size in
+  let last = Persist.campaign_shard_path ~dir:camp (shards - 1) in
+  let data = file_bytes last in
+  let oc = open_out_bin last in
+  String.iteri
+    (fun i c ->
+      output_char oc
+        (if i = String.length data / 2 then Char.chr (Char.code c lxor 0xff) else c))
+    data;
+  close_out oc;
+  let scrub = Persist.scrub_campaign_dir ~dir:camp in
+  (match scrub.Persist.sr_best with
+  | Some (best, _) when best = shards - 2 -> ()
+  | Some (best, _) -> fail "scrub picked shard %d, expected %d" best (shards - 2)
+  | None -> fail "scrub found no usable checkpoint");
+  if List.length scrub.Persist.sr_quarantined <> 1 then
+    fail "scrub quarantined %d file(s), expected exactly the corrupted shard"
+      (List.length scrub.Persist.sr_quarantined);
+  let resumed = Persist.run_campaign ~resume_dir:camp spec in
+  if Campaign.render_aggregate resumed.Campaign.r_aggregate <> reference_agg then
+    fail "scrub + resume aggregate differs from the fault-free reference";
+  note "campaign scrub: shard %d quarantined, resume from shard %d matches the \
+        fault-free aggregate"
+    (shards - 1) (shards - 2);
+  let _, flips_1e6, _, _, scan_eps_1e6 =
+    List.find (fun (r, _, _, _, _) -> r = 1e-6) arms
+  in
+  if !smoke then begin
+    match
+      if Sys.file_exists salvage_json then begin
+        let ic = open_in salvage_json in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        json_number ~key:"scan_events_per_sec_1e6" text
+      end
+      else None
+    with
+    | None -> note "no committed %s; skipping the regression gate." salvage_json
+    | Some committed ->
+      let r = scan_eps_1e6 /. committed in
+      note "committed salvage-scan events/sec: %.0f; measured %.0f (%.0f%%)" committed
+        scan_eps_1e6 (100.0 *. r);
+      if r < 0.4 then begin
+        Printf.eprintf
+          "salvage: scan throughput fell below 40%% of committed %s (%.0f -> %.0f)\n"
+          salvage_json committed scan_eps_1e6;
+        exit 1
+      end
+  end
+  else begin
+    let oc = open_out salvage_json in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"salvage\",\n\
+      \  \"events\": %d,\n\
+      \  \"trace_bytes\": %d,\n\
+      \  \"recovery_1e7\": %.6f,\n\
+      \  \"recovery_1e6\": %.6f,\n\
+      \  \"recovery_1e5\": %.6f,\n\
+      \  \"recovery_1e4\": %.6f,\n\
+      \  \"flips_1e6\": %d,\n\
+      \  \"scan_events_per_sec_1e6\": %.0f,\n\
+      \  \"strict_events_per_sec\": %.0f,\n\
+      \  \"resync_overhead\": %.3f\n\
+       }\n"
+      events clean_bytes (recovery_at 1e-7) (recovery_at 1e-6) (recovery_at 1e-5)
+      (recovery_at 1e-4) flips_1e6 scan_eps_1e6 strict_eps
+      (strict_eps /. scan_eps_1e6);
+    close_out oc;
+    note "wrote %s" salvage_json
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1542,7 +1811,7 @@ let experiments =
     ("fig16", fig16); ("table2", table2); ("fig17", fig17); ("combined", combined);
     ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
     ("tracecodec", tracecodec); ("longhorizon", longhorizon);
-    ("fleetcampaign", fleetcampaign);
+    ("fleetcampaign", fleetcampaign); ("salvage", salvage);
   ]
 
 let () =

@@ -86,17 +86,25 @@ let list_apps_cmd =
 
 (* simulate *)
 
-(* Snapshot errors become diagnostics + a data-error exit code, like
-   corrupt traces do. *)
-let persist_guard f =
+(* One corrupt-artifact handler for every subcommand: damage in any
+   on-disk artifact — a trace block or a snapshot section — prints one
+   uniform diagnostic and exits 65 (EX_DATAERR).  Salvage-mode commands
+   that recover with loss instead warn on stderr and exit 0. *)
+let corrupt_guard f =
   try f () with
+  | Trace_stream.Reader.Corrupt { block; reason } ->
+    Printf.eprintf "wscalloc: corrupt: trace block %d: %s\n" block reason;
+    exit 65
   | Persist.Corrupt { section; reason } ->
-    Printf.eprintf "wscalloc: corrupt snapshot: section %s: %s\n" section reason;
+    Printf.eprintf "wscalloc: corrupt: snapshot section %s: %s\n" section reason;
+    exit 65
+  | Invalid_argument msg ->
+    Printf.eprintf "wscalloc: corrupt: invalid data: %s\n" msg;
     exit 65
 
 let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on preempt_prob
     audit jobs checkpoint checkpoint_every resume_from =
-  persist_guard @@ fun () ->
+  corrupt_guard @@ fun () ->
   apply_jobs jobs;
   let config = if optimized then Config.all_optimizations else Config.baseline in
   if preempt_prob <> None && not rseq_on then begin
@@ -475,7 +483,7 @@ let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_
       usage
   end
   else
-    persist_guard @@ fun () ->
+    corrupt_guard @@ fun () ->
     let chaos = Option.value chaos ~default:Os.Fault.no_chaos in
     let policy =
       match retries with
@@ -518,6 +526,45 @@ let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_
       Printf.printf "wrote aggregate to %s\n" path
     | None -> ());
     if not result.Campaign.r_finished then exit 3
+
+(* fleet scrub: validate every shard of a resume directory, quarantine
+   (never delete) what a resume could not use. *)
+let fleet_scrub dir =
+  let r =
+    try Persist.scrub_campaign_dir ~dir
+    with Invalid_argument msg ->
+      Printf.eprintf "wscalloc: %s\n" msg;
+      exit 124
+  in
+  Printf.printf "scrub %s: %d shard(s)\n" dir (List.length r.Persist.sr_entries);
+  List.iter
+    (fun e ->
+      match e.Persist.sc_status with
+      | Persist.Shard_intact ->
+        Printf.printf "  shard %04d: intact (%d machines)\n" e.Persist.sc_shard
+          e.Persist.sc_machines
+      | Persist.Shard_salvaged notes ->
+        Printf.printf "  shard %04d: damaged but loadable (%d machines; %s)\n"
+          e.Persist.sc_shard e.Persist.sc_machines
+          (String.concat "; " notes)
+      | Persist.Shard_unrecoverable reason ->
+        Printf.printf "  shard %04d: unrecoverable (%s) -- quarantined\n"
+          e.Persist.sc_shard reason)
+    r.Persist.sr_entries;
+  List.iter
+    (fun (old_path, q) ->
+      Printf.printf "  quarantined stale tmp %s -> %s\n" old_path (Filename.basename q))
+    r.Persist.sr_stale_tmp;
+  List.iter
+    (fun (old_path, q) ->
+      Printf.printf "  quarantined %s -> %s\n" old_path (Filename.basename q))
+    r.Persist.sr_quarantined;
+  match r.Persist.sr_best with
+  | Some (shard, machines) ->
+    Printf.printf "resume will continue from shard %04d (%d machines covered)\n" shard
+      machines
+  | None ->
+    Printf.printf "no usable checkpoint: a resume will restart from scratch\n"
 
 let fleet_cmd =
   let machines =
@@ -585,14 +632,34 @@ let fleet_cmd =
              $(docv) — byte-identical across job counts, chaos schedules and \
              kill/resume points, so CI can diff runs.")
   in
-  Cmd.v
+  let scrub_cmd =
+    let dir =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "resume-dir" ] ~docv:"DIR"
+            ~doc:"Campaign resume directory to scrub.")
+    in
+    Cmd.v
+      (Cmd.info "scrub"
+         ~doc:
+           "Validate every campaign checkpoint shard in a resume directory: report \
+            per-shard integrity and salvageable coverage, and quarantine (rename, \
+            never delete) unrecoverable shards and stale tmp files so a subsequent \
+            resume proceeds from the best surviving checkpoint.")
+      Term.(const fleet_scrub $ dir)
+  in
+  Cmd.group
+    ~default:
+      Term.(
+        const fleet $ machines $ duration_term $ seed_term $ jobs_term $ chaos $ retries
+        $ shard_every $ resume_dir $ stop_after $ aggregate_out)
     (Cmd.info "fleet"
        ~doc:
          "Run a heterogeneous fleet and print a GWP-style profile; campaign flags \
-          switch to supervised crash-tolerant execution with streaming aggregation.")
-    Term.(
-      const fleet $ machines $ duration_term $ seed_term $ jobs_term $ chaos $ retries
-      $ shard_every $ resume_dir $ stop_after $ aggregate_out)
+          switch to supervised crash-tolerant execution with streaming aggregation, \
+          and $(b,fleet scrub) audits a campaign resume directory.")
+    [ scrub_cmd ]
 
 (* trace record|replay|stat|verify|convert *)
 
@@ -601,19 +668,9 @@ module Reader = Trace_stream.Reader
 module Recorder = Trace_stream.Recorder
 module Analyzer = Trace_stream.Analyzer
 module Replay = Trace_stream.Replay
+module Salvage = Trace_stream.Salvage
 
 let named_configs = ("baseline", Config.baseline) :: experiments
-
-(* Streaming trace errors become diagnostics + a data-error exit code
-   instead of backtraces. *)
-let trace_guard f =
-  try f () with
-  | Reader.Corrupt { block; reason } ->
-    Printf.eprintf "wscalloc: corrupt trace: block %d: %s\n" block reason;
-    exit 65
-  | Invalid_argument msg ->
-    Printf.eprintf "wscalloc: invalid trace: %s\n" msg;
-    exit 65
 
 let in_term =
   Arg.(
@@ -679,10 +736,27 @@ let config_list =
   in
   Arg.conv (parse, print)
 
-let trace_replay file configs jobs =
+let trace_replay file configs jobs salvage =
   apply_jobs jobs;
-  Printf.printf "replaying %s under %d config(s)...\n%!" file (List.length configs);
-  let results = Replay.run_configs ~configs file in
+  Printf.printf "replaying %s under %d config(s)%s...\n%!" file (List.length configs)
+    (if salvage then " in salvage mode" else "");
+  let results, salvage_report =
+    if salvage then begin
+      (* Degraded mode: each arm replays the salvage scan of the damaged
+         trace; the loss report is identical across arms. *)
+      let report = ref None in
+      let results =
+        List.map
+          (fun (name, config) ->
+            let r, rep = Replay.run_salvage ~config file in
+            report := Some rep;
+            (name, r))
+          configs
+      in
+      (results, !report)
+    end
+    else (Replay.run_configs ~configs file, None)
+  in
   let t =
     Substrate.Table.create ~title:"Trace replay"
       ~columns:[ "config"; "allocs"; "frees"; "peak RSS"; "final live"; "malloc us" ]
@@ -699,7 +773,21 @@ let trace_replay file configs jobs =
           Printf.sprintf "%.0f" (r.Replay.malloc_ns /. 1e3);
         ])
     results;
-  Substrate.Table.print t
+  Substrate.Table.print t;
+  match salvage_report with
+  | Some rep when not (Salvage.clean rep) ->
+    Printf.eprintf "wscalloc: warning: %s\n" (Salvage.describe rep)
+  | Some _ | None -> ()
+
+let salvage_term =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Degraded mode: read through damage by resynchronizing on the next \
+           valid block instead of failing on the first checksum error.  Exits 0 \
+           with a loss warning on stderr when events were lost; only damage \
+           beyond salvage exits 65.")
 
 let trace_replay_cmd =
   let configs =
@@ -714,7 +802,9 @@ let trace_replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a trace against one or more allocator configs, in parallel.")
-    Term.(const (fun f c j -> trace_guard (fun () -> trace_replay f c j)) $ in_term $ configs $ jobs_term)
+    Term.(
+      const (fun f c j s -> corrupt_guard (fun () -> trace_replay f c j s))
+      $ in_term $ configs $ jobs_term $ salvage_term)
 
 let trace_stat file =
   print_string (Analyzer.render (Analyzer.scan_file file))
@@ -723,25 +813,66 @@ let trace_stat_cmd =
   Cmd.v
     (Cmd.info "stat"
        ~doc:"Streaming trace analysis: size/lifetime CDFs, rates, live curve.")
-    Term.(const (fun f -> trace_guard (fun () -> trace_stat f)) $ in_term)
+    Term.(const (fun f -> corrupt_guard (fun () -> trace_stat f)) $ in_term)
 
-let trace_verify file =
-  let s = Reader.verify file in
-  Printf.printf "%s: %s, %d events in %d blocks: %d allocs, %d frees, %d retires, %s simulated, %d live at end\n"
-    file
-    (match s.Reader.summary_format with `Binary -> "binary v2" | `Text_v1 -> "text v1")
-    s.Reader.events s.Reader.blocks s.Reader.allocations s.Reader.frees s.Reader.retires
-    (Units.duration_to_string s.Reader.duration_ns)
-    s.Reader.live_at_end;
-  Printf.printf "OK\n"
+let trace_verify file salvage =
+  if salvage then begin
+    let events = ref 0 in
+    let rep = Salvage.scan ~on_event:(fun _ -> incr events) file in
+    Printf.printf "%s: %s\n" file (Salvage.describe rep);
+    if Salvage.clean rep then Printf.printf "OK\n"
+    else
+      Printf.eprintf
+        "wscalloc: warning: trace is damaged but salvageable (run `trace repair')\n"
+  end
+  else begin
+    let s = Reader.verify file in
+    Printf.printf "%s: %s, %d events in %d blocks: %d allocs, %d frees, %d retires, %s simulated, %d live at end\n"
+      file
+      (match s.Reader.summary_format with `Binary -> "binary v2" | `Text_v1 -> "text v1")
+      s.Reader.events s.Reader.blocks s.Reader.allocations s.Reader.frees s.Reader.retires
+      (Units.duration_to_string s.Reader.duration_ns)
+      s.Reader.live_at_end;
+    Printf.printf "OK\n"
+  end
 
 let trace_verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
         "Stream a trace end to end, checking structure, checksums and semantic \
-         validity; exits 65 on damage.")
-    Term.(const (fun f -> trace_guard (fun () -> trace_verify f)) $ in_term)
+         validity; exits 65 on damage ($(b,--salvage): report recoverable \
+         content instead).")
+    Term.(const (fun f s -> corrupt_guard (fun () -> trace_verify f s)) $ in_term $ salvage_term)
+
+let trace_repair src dst =
+  let rep = Salvage.repair ~src ~dst () in
+  Printf.printf "%s -> %s: %s\n" src dst (Salvage.describe rep);
+  Printf.printf "recovered %d events into %s\n" rep.Salvage.events_recovered dst;
+  if not (Salvage.clean rep) then
+    Printf.eprintf "wscalloc: warning: repaired with loss (see report above)\n"
+
+let trace_repair_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Damaged trace to salvage.")
+  in
+  let dst =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Repaired binary trace to write.")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+        "Salvage a damaged trace into a fresh, fully valid binary trace: \
+         resynchronize past damaged blocks, drop events unresolvable after the \
+         gap, and report exactly what was lost.  A clean input round-trips \
+         byte-identically.")
+    Term.(const (fun s d -> corrupt_guard (fun () -> trace_repair s d)) $ src $ dst)
 
 let trace_convert file out to_text =
   let copied =
@@ -774,17 +905,21 @@ let trace_convert_cmd =
   Cmd.v
     (Cmd.info "convert"
        ~doc:"Convert between text v1 and binary v2 trace formats, streaming.")
-    Term.(const (fun f o t -> trace_guard (fun () -> trace_convert f o t)) $ in_term $ out_term $ to_text)
+    Term.(const (fun f o t -> corrupt_guard (fun () -> trace_convert f o t)) $ in_term $ out_term $ to_text)
 
 let trace_cmd =
   Cmd.group
-    (Cmd.info "trace" ~doc:"Record, replay, analyze and convert allocation traces.")
-    [ trace_record_cmd; trace_replay_cmd; trace_stat_cmd; trace_verify_cmd; trace_convert_cmd ]
+    (Cmd.info "trace"
+       ~doc:"Record, replay, analyze, convert and repair allocation traces.")
+    [
+      trace_record_cmd; trace_replay_cmd; trace_stat_cmd; trace_verify_cmd;
+      trace_convert_cmd; trace_repair_cmd;
+    ]
 
 (* snapshot info *)
 
 let snapshot_info file =
-  persist_guard @@ fun () ->
+  corrupt_guard @@ fun () ->
   let i = Persist.info ~path:file in
   Printf.printf "%s: %s snapshot (%s), %s simulated%s\n" file i.Persist.kind
     (Units.bytes_to_string i.Persist.file_bytes)
@@ -796,6 +931,51 @@ let snapshot_info file =
     i.Persist.jobs;
   Printf.printf "OK\n"
 
+let snapshot_verify file =
+  corrupt_guard @@ fun () ->
+  let a = Persist.audit ~path:file in
+  Printf.printf "%s: %d bytes, trailer %s, end marker %s\n" file a.Persist.a_bytes
+    (if a.Persist.a_trailer_intact then "intact" else "damaged")
+    (if a.Persist.a_end_seen then "present" else "missing");
+  List.iter
+    (fun s ->
+      Printf.printf "  %-10s %s%s\n" s.Persist.s_name
+        (if s.Persist.s_intact then
+           Printf.sprintf "intact (%s)" (Units.bytes_to_string s.Persist.s_bytes)
+         else if s.Persist.s_recovered then "recovered via trailer"
+         else "unrecoverable")
+        (match s.Persist.s_reason with
+        | None -> ""
+        | Some r -> Printf.sprintf " -- %s" r))
+    a.Persist.a_sections;
+  if a.Persist.a_intact then Printf.printf "OK\n"
+  else if a.Persist.a_salvageable then
+    Printf.eprintf
+      "wscalloc: warning: snapshot is damaged but salvageable (run `snapshot repair')\n"
+  else begin
+    let section, reason =
+      match
+        List.find_opt
+          (fun s -> not (s.Persist.s_intact || s.Persist.s_recovered))
+          a.Persist.a_sections
+      with
+      | Some s -> (s.Persist.s_name, Option.value s.Persist.s_reason ~default:"damaged")
+      | None -> ("container", "unrecoverable")
+    in
+    Printf.eprintf "wscalloc: corrupt: snapshot section %s: %s\n" section reason;
+    exit 65
+  end
+
+let snapshot_repair src dst =
+  corrupt_guard @@ fun () ->
+  let a = Persist.repair ~src ~dst () in
+  List.iter (fun n -> Printf.printf "  %s\n" n) (Persist.audit_notes a);
+  Printf.printf "rebuilt %s -> %s (%s)\n" src dst
+    (if a.Persist.a_intact then "input was intact: byte-identical rebuild"
+     else "every recoverable section restored");
+  if not a.Persist.a_intact then
+    Printf.eprintf "wscalloc: warning: input was damaged; repaired from redundancy\n"
+
 let snapshot_cmd =
   let file =
     Arg.(
@@ -803,15 +983,47 @@ let snapshot_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Snapshot file to inspect.")
   in
+  let repair_src =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Damaged snapshot to salvage.")
+  in
+  let repair_dst =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Repaired snapshot to write.")
+  in
   Cmd.group
-    (Cmd.info "snapshot" ~doc:"Inspect warm-state snapshots.")
+    (Cmd.info "snapshot" ~doc:"Inspect, verify and repair warm-state snapshots.")
     [
       Cmd.v
         (Cmd.info "info"
            ~doc:
              "Verify a snapshot's header and checksums and print its summary \
-              (kind, simulated time, per-job RSS); exits 65 on damage.")
+              (kind, simulated time, per-job RSS); exits 65 on damage.  Reads \
+              only the closure-free summary sections -- the state payload is \
+              integrity-checked but never deserialized, so info on an untrusted \
+              snapshot is always safe.")
         Term.(const snapshot_info $ file);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Audit a snapshot's structure byte by byte without deserializing \
+              anything: per-section integrity, trailer and end-marker status.  \
+              Exits 0 when intact, 0 with a warning when damaged but \
+              salvageable, 65 when a required section is beyond recovery.")
+        Term.(const snapshot_verify $ file);
+      Cmd.v
+        (Cmd.info "repair"
+           ~doc:
+             "Rebuild a pristine snapshot from every recoverable section of a \
+              damaged one, using the v2 trailer redundancy.  When the damage is \
+              confined to duplicated data (summary sections or the trailer \
+              itself), the output is byte-identical to the original undamaged \
+              file.")
+        Term.(const snapshot_repair $ repair_src $ repair_dst);
     ]
 
 let () =

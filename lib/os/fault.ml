@@ -175,6 +175,111 @@ let chaos_event c ~machine ~attempt =
     else None
   end
 
+(* --- Storage chaos (durable-artifact fault injection) ------------------ *)
+
+type storage = {
+  storage_seed : int;
+  flip_rate : float;
+  torn_write_rate : float;
+  truncate_rate : float;
+  rename_failure_rate : float;
+}
+
+let no_storage_faults =
+  {
+    storage_seed = 0;
+    flip_rate = 0.0;
+    torn_write_rate = 0.0;
+    truncate_rate = 0.0;
+    rename_failure_rate = 0.0;
+  }
+
+let storage_active c =
+  c.flip_rate > 0.0 || c.torn_write_rate > 0.0 || c.truncate_rate > 0.0
+  || c.rename_failure_rate > 0.0
+
+let validate_storage c =
+  let check name p =
+    if p < 0.0 || p > 1.0 || Float.is_nan p then
+      invalid_arg (Printf.sprintf "Fault.validate_storage: %s must be in [0, 1]" name)
+  in
+  check "flip_rate" c.flip_rate;
+  check "torn_write_rate" c.torn_write_rate;
+  check "truncate_rate" c.truncate_rate;
+  check "rename_failure_rate" c.rename_failure_rate
+
+let describe_storage c =
+  if not (storage_active c) then "no storage faults"
+  else
+    Printf.sprintf
+      "flip %.2g/byte, torn %.2g/write, truncate %.2g/close, rename-fail %.2g (seed %d)"
+      c.flip_rate c.torn_write_rate c.truncate_rate c.rename_failure_rate
+      c.storage_seed
+
+(* Like the chaos schedule, every storage decision is a pure function of its
+   coordinates — (seed, path, op_index) — so re-running the same write
+   sequence against the same path reproduces the identical damage, byte for
+   byte, regardless of process or wall time. *)
+let storage_rng c ~path ~op_index =
+  Rng.create
+    (((c.storage_seed * 1_000_003)
+     lxor (Hashtbl.hash path * 2_654_435_761)
+     lxor (op_index * 40_503))
+    land max_int)
+
+type write_damage = { torn_at : int option; flips : (int * int) list }
+
+let no_write_damage = { torn_at = None; flips = [] }
+
+let write_damage c ~path ~op_index ~len =
+  if len <= 0 || (c.flip_rate <= 0.0 && c.torn_write_rate <= 0.0) then
+    no_write_damage
+  else begin
+    let rng = storage_rng c ~path ~op_index in
+    let torn_at =
+      if c.torn_write_rate > 0.0 && Rng.bernoulli rng c.torn_write_rate then
+        Some (Rng.int rng (len + 1))
+      else None
+    in
+    let flips = ref [] in
+    if c.flip_rate > 0.0 then begin
+      (* Geometric gaps between flips: O(flips) draws instead of O(bytes),
+         which keeps even 1e-7 rates cheap over multi-megabyte writes. *)
+      let log1m = Stdlib.log (1.0 -. c.flip_rate) in
+      let pos = ref 0 in
+      (try
+         while !pos < len do
+           let u = Rng.unit_float rng in
+           let skip =
+             if u <= 0.0 then 0
+             else begin
+               let s = Stdlib.log (1.0 -. u) /. log1m in
+               if s >= float_of_int len then raise Exit else int_of_float s
+             end
+           in
+           pos := !pos + skip;
+           if !pos < len then begin
+             flips := (!pos, Rng.int rng 8) :: !flips;
+             incr pos
+           end
+         done
+       with Exit -> ());
+      flips := List.rev !flips
+    end;
+    { torn_at; flips = !flips }
+  end
+
+let truncate_loss c ~path ~op_index ~len =
+  if c.truncate_rate <= 0.0 || len <= 0 then 0
+  else begin
+    let rng = storage_rng c ~path ~op_index in
+    if Rng.bernoulli rng c.truncate_rate then 1 + Rng.int rng len else 0
+  end
+
+let rename_fails c ~path ~op_index =
+  c.rename_failure_rate > 0.0
+  && Rng.bernoulli (storage_rng c ~path ~op_index) c.rename_failure_rate
+
 let install t ~vm =
   if t.config.mmap_failure_rate > 0.0 then
     Vm.set_fault_hook vm (Some (fun ~bytes:_ -> transient_mmap_failure t));

@@ -115,3 +115,63 @@ type chaos_event =
 val chaos_event : chaos -> machine:int -> attempt:int -> chaos_event option
 (** The (pure, seeded) failure drawn for this machine's [attempt]
     (1-based); [None] means the attempt runs clean. *)
+
+(** {2 Storage chaos}
+
+    Durable-artifact fault injection: bit rot, torn writes, truncations and
+    rename failures applied to the bytes {!Wsc_trace.Writer} and
+    [Wsc_persist.Persist] put on disk.  Every decision is a pure function of
+    (seed, path, op index) — the op index counts IO operations per path — so
+    a corruption scenario observed once can be replayed exactly in a test or
+    bench.  The schedules are consumed by {!Storage}, the IO shim the
+    writers thread their bytes through. *)
+
+type storage = {
+  storage_seed : int;  (** Root seed of every storage-fault stream. *)
+  flip_rate : float;
+      (** Per-byte probability that a written byte lands with one bit
+          flipped (media bit rot).  [1e-6] ~ one flip per MiB written. *)
+  torn_write_rate : float;
+      (** Per-write-op probability the write is torn: a prefix of the
+          buffer lands and everything after it (including later writes to
+          the same file) is lost, modelling a crash mid-write. *)
+  truncate_rate : float;
+      (** Per-close probability the file loses a tail of deterministically
+          chosen length (lost page-cache writeback). *)
+  rename_failure_rate : float;
+      (** Per-rename probability the atomic publish rename fails, leaving
+          the temporary file behind and the destination untouched. *)
+}
+
+val no_storage_faults : storage
+(** Every mode disabled. *)
+
+val storage_active : storage -> bool
+(** Whether any fault stream is enabled. *)
+
+val validate_storage : storage -> unit
+(** @raise Invalid_argument unless every rate is in [0, 1]. *)
+
+val describe_storage : storage -> string
+
+type write_damage = {
+  torn_at : int option;
+      (** [Some k]: only the first [k] bytes of this write land and the
+          file is dead to further writes.  Flips at offsets >= [k] are
+          moot. *)
+  flips : (int * int) list;
+      (** [(offset within the write, bit index)] pairs, ascending. *)
+}
+
+val no_write_damage : write_damage
+
+val write_damage : storage -> path:string -> op_index:int -> len:int -> write_damage
+(** The (pure) damage drawn for the [op_index]-th IO op on [path], a write
+    of [len] bytes.  Flip offsets use geometric gap sampling, so cost is
+    proportional to the number of flips, not [len]. *)
+
+val truncate_loss : storage -> path:string -> op_index:int -> len:int -> int
+(** Bytes to chop off the tail of a [len]-byte file at close (0 = none). *)
+
+val rename_fails : storage -> path:string -> op_index:int -> bool
+(** Whether the [op_index]-th IO op on [path], a rename, fails. *)

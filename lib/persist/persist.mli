@@ -25,7 +25,20 @@
     wrote it — the embedded code checksum turns cross-binary loads into
     {!Corrupt} rather than undefined behavior).  After restoring, the
     manifest is recomputed from the live state and compared field by
-    field, so silent deserialization drift fails loudly. *)
+    field, so silent deserialization drift fails loudly.
+
+    Format v2 appends a self-verifying {e trailer}: a directory of every
+    section (offset, length, CRC) plus full redundant copies of the meta
+    and manifest payloads, located via a fixed-size suffix at EOF.  The
+    loaders degrade gracefully: a section whose sequential copy is
+    damaged is recovered through the trailer (re-located by offset if its
+    bytes are intact, or from the redundant copy for the summaries), and
+    only damage to the un-duplicated state payload — or to both copies —
+    raises {!Corrupt}.  {!audit} reports per-section integrity without
+    deserializing anything, {!repair} rebuilds a pristine container from
+    every recoverable section (bit-identical when all three payloads are
+    recovered), and {!scrub_campaign_dir} applies the same treatment to a
+    whole campaign resume directory, quarantining what cannot be saved. *)
 
 exception Corrupt of { section : string; reason : string }
 (** Raised by every loader on damage: a bad or wrong-version header
@@ -37,22 +50,36 @@ exception Corrupt of { section : string; reason : string }
 val format_version : int
 (** Version byte written after the magic; bumped on layout changes. *)
 
-(** {1 Saving and loading} *)
+(** {1 Saving and loading}
 
-val save_machine : ?note:string -> Wsc_fleet.Machine.t -> path:string -> unit
-(** Snapshot one machine (all co-located jobs plus their shared clock).
-    The write is atomic: a temporary file is renamed into place, so a
-    crash mid-checkpoint leaves the previous snapshot intact. *)
+    Every save is an atomic write-then-rename, hardened against crashes:
+    any stale [*.tmp] from a previous crash is removed first, the
+    temporary file is fsynced before the rename and the directory after
+    it, so a killed writer can never leave a half-written file under the
+    final name nor lose a published snapshot to a power cut.  The
+    optional [storage] shim threads every byte (and the rename) through
+    {!Wsc_os.Storage} fault injection — the reproducible-corruption
+    source the salvage tests and benches are built on. *)
+
+val save_machine :
+  ?storage:Wsc_os.Storage.t -> ?note:string -> Wsc_fleet.Machine.t ->
+  path:string -> unit
+(** Snapshot one machine (all co-located jobs plus their shared clock). *)
 
 val load_machine : path:string -> Wsc_fleet.Machine.t
-(** @raise Corrupt on any damage or manifest disagreement. *)
+(** @raise Corrupt on unrecoverable damage (see the trailer-recovery rules
+    above) or manifest disagreement. *)
 
-val save_driver : ?note:string -> Wsc_workload.Driver.t -> path:string -> unit
+val save_driver :
+  ?storage:Wsc_os.Storage.t -> ?note:string -> Wsc_workload.Driver.t ->
+  path:string -> unit
 (** Snapshot a standalone driver (solo-process experiments). *)
 
 val load_driver : path:string -> Wsc_workload.Driver.t
 
-val save_fleet : ?note:string -> Wsc_fleet.Fleet.t -> path:string -> unit
+val save_fleet :
+  ?storage:Wsc_os.Storage.t -> ?note:string -> Wsc_fleet.Fleet.t ->
+  path:string -> unit
 (** Snapshot a whole fleet; {!load_fleet} + [Fleet.run] is bit-identical
     for any [?jobs] parallelism, machines being independent tasks. *)
 
@@ -66,7 +93,8 @@ val load_fleet : path:string -> Wsc_fleet.Fleet.t
     closure-free, so they survive across binaries. *)
 
 val save_campaign :
-  ?note:string -> Wsc_fleet.Campaign.checkpoint -> path:string -> unit
+  ?storage:Wsc_os.Storage.t -> ?note:string -> Wsc_fleet.Campaign.checkpoint ->
+  path:string -> unit
 (** Atomic write-then-rename of one campaign checkpoint (kind
     ["campaign"]); a kill mid-write leaves the previous shard intact. *)
 
@@ -79,6 +107,7 @@ val campaign_shard_path : dir:string -> int -> string
 
 val run_campaign :
   ?jobs:int ->
+  ?storage:Wsc_os.Storage.t ->
   ?resume_dir:string ->
   ?max_shards:int ->
   Wsc_fleet.Campaign.spec ->
@@ -104,9 +133,80 @@ type info = {
 }
 
 val info : path:string -> info
-(** Read and verify the header and summary sections without
-    deserializing the state graph (the state payload is still CRC
-    checked). *)
+(** Summarize a snapshot from the meta/manifest sections and section CRCs
+    only — the closure-bearing state payload is checked for usability but
+    {e never} deserialized, so [info] on an untrusted or damaged snapshot
+    is always safe.  Succeeds exactly when a load would get usable
+    sections (degraded reads via the trailer included).
+    @raise Corrupt when any required section is unrecoverable. *)
+
+(** {1 Integrity audit, repair and scrub} *)
+
+type section_status = {
+  s_name : string;
+  s_bytes : int;  (** Payload bytes, [-1] when unknown. *)
+  s_intact : bool;  (** Sequential copy parsed and CRC-valid. *)
+  s_recovered : bool;
+      (** Usable through the trailer although the sequential copy is
+          damaged. *)
+  s_reason : string option;  (** Why the sequential copy is unusable. *)
+}
+
+type audit = {
+  a_bytes : int;
+  a_sections : section_status list;  (** meta, manifest, state. *)
+  a_trailer_intact : bool;
+  a_end_seen : bool;
+  a_structural : (string * string) option;
+      (** Where the sequential walk broke (section attribution, reason). *)
+  a_intact : bool;  (** Every byte verifies: sections, end marker, trailer. *)
+  a_salvageable : bool;  (** Every required section is usable: loads work. *)
+}
+
+val audit : path:string -> audit
+(** Structural integrity report.  Never deserializes any payload; raises
+    {!Corrupt} only for an unusable 16-byte header (wrong magic/version),
+    which is beyond salvage. *)
+
+val audit_notes : audit -> string list
+(** Human-readable damage notes, empty when [a_intact]. *)
+
+val repair : ?storage:Wsc_os.Storage.t -> src:string -> dst:string -> unit -> audit
+(** Rebuild a pristine, fully redundant snapshot at [dst] from every
+    recoverable section of [src], returning [src]'s audit.  When all
+    three payloads are recovered — e.g. the only damage is to the primary
+    manifest, or to the trailer — [dst] is byte-identical to the original
+    undamaged file.
+    @raise Corrupt when a required section is unrecoverable. *)
+
+type shard_status =
+  | Shard_intact
+  | Shard_salvaged of string list  (** Loadable via trailer recovery. *)
+  | Shard_unrecoverable of string
+
+type scrub_entry = {
+  sc_shard : int;
+  sc_path : string;
+  sc_status : shard_status;
+  sc_machines : int;  (** Campaign coverage ([checkpoint_next_index]). *)
+}
+
+type scrub_report = {
+  sr_dir : string;
+  sr_entries : scrub_entry list;  (** Ascending shard order. *)
+  sr_quarantined : (string * string) list;  (** (old, quarantine) paths. *)
+  sr_stale_tmp : (string * string) list;
+      (** Leftover [*.tmp] files from crashed writers, quarantined. *)
+  sr_best : (int * int) option;
+      (** Newest surviving (shard, machines covered) a resume will use. *)
+}
+
+val scrub_campaign_dir : dir:string -> scrub_report
+(** Validate every shard of a campaign resume directory.  Unrecoverable
+    shards and stale tmp files are quarantined — renamed with a
+    [.quarantined] suffix, never deleted — so {!run_campaign} resume
+    proceeds from the best surviving checkpoint.
+    @raise Invalid_argument if [dir] is not a directory. *)
 
 (** {1 Checkpoint-aware running} *)
 

@@ -15,9 +15,12 @@ let version = 2
 let header_len = 16
 
 (* A declared block length beyond this is corruption, not a real block:
-   the writer flushes at 4096 events / 1 MiB, whichever comes first. *)
+   the writer flushes at 1024 events / 1 MiB, whichever comes first.
+   The block is the integrity unit — one corrupted byte costs at most one
+   block in salvage — so the event cap trades frame overhead (~18 bytes
+   per ~2.3 KiB block, under 1%) against corruption blast radius. *)
 let max_block_bytes = 1 lsl 26
-let block_flush_events = 4096
+let block_flush_events = 1024
 let block_flush_bytes = 1 lsl 20
 
 let header () =
@@ -100,10 +103,23 @@ type context = {
   live : Live_index.t;
   mutable prev_alloc_id : int;
   mutable prev_dt_bits : int64;
+  mutable dt_anchored : bool;
+      (* Encoder-side: has this block emitted an explicit dt yet?  The
+         first Advance of every block is written explicitly even when it
+         repeats, so a salvage resync never loses the step width for more
+         than the damaged block itself.  Decoding is unaffected (explicit
+         dt is always decodable). *)
 }
 
 let context () =
-  { live = Live_index.create (); prev_alloc_id = -1; prev_dt_bits = -1L }
+  {
+    live = Live_index.create ();
+    prev_alloc_id = -1;
+    prev_dt_bits = -1L;
+    dt_anchored = false;
+  }
+
+let new_block ctx = ctx.dt_anchored <- false
 
 let live_length ctx = Live_index.length ctx.live
 
@@ -142,11 +158,13 @@ let encode ctx buf (ev : Event.event) =
     if dt_ns < 0.0 || Float.is_nan dt_ns then
       invalid_arg "Wsc_trace: encode: negative dt";
     let bits = Int64.bits_of_float dt_ns in
-    if bits = ctx.prev_dt_bits then Buffer.add_char buf (Char.unsafe_chr 3)
+    if bits = ctx.prev_dt_bits && ctx.dt_anchored then
+      Buffer.add_char buf (Char.unsafe_chr 3)
     else begin
       Buffer.add_char buf (Char.unsafe_chr ((1 lsl 2) lor 3));
       put_fixed64 buf bits;
-      ctx.prev_dt_bits <- bits
+      ctx.prev_dt_bits <- bits;
+      ctx.dt_anchored <- true
     end
   | Event.Retire { cpu; flush } ->
     if cpu < 0 then invalid_arg "Wsc_trace: encode: negative cpu";
@@ -191,4 +209,78 @@ let decode ctx b ~limit pos : Event.event =
       Event.Advance { dt_ns }
     | 2 -> Event.Retire { cpu = get_uvarint b ~limit pos; flush = false }
     | 3 -> Event.Retire { cpu = get_uvarint b ~limit pos; flush = true }
+    | n -> malformed "unknown subcode %d" n)
+
+(* ------------------------------------------------------------------ *)
+(* Lenient decode for salvage.                                         *)
+(*                                                                     *)
+(* After the salvage reader skips a damaged block, the shared context  *)
+(* is stale: the live set is missing the skipped allocs/frees, the     *)
+(* previous alloc id lags the true stream, and the previous dt may be  *)
+(* unset or outdated.  Strict [decode] would raise on the resulting    *)
+(* impossibilities; this variant repairs or drops them instead:        *)
+(*   - an alloc whose decoded id is already live (or negative, from a  *)
+(*     stale delta base) is remapped to a caller-supplied fresh id —   *)
+(*     rank-based frees select by position, so pairing still works;    *)
+(*   - a free whose rank exceeds the (shrunken) live set is dropped;   *)
+(*   - a repeat-dt advance with no valid previous dt is dropped.       *)
+(* None of these states is reachable on an undamaged trace, so on a    *)
+(* clean input this decodes the exact event stream [decode] would.     *)
+(* Structural damage (bad varint, unknown subcode, non-positive size)  *)
+(* still raises [Malformed]: inside a CRC-valid block it means the     *)
+(* remainder of the block cannot be trusted at all.                    *)
+(* ------------------------------------------------------------------ *)
+
+type salvage_outcome =
+  | S_event of Event.event
+  | S_remapped of Event.event
+  | S_dropped of string
+
+let decode_salvage ctx ~fresh_id b ~limit pos : salvage_outcome =
+  if !pos >= limit then malformed "event runs past block end";
+  let byte0 = Char.code (Bytes.unsafe_get b !pos) in
+  incr pos;
+  let tag = byte0 land 3 and field = byte0 lsr 2 in
+  match tag with
+  | 0 | 1 ->
+    let cpu = get_cpu ~field b ~limit pos in
+    let id =
+      if tag = 0 then ctx.prev_alloc_id + 1
+      else ctx.prev_alloc_id + 1 + unzigzag (get_uvarint b ~limit pos)
+    in
+    let size = get_uvarint b ~limit pos in
+    if size <= 0 then malformed "alloc size <= 0";
+    ctx.prev_alloc_id <- id;
+    if id < 0 || Live_index.mem ctx.live id then begin
+      let id' = fresh_id () in
+      Live_index.append ctx.live id';
+      S_remapped (Event.Alloc { id = id'; size; cpu })
+    end
+    else begin
+      Live_index.append ctx.live id;
+      S_event (Event.Alloc { id; size; cpu })
+    end
+  | 2 ->
+    let cpu = get_cpu ~field b ~limit pos in
+    let rank = get_uvarint b ~limit pos in
+    if rank < 0 || rank >= Live_index.length ctx.live then
+      S_dropped
+        (Printf.sprintf "free rank %d out of range (%d live)" rank
+           (Live_index.length ctx.live))
+    else S_event (Event.Free { id = Live_index.remove_select ctx.live rank; cpu })
+  | _ -> (
+    match field with
+    | 0 ->
+      let dt_ns = Int64.float_of_bits ctx.prev_dt_bits in
+      if Float.is_nan dt_ns || dt_ns < 0.0 then
+        S_dropped "repeated dt with no valid previous dt"
+      else S_event (Event.Advance { dt_ns })
+    | 1 ->
+      let bits = get_fixed64 b ~limit pos in
+      let dt_ns = Int64.float_of_bits bits in
+      if dt_ns < 0.0 || Float.is_nan dt_ns then malformed "negative dt";
+      ctx.prev_dt_bits <- bits;
+      S_event (Event.Advance { dt_ns })
+    | 2 -> S_event (Event.Retire { cpu = get_uvarint b ~limit pos; flush = false })
+    | 3 -> S_event (Event.Retire { cpu = get_uvarint b ~limit pos; flush = true })
     | n -> malformed "unknown subcode %d" n)

@@ -60,6 +60,13 @@ type context
 
 val context : unit -> context
 
+val new_block : context -> unit
+(** Encoder-side block-boundary hook: the first [Advance] of every block
+    is encoded with an explicit dt even when it repeats the previous one,
+    so each block re-anchors the step width and a salvage resync never
+    loses [Advance] events beyond the damaged block itself.  Decoding is
+    unaffected. *)
+
 val live_length : context -> int
 (** Number of currently-live objects in the context's live set. *)
 
@@ -73,3 +80,31 @@ val encode : context -> Buffer.t -> Event.event -> unit
 val decode : context -> bytes -> limit:int -> int ref -> Event.event
 (** Decode one event from a block payload, advancing [pos].
     @raise Malformed on truncated or invalid input. *)
+
+(** {1 Salvage decode}
+
+    Because the context spans blocks, skipping a damaged block leaves it
+    stale for every block after the damage.  {!decode_salvage} decodes
+    through that staleness without ever emitting a semantically invalid
+    event; on an undamaged stream it yields exactly what {!decode} would
+    (the lenient branches are unreachable then). *)
+
+type salvage_outcome =
+  | S_event of Event.event  (** Decoded exactly as strict {!decode} would. *)
+  | S_remapped of Event.event
+      (** An alloc whose decoded id collided with a live object (or went
+          negative) after a skipped block; the event carries a fresh
+          substitute id.  Rank-based frees pair by live-set position, so
+          later frees of this object still resolve. *)
+  | S_dropped of string
+      (** An event that cannot be resolved against the stale context (free
+          rank out of range, repeat-dt with no valid previous dt); the
+          reason is human-readable. *)
+
+val decode_salvage :
+  context -> fresh_id:(unit -> int) -> bytes -> limit:int -> int ref ->
+  salvage_outcome
+(** Lenient {!decode}.  [fresh_id] must return an id that is neither live
+    nor previously issued (the salvage reader tracks the max id seen).
+    @raise Malformed on structural damage — the remainder of the block is
+    then untrustworthy and should be dropped. *)

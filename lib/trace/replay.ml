@@ -14,15 +14,15 @@ type result = {
 
 (* Replay a recorded event stream against a fresh allocator, fed from a streaming
    reader: memory is the live-object address map plus one block. *)
-let run ?(config = Wsc_tcmalloc.Config.baseline) ?(topology = Wsc_hw.Topology.default)
-    reader =
+let run_events ?(config = Wsc_tcmalloc.Config.baseline)
+    ?(topology = Wsc_hw.Topology.default) iter =
   let clock = Clock.create () in
   let malloc = Malloc.create ~config ~topology ~clock () in
   let num_cpus = Wsc_hw.Topology.num_cpus topology in
   let addr_of_id = Hashtbl.create 4096 in
   let peak = ref 0 in
   let allocations = ref 0 and frees = ref 0 and retires = ref 0 in
-  Reader.iter reader (fun ev ->
+  iter (fun ev ->
       match ev with
       | Event.Alloc { id; size; cpu } ->
         let addr = Malloc.malloc malloc ~cpu:(cpu mod num_cpus) ~size in
@@ -53,8 +53,23 @@ let run ?(config = Wsc_tcmalloc.Config.baseline) ?(topology = Wsc_hw.Topology.de
     malloc_ns = Telemetry.total_malloc_ns (Malloc.telemetry malloc);
   }
 
+let run ?config ?topology reader =
+  run_events ?config ?topology (fun f -> Reader.iter reader f)
+
 let run_file ?config ?topology path =
   Reader.with_file path (fun reader -> run ?config ?topology reader)
+
+(* Degraded-mode replay: feed the allocator from the salvage scanner
+   instead of the strict reader, so a damaged trace replays its surviving
+   events (salvage guarantees they are semantically valid) and the loss is
+   returned alongside the result instead of raising. *)
+let run_salvage ?config ?topology path =
+  let report = ref None in
+  let res =
+    run_events ?config ?topology (fun f ->
+        report := Some (Salvage.scan ~on_event:f path))
+  in
+  match !report with Some rep -> (res, rep) | None -> assert false
 
 (* One replay per configuration, fanned over the domain pool.  Each arm
    opens its own reader, so the trace file is the only shared state and

@@ -35,6 +35,16 @@ val run_file :
   string ->
   result
 
+val run_salvage :
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?topology:Wsc_hw.Topology.t ->
+  string ->
+  result * Salvage.report
+(** Degraded-mode replay: feed the allocator from {!Salvage.scan} instead
+    of the strict reader, so a damaged trace replays its surviving events
+    and returns the quantified loss instead of raising {!Reader.Corrupt}.
+    On a clean trace the result equals {!run_file}'s. *)
+
 val run_configs :
   ?jobs:int ->
   ?topology:Wsc_hw.Topology.t ->

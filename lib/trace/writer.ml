@@ -1,7 +1,11 @@
 module Event = Wsc_workload.Trace
 
+(* The writer pushes bytes through a sink so the same encode path can feed
+   a plain channel or a fault-injecting Wsc_os.Storage shim. *)
+type sink = { write : bytes -> int -> int -> unit; close_sink : unit -> unit }
+
 type t = {
-  oc : out_channel;
+  sink : sink;
   payload : Buffer.t;  (* current block, encoded events *)
   frame : Buffer.t;  (* scratch for the block frame *)
   ctx : Codec.context;
@@ -12,11 +16,11 @@ type t = {
   mutable closed : bool;
 }
 
-let to_channel oc =
+let to_sink sink =
   let header = Codec.header () in
-  output_bytes oc header;
+  sink.write header 0 (Bytes.length header);
   {
-    oc;
+    sink;
     payload = Buffer.create Codec.block_flush_bytes;
     frame = Buffer.create 32;
     ctx = Codec.context ();
@@ -27,7 +31,24 @@ let to_channel oc =
     closed = false;
   }
 
-let to_file path = to_channel (open_out_bin path)
+let to_channel oc =
+  to_sink
+    {
+      write = (fun b pos len -> Stdlib.output oc b pos len);
+      close_sink = (fun () -> close_out oc);
+    }
+
+let to_file ?storage path =
+  match storage with
+  | None -> to_channel (open_out_bin path)
+  | Some st ->
+      let soc = Wsc_os.Storage.open_out st path in
+      to_sink
+        {
+          write = (fun b pos len -> Wsc_os.Storage.output soc b pos len);
+          close_sink = (fun () -> Wsc_os.Storage.close soc);
+        }
+
 let events_written t = t.events
 let blocks_written t = t.blocks
 let bytes_written t = t.bytes
@@ -42,9 +63,10 @@ let write_frame t ~len ~count ~crc payload =
   for i = 0 to 3 do
     Buffer.add_char t.frame (Char.unsafe_chr ((crc lsr (8 * i)) land 0xff))
   done;
-  Buffer.output_buffer t.oc t.frame;
-  output_bytes t.oc payload;
-  t.bytes <- t.bytes + Buffer.length t.frame + Bytes.length payload
+  let hdr = Buffer.to_bytes t.frame in
+  t.sink.write hdr 0 (Bytes.length hdr);
+  t.sink.write payload 0 (Bytes.length payload);
+  t.bytes <- t.bytes + Bytes.length hdr + Bytes.length payload
 
 let flush_block t =
   if t.block_events > 0 then begin
@@ -53,7 +75,8 @@ let flush_block t =
       ~crc:(Crc32.bytes payload) payload;
     t.blocks <- t.blocks + 1;
     t.block_events <- 0;
-    Buffer.clear t.payload
+    Buffer.clear t.payload;
+    Codec.new_block t.ctx
   end
 
 let add t ev =
@@ -73,9 +96,9 @@ let close t =
     (* End-of-stream marker: an empty block.  Its absence is how the
        reader distinguishes truncation from a clean end. *)
     write_frame t ~len:0 ~count:0 ~crc:0 Bytes.empty;
-    close_out t.oc
+    t.sink.close_sink ()
   end
 
-let with_file path f =
-  let t = to_file path in
+let with_file ?storage path f =
+  let t = to_file ?storage path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

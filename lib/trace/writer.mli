@@ -13,9 +13,12 @@ module Event = Wsc_workload.Trace
 
 type t
 
-val to_file : string -> t
+val to_file : ?storage:Wsc_os.Storage.t -> string -> t
 (** Open a file and write the header.  The file is invalid (truncated)
-    until {!close} seals it. *)
+    until {!close} seals it.  With [storage], every byte goes through the
+    fault-injecting shim — a no-fault shim produces a bit-identical file —
+    so seeded storage chaos (bit flips, torn writes, truncation) lands at
+    reproducible offsets for the salvage layer to chew on. *)
 
 val to_channel : out_channel -> t
 (** Same, over an existing binary channel; {!close} closes the channel. *)
@@ -29,7 +32,7 @@ val close : t -> unit
 (** Flush the open block, write the end-of-stream marker and close the
     underlying channel.  Idempotent. *)
 
-val with_file : string -> (t -> 'a) -> 'a
+val with_file : ?storage:Wsc_os.Storage.t -> string -> (t -> 'a) -> 'a
 (** [with_file path f] runs [f] over a fresh writer, closing it on all
     exits. *)
 

@@ -261,7 +261,10 @@ let test_campaign_corrupt_shard_falls_back () =
       let path = Persist.campaign_shard_path ~dir 1 in
       let data = In_channel.with_open_bin path In_channel.input_all in
       let bytes = Bytes.of_string data in
-      let pos = Bytes.length bytes - 40 in
+      (* Mid-file lands in the state payload, which has no redundant copy
+         in the v2 container — damage there is unrecoverable by design
+         (tail offsets would land in the self-healing trailer). *)
+      let pos = Bytes.length bytes / 2 in
       Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xFF));
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc (Bytes.to_string bytes));

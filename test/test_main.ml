@@ -21,4 +21,5 @@ let () =
          Test_rseq.suite;
          Test_parallel.suite;
          Test_campaign.suite;
+         Test_salvage.suite;
        ])
