@@ -1,0 +1,128 @@
+(* Micro-profiler for the event-loop hot path: ns/op and minor words/op
+   for each stage, plus whole-machine throughput.  Build with
+   --profile release or the numbers are fiction (dev blocks cross-module
+   inlining).  Not wired into CI; the committed trajectory point lives in
+   BENCH_simperf.json via `bench/main.exe simperf`. *)
+open Wsc_substrate
+module Malloc = Wsc_tcmalloc.Malloc
+module Telemetry = Wsc_tcmalloc.Telemetry
+module Topology = Wsc_hw.Topology
+module Profile = Wsc_workload.Profile
+module Apps = Wsc_workload.Apps
+module Machine = Wsc_fleet.Machine
+
+let time name n f =
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  f n;
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  Printf.printf "%-32s %8.1f ns/op  %6.2f minor words/op\n%!" name
+    (dt *. 1e9 /. float_of_int n)
+    ((g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int n)
+
+let () =
+  let rng = Rng.create 7 in
+  let profile = Apps.fleet in
+  time "Rng.unit_float" 10_000_000 (fun n ->
+      let acc = ref 0.0 in
+      for _ = 1 to n do acc := !acc +. Rng.unit_float rng done;
+      ignore !acc);
+  time "Dist.sample fleet_size" 10_000_000 (fun n ->
+      let acc = ref 0.0 in
+      for _ = 1 to n do acc := !acc +. Dist.sample Profile.fleet_size_dist rng done;
+      ignore !acc);
+  time "Profile.sample_size" 10_000_000 (fun n ->
+      let acc = ref 0 in
+      for _ = 1 to n do acc := !acc + Profile.sample_size ~now:1e9 profile rng done;
+      ignore !acc);
+  time "Profile.sample_lifetime s=64" 10_000_000 (fun n ->
+      let acc = ref 0.0 in
+      for _ = 1 to n do acc := !acc +. Profile.sample_lifetime profile rng ~size:64 done;
+      ignore !acc);
+  let heap = Event_heap.create () in
+  time "Event_heap push+pop (1e5 live)" 5_000_000 (fun n ->
+      for i = 1 to 100_000 do
+        Event_heap.push heap (Rng.unit_float rng) ~a:i ~b:i ~c:i
+      done;
+      for i = 1 to n do
+        Event_heap.push heap (Rng.unit_float rng +. 0.5) ~a:i ~b:i ~c:i;
+        Event_heap.drain_until heap (Event_heap.min_key heap) (fun ~key:_ ~a:_ ~b:_ ~c:_ -> ())
+      done;
+      Event_heap.clear heap);
+  let cal = Calendar.create () in
+  time "Calendar push+pop (1e5 live)" 5_000_000 (fun n ->
+      for i = 1 to 100_000 do
+        Calendar.push cal (Rng.unit_float rng *. 1e6) ~a:i ~b:i ~c:i
+      done;
+      let now = ref 0.0 in
+      for i = 1 to n do
+        Calendar.push cal (!now +. (Rng.unit_float rng *. 1e5)) ~a:i ~b:i ~c:i;
+        now := !now +. 20.0;
+        Calendar.drain_until cal !now (fun ~key:_ ~a:_ ~b:_ ~c:_ -> ())
+      done;
+      Calendar.clear cal);
+  let itbl = Int_table.create () in
+  time "Int_table set+remove" 5_000_000 (fun n ->
+      for i = 1 to n do
+        Int_table.set itbl (i land 0xffff) 1;
+        Int_table.remove itbl (i land 0xffff)
+      done);
+  time "Int_table mem miss" 5_000_000 (fun n ->
+      let acc = ref 0 in
+      for i = 1 to n do
+        if Int_table.mem itbl i then incr acc
+      done;
+      ignore !acc);
+  let tbl : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  time "Hashtbl replace+remove" 5_000_000 (fun n ->
+      for i = 1 to n do
+        Hashtbl.replace tbl (i land 0xffff) ();
+        Hashtbl.remove tbl (i land 0xffff)
+      done);
+  time "Hashtbl find_opt miss" 5_000_000 (fun n ->
+      let acc = ref 0 in
+      for i = 1 to n do
+        match Hashtbl.find_opt tbl i with Some () -> incr acc | None -> ()
+      done;
+      ignore !acc);
+  let tel = Wsc_tcmalloc.Telemetry.create () in
+  time "Telemetry.record_alloc" 5_000_000 (fun n ->
+      for i = 1 to n do
+        Wsc_tcmalloc.Telemetry.record_alloc tel ~requested:(64 + (i land 63)) ~rounded:64
+      done);
+  let clock = Clock.create () in
+  let malloc = Malloc.create ~topology:Topology.uniprocessor ~clock () in
+  (* page-map lookup against a warm heap *)
+  let addrs = Array.init 1000 (fun _ -> Malloc.malloc malloc ~cpu:0 ~size:64) in
+  let ph = Malloc.pageheap malloc in
+  time "Pageheap.span_of_addr" 5_000_000 (fun n ->
+      let acc = ref 0 in
+      for i = 1 to n do
+        match Wsc_tcmalloc.Pageheap.span_of_addr ph addrs.(i land 999) with
+        | Some _ -> incr acc
+        | None -> ()
+      done;
+      ignore !acc);
+  Array.iter (fun a -> Malloc.free malloc ~cpu:0 a ~size:64) addrs;
+  time "malloc+free 64B pair" 2_000_000 (fun n ->
+      for _ = 1 to n do
+        let a = Malloc.malloc malloc ~cpu:0 ~size:64 in
+        Malloc.free malloc ~cpu:0 a ~size:64
+      done);
+  (* whole-machine throughput, short *)
+  let machine = Machine.create ~seed:42 ~platform:Topology.default ~jobs:[ Apps.fleet ] () in
+  Machine.run machine ~duration_ns:(5.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let job = List.hd (Machine.jobs machine) in
+  let tel = Malloc.telemetry job.Machine.malloc in
+  let e0 = Telemetry.alloc_count tel + Telemetry.free_count tel in
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  Machine.run machine ~duration_ns:(20.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let events = Telemetry.alloc_count tel + Telemetry.free_count tel - e0 in
+  Printf.printf "machine: %.0f events/sec, %.1f minor words/event, %.1f ns/event\n%!"
+    (float_of_int events /. wall)
+    ((g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int events)
+    (wall *. 1e9 /. float_of_int events)

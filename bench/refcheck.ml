@@ -1,0 +1,48 @@
+(* Bit-identity reference harness: digests RNG streams, machine runs, and
+   fleet outcomes on pinned seeds.  Capture the output at a known-good
+   revision, rework a hot path, and diff — any changed digest means the
+   seeded streams moved.  Not wired into CI (the smoke gates cover
+   regressions there); kept as the working tool for the next hot-path
+   surgery. *)
+open Wsc_substrate
+module Machine = Wsc_fleet.Machine
+module Fleet = Wsc_fleet.Fleet
+module Apps = Wsc_workload.Apps
+module Profile = Wsc_workload.Profile
+module Topology = Wsc_hw.Topology
+
+let () =
+  (* Machine-level outcome digest: covers driver event order, malloc state,
+     telemetry, and the pending-free queue discipline. *)
+  let m =
+    Machine.create ~seed:42 ~platform:Topology.default
+      ~jobs:[ Apps.fleet; Apps.monarch ] ()
+  in
+  Machine.run m ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
+  let s = Machine.summary m in
+  Printf.printf "machine digest %s\n" (Digest.to_hex s.Machine.sm_digest);
+  (* Fleet sampling streams: categorical platform mix + zipf binary draws. *)
+  let f = Fleet.create ~seed:7 ~num_machines:6 ~num_binaries:50 () in
+  let sums = Fleet.run f ~jobs:1 ~duration_ns:(0.5 *. Units.sec) ~epoch_ns:Units.ms in
+  List.iter
+    (fun s -> Printf.printf "fleet machine %s\n" (Digest.to_hex s.Machine.sm_digest))
+    sums;
+  (* Raw distribution streams, hex-exact. *)
+  let rng = Rng.create 99 in
+  let buf = Buffer.create 4096 in
+  for _ = 1 to 2000 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %h %h\n"
+         (Dist.zipf rng ~n:50 ~s:0.9)
+         (Dist.categorical rng Fleet.platform_mix)
+         (Dist.sample Profile.fleet_size_dist rng)
+         (Profile.sample_lifetime Apps.fleet rng ~size:512))
+  done;
+  Printf.printf "dist stream digest %s\n"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)));
+  (* Drained-to-empty driver counters (exercises drain_until infinity). *)
+  let job = List.hd (Machine.jobs m) in
+  Wsc_workload.Driver.drain job.Machine.driver;
+  Printf.printf "post-drain live %d allocs %d\n"
+    (Wsc_workload.Driver.live_objects job.Machine.driver)
+    (Wsc_workload.Driver.allocations job.Machine.driver)

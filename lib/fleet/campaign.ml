@@ -269,9 +269,10 @@ let machine_shape spec binaries index =
     Rng.create (((spec.seed * 1_000_003) lxor (index * 2_654_435_761)) land max_int)
   in
   let platform = Topology.generations.(Dist.categorical rng Fleet.platform_mix) in
+  let zipf = Dist.zipf_sampler ~n:(Array.length binaries) ~s:spec.zipf_s in
   let jobs =
     List.init spec.jobs_per_machine (fun _ ->
-        binaries.(Dist.zipf rng ~n:(Array.length binaries) ~s:spec.zipf_s))
+        binaries.(Dist.discrete_sample zipf rng))
   in
   (platform, jobs)
 

@@ -35,6 +35,9 @@ let create ?(seed = 7) ?(num_machines = 24) ?(num_binaries = 50) ?(jobs_per_mach
   let num_binaries =
     match population with Some p -> Array.length p | None -> num_binaries
   in
+  (* One precomputed sampler for the whole fleet draw: same stream as the
+     old memoized Dist.zipf, with no global table or lock behind it. *)
+  let zipf = Dist.zipf_sampler ~n:num_binaries ~s:zipf_s in
   let machines =
     List.init num_machines (fun i ->
         let platform =
@@ -42,7 +45,7 @@ let create ?(seed = 7) ?(num_machines = 24) ?(num_binaries = 50) ?(jobs_per_mach
         in
         let jobs =
           List.init jobs_per_machine (fun _ ->
-              binaries.(Dist.zipf rng ~n:num_binaries ~s:zipf_s))
+              binaries.(Dist.discrete_sample zipf rng))
         in
         Machine.create ~seed:(seed + (7919 * (i + 1))) ~config ~platform ~jobs ())
   in

@@ -1,51 +1,88 @@
+(* Dense int arrays, not hash tables: [acquire] runs on every malloc/free
+   (the front-end cache index), where a Hashtbl lookup costs a hash plus an
+   allocated [Some].  -1 marks an empty slot in both directions. *)
 type t = {
-  by_phys : (int, int) Hashtbl.t;
-  by_id : (int, int) Hashtbl.t;  (* vCPU id -> phys CPU currently holding it *)
+  mutable by_phys : int array;  (* phys CPU -> vCPU id *)
+  mutable by_id : int array;  (* vCPU id -> phys CPU currently holding it *)
   mutable free_ids : int list;  (* sorted ascending *)
   mutable next_fresh : int;
   mutable high_water : int;
+  mutable active : int;
 }
 
 let create () =
   {
-    by_phys = Hashtbl.create 64;
-    by_id = Hashtbl.create 64;
+    by_phys = Array.make 64 (-1);
+    by_id = Array.make 64 (-1);
     free_ids = [];
     next_fresh = 0;
     high_water = 0;
+    active = 0;
   }
 
-let acquire t ~phys_cpu =
-  match Hashtbl.find_opt t.by_phys phys_cpu with
-  | Some id -> id
-  | None ->
-    let id =
-      match t.free_ids with
-      | id :: rest ->
-        t.free_ids <- rest;
-        id
-      | [] ->
-        let id = t.next_fresh in
-        t.next_fresh <- id + 1;
-        id
-    in
-    Hashtbl.replace t.by_phys phys_cpu id;
-    Hashtbl.replace t.by_id id phys_cpu;
-    if id + 1 > t.high_water then t.high_water <- id + 1;
-    id
+let ensure_slot arr i =
+  let n = Array.length arr in
+  if i < n then arr
+  else begin
+    let bigger = Array.make (max (i + 1) (2 * n)) (-1) in
+    Array.blit arr 0 bigger 0 n;
+    bigger
+  end
+
+let acquire_slow t ~phys_cpu =
+  if phys_cpu < 0 then invalid_arg "Vcpu.acquire: negative physical CPU";
+  let id =
+    match t.free_ids with
+    | id :: rest ->
+      t.free_ids <- rest;
+      id
+    | [] ->
+      let id = t.next_fresh in
+      t.next_fresh <- id + 1;
+      id
+  in
+  t.by_phys <- ensure_slot t.by_phys phys_cpu;
+  t.by_id <- ensure_slot t.by_id id;
+  t.by_phys.(phys_cpu) <- id;
+  t.by_id.(id) <- phys_cpu;
+  t.active <- t.active + 1;
+  if id + 1 > t.high_water then t.high_water <- id + 1;
+  id
+
+let[@inline] acquire t ~phys_cpu =
+  let by_phys = t.by_phys in
+  if phys_cpu >= 0 && phys_cpu < Array.length by_phys then begin
+    let id = Array.unsafe_get by_phys phys_cpu in
+    if id >= 0 then id else acquire_slow t ~phys_cpu
+  end
+  else acquire_slow t ~phys_cpu
 
 let release t ~phys_cpu =
-  match Hashtbl.find_opt t.by_phys phys_cpu with
-  | None -> ()
-  | Some id ->
-    Hashtbl.remove t.by_phys phys_cpu;
-    Hashtbl.remove t.by_id id;
-    t.free_ids <- List.sort compare (id :: t.free_ids)
+  if phys_cpu >= 0 && phys_cpu < Array.length t.by_phys then begin
+    let id = t.by_phys.(phys_cpu) in
+    if id >= 0 then begin
+      t.by_phys.(phys_cpu) <- -1;
+      t.by_id.(id) <- -1;
+      t.active <- t.active - 1;
+      t.free_ids <- List.sort compare (id :: t.free_ids)
+    end
+  end
 
-let lookup t ~phys_cpu = Hashtbl.find_opt t.by_phys phys_cpu
-let active_count t = Hashtbl.length t.by_phys
+let lookup t ~phys_cpu =
+  if phys_cpu >= 0 && phys_cpu < Array.length t.by_phys then begin
+    let id = t.by_phys.(phys_cpu) in
+    if id >= 0 then Some id else None
+  end
+  else None
+
+let active_count t = t.active
 let high_water_mark t = t.high_water
-let is_id_active t id = Hashtbl.mem t.by_id id
+
+let is_id_active t id = id >= 0 && id < Array.length t.by_id && t.by_id.(id) >= 0
 
 let active_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.by_id [] |> List.sort compare
+  let out = ref [] in
+  for id = Array.length t.by_id - 1 downto 0 do
+    if t.by_id.(id) >= 0 then out := id :: !out
+  done;
+  !out

@@ -1,0 +1,60 @@
+(* Walker/Vose alias tables: O(1) draws from an arbitrary discrete
+   distribution after O(n) setup.
+
+   One uniform draw is split into a column index (high part) and a biased
+   coin (fractional part); the coin picks between the column's own outcome
+   and its alias.  This is the textbook structure for O(1) categorical
+   sampling and is what new distributions should use.
+
+   Note on streams: the alias decomposition maps a uniform [u] to an
+   outcome through a {e different} function than inverse-CDF search does,
+   so swapping it under an existing seeded sampler changes the draw
+   sequence (not the distribution).  The legacy samplers in {!Dist} keep
+   their inverse-CDF mapping bit-for-bit (accelerated with guide tables);
+   [Alias] is for call sites without a pinned stream. *)
+
+type t = {
+  prob : float array;   (* acceptance threshold per column, scaled by n *)
+  alias : int array;    (* fallback outcome per column *)
+}
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if not (total > 0.0) then invalid_arg "Alias.create: nonpositive total weight";
+  Array.iter
+    (fun w -> if not (w >= 0.0) then invalid_arg "Alias.create: negative weight")
+    weights;
+  let nf = float_of_int n in
+  (* Scaled probabilities: mean 1.0 by construction. *)
+  let p = Array.map (fun w -> w *. nf /. total) weights in
+  let prob = Array.make n 1.0 in
+  let alias = Array.init n (fun i -> i) in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i pi -> if pi < 1.0 then Stack.push i small else Stack.push i large)
+    p;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- p.(s);
+    alias.(s) <- l;
+    (* The large column donates mass to top the small one up to 1. *)
+    p.(l) <- p.(l) +. p.(s) -. 1.0;
+    if p.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  (* Leftovers are 1.0 up to rounding; their alias stays self. *)
+  Stack.iter (fun i -> prob.(i) <- 1.0) small;
+  Stack.iter (fun i -> prob.(i) <- 1.0) large;
+  { prob; alias }
+
+let length t = Array.length t.prob
+
+let[@inline] sample t rng =
+  let n = Array.length t.prob in
+  let scaled = Rng.unit_float rng *. float_of_int n in
+  let i = int_of_float scaled in
+  (* u < 1 so i <= n-1; guard anyway against FP edge rounding. *)
+  let i = if i >= n then n - 1 else i in
+  if scaled -. float_of_int i < Array.unsafe_get t.prob i then i
+  else Array.unsafe_get t.alias i

@@ -1,0 +1,20 @@
+(** Walker/Vose alias-table sampling: O(1) draws from a discrete
+    distribution after O(n) construction.
+
+    Swapping an inverse-CDF sampler for an alias table changes the
+    uniform-draw-to-outcome mapping (the distribution is identical, the
+    seeded stream is not), so use this for call sites without a pinned RNG
+    stream; {!Dist}'s legacy samplers keep their exact inverse-CDF mapping
+    via guide tables instead. *)
+
+type t
+
+val create : float array -> t
+(** Build the table from non-negative weights (normalized internally).
+    @raise Invalid_argument on an empty array or nonpositive total. *)
+
+val length : t -> int
+(** Number of outcomes. *)
+
+val sample : t -> Rng.t -> int
+(** One draw: a single uniform variate, two array reads, no allocation. *)

@@ -1,0 +1,385 @@
+(* Hierarchical timing-wheel event queue ("calendar queue") keyed by
+   float nanosecond timestamps, bucketed on their integer ticks.
+
+   Structure: [levels] wheels of [slots] buckets each.  Level [l] buckets
+   are [bucket_ns * slots^l] ns wide, so the top level spans beyond any
+   representable tick (2^63 ns ~ 292 years) — no overflow heap is needed;
+   the driver's "far future" startup allocations (1e18 ns) land in a top
+   wheel.  An event's level is the lowest whose 32-slot window, anchored at
+   the current drain position, reaches the event's bucket.  Advancing the
+   drain position cascades coarse buckets into finer wheels, so every event
+   is touched O(levels) times total and push/pop are O(1) amortized —
+   against O(log n) sift cost in {!Event_heap} (the differential-testing
+   reference for this module).
+
+   Ordering contract: events are delivered in nondecreasing key order, and
+   events with {e equal} keys are delivered in push (FIFO) order — each
+   entry carries an insertion sequence number and buckets sort by
+   (key, seq) before draining.  The binary heap pops equal keys in
+   unspecified structure order instead; equal float keys only arise from
+   the driver's shared "far future" constant, whose drain order is
+   aggregate-insensitive, so the two queues produce identical simulation
+   outcomes (test_substrate pins the full-order equivalence modulo ties).
+
+   Reentrancy: the drain callback must not push events (the driver's free
+   events never allocate); pushes between drains are unrestricted. *)
+
+let slot_bits = 5
+let slots = 1 lsl slot_bits         (* 32 buckets per wheel *)
+let slot_mask = slots - 1
+let bucket_bits = 10                (* level-0 buckets are 1024 ns wide *)
+let levels = 11                     (* covers deltas up to 2^(10+5*11) > 2^63 *)
+let max_tick = max_int / 2
+
+(* Entries in struct-of-arrays form: float keys stay unboxed, payloads are
+   plain ints, and [seq] breaks equal-key ties in insertion order. *)
+type bucket = {
+  mutable keys : float array;
+  mutable ticks : int array;
+  mutable ea : int array;
+  mutable eb : int array;
+  mutable ec : int array;
+  mutable seq : int array;
+  mutable blen : int;
+  (* Entries below [sorted] are already in (key, seq) order; repeated
+     partial drains of the bucket holding "now" only re-insert appends. *)
+  mutable sorted : int;
+}
+
+type t = {
+  buckets : bucket array;           (* levels * slots, flattened *)
+  mutable cur : int;                (* every occupied bucket ends after cur *)
+  mutable len : int;
+  mutable next_seq : int;
+  (* [next_occupied] results, as scratch fields to keep drains
+     allocation-free. *)
+  mutable no_level : int;
+  mutable no_index : int;
+  mutable no_start : int;
+}
+
+let new_bucket () =
+  {
+    keys = [||];
+    ticks = [||];
+    ea = [||];
+    eb = [||];
+    ec = [||];
+    seq = [||];
+    blen = 0;
+    sorted = 0;
+  }
+
+let create ?initial_capacity:_ () =
+  {
+    buckets = Array.init (levels * slots) (fun _ -> new_bucket ());
+    cur = 0;
+    len = 0;
+    next_seq = 0;
+    no_level = 0;
+    no_index = 0;
+    no_start = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let[@inline] shift_of_level l = bucket_bits + (slot_bits * l)
+
+let bucket_grow b =
+  let cap = Array.length b.keys in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let grow_f src =
+    let dst = Array.make ncap 0.0 in
+    Array.blit src 0 dst 0 b.blen;
+    dst
+  in
+  let grow_i src =
+    let dst = Array.make ncap 0 in
+    Array.blit src 0 dst 0 b.blen;
+    dst
+  in
+  b.keys <- grow_f b.keys;
+  b.ticks <- grow_i b.ticks;
+  b.ea <- grow_i b.ea;
+  b.eb <- grow_i b.eb;
+  b.ec <- grow_i b.ec;
+  b.seq <- grow_i b.seq
+
+(* Big one-shot buckets (a cascaded far-future cohort) should give their
+   arrays back once drained. *)
+let bucket_release b =
+  if Array.length b.keys > 4096 then begin
+    b.keys <- [||];
+    b.ticks <- [||];
+    b.ea <- [||];
+    b.eb <- [||];
+    b.ec <- [||];
+    b.seq <- [||]
+  end;
+  b.blen <- 0;
+  b.sorted <- 0
+
+(* Flat bucket index for a tick: the lowest wheel whose 32-slot window
+   anchored at [cur] reaches it.  Int-only signature and a separate
+   function on purpose: the backend refuses to inline loop-containing
+   functions, and keeping the float key out of this call lets the
+   (loop-free, inlinable) [push_tick] below store it without boxing. *)
+let bucket_index t tick =
+  let l = ref 0 in
+  while (tick lsr shift_of_level !l) - (t.cur lsr shift_of_level !l) >= slots do
+    incr l
+  done;
+  let sh = shift_of_level !l in
+  (!l lsl slot_bits) lor ((tick lsr sh) land slot_mask)
+
+let[@inline] push_tick t ~tick ~key ~a ~b ~c ~seq =
+  let bk = Array.unsafe_get t.buckets (bucket_index t tick) in
+  let i = bk.blen in
+  if i = Array.length bk.keys then bucket_grow bk;
+  Array.unsafe_set bk.keys i key;
+  Array.unsafe_set bk.ticks i tick;
+  Array.unsafe_set bk.ea i a;
+  Array.unsafe_set bk.eb i b;
+  Array.unsafe_set bk.ec i c;
+  Array.unsafe_set bk.seq i seq;
+  bk.blen <- i + 1;
+  t.len <- t.len + 1
+
+let[@inline] push t key ~a ~b ~c =
+  if not (key >= 0.0) then invalid_arg "Calendar.push: key must be >= 0";
+  let tick = if key >= float_of_int max_tick then max_tick else int_of_float key in
+  (* Late keys (at or before the drain position) go to the current bucket;
+     the (key, seq) sort still delivers them first. *)
+  let tick = if tick < t.cur then t.cur else tick in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push_tick t ~tick ~key ~a ~b ~c ~seq
+
+(* Sort bucket entries by (key, seq).  Insertion sort: buckets are small in
+   steady state, and cascaded cohorts arrive already ordered (cascades
+   preserve order), where insertion sort is O(n). *)
+let sort_bucket bk =
+  let keys = bk.keys and ticks = bk.ticks in
+  let ea = bk.ea and eb = bk.eb and ec = bk.ec and seq = bk.seq in
+  for i = max 1 bk.sorted to bk.blen - 1 do
+    let k = keys.(i) and tk = ticks.(i) in
+    let a = ea.(i) and b = eb.(i) and c = ec.(i) and s = seq.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && (keys.(!j) > k || (keys.(!j) = k && seq.(!j) > s)) do
+      let j1 = !j + 1 in
+      keys.(j1) <- keys.(!j);
+      ticks.(j1) <- ticks.(!j);
+      ea.(j1) <- ea.(!j);
+      eb.(j1) <- eb.(!j);
+      ec.(j1) <- ec.(!j);
+      seq.(j1) <- seq.(!j);
+      decr j
+    done;
+    let j1 = !j + 1 in
+    keys.(j1) <- k;
+    ticks.(j1) <- tk;
+    ea.(j1) <- a;
+    eb.(j1) <- b;
+    ec.(j1) <- c;
+    seq.(j1) <- s
+  done;
+  bk.sorted <- bk.blen
+
+(* The occupied bucket with the smallest start tick, as
+   (level, flat index, start); ties prefer the coarser wheel so its
+   events cascade down before the finer bucket at the same start drains.
+   Returns start > max_tick when the queue is empty. *)
+let next_occupied t =
+  let best_start = ref max_int and best_l = ref (-1) and best_idx = ref 0 in
+  for l = 0 to levels - 1 do
+    let sh = shift_of_level l in
+    let c = t.cur lsr sh in
+    (* Every occupied bucket starts at or after [cur] (drain invariant), so
+       the lowest conceivable start on this wheel is the first
+       width-aligned boundary at/after [cur]; skip the slot scan when even
+       that cannot improve on the best so far.  Ties go to the coarser
+       wheel (checked later, compared with <=) so its events cascade down
+       before an equal-start fine bucket drains. *)
+    let lowest = if c lsl sh < t.cur then (c + 1) lsl sh else c lsl sh in
+    if lowest <= !best_start then begin
+      let base = l lsl slot_bits in
+      let off = ref 0 in
+      while
+        !off < slots
+        && (Array.unsafe_get t.buckets (base lor ((c + !off) land slot_mask))).blen = 0
+      do
+        incr off
+      done;
+      if !off < slots then begin
+        let start = (c + !off) lsl sh in
+        if start <= !best_start then begin
+          best_start := start;
+          best_l := l;
+          best_idx := base lor ((c + !off) land slot_mask)
+        end
+      end
+    end
+  done;
+  t.no_level <- !best_l;
+  t.no_index <- !best_idx;
+  t.no_start <- !best_start
+
+let cascade t bk start =
+  t.cur <- (if start > t.cur then start else t.cur);
+  let n = bk.blen in
+  bk.blen <- 0;
+  t.len <- t.len - n;
+  for i = 0 to n - 1 do
+    push_tick t ~tick:bk.ticks.(i) ~key:bk.keys.(i) ~a:bk.ea.(i) ~b:bk.eb.(i)
+      ~c:bk.ec.(i) ~seq:bk.seq.(i)
+  done;
+  bucket_release bk
+
+let drain_until t bound f =
+  if t.len > 0 && bound >= 0.0 then begin
+    let target =
+      if bound >= float_of_int max_tick then max_tick else int_of_float bound
+    in
+    let continue = ref true in
+    while !continue && t.len > 0 do
+      next_occupied t;
+      let l = t.no_level and idx = t.no_index and start = t.no_start in
+      if start > target then begin
+        if target + 1 > t.cur then t.cur <- target + 1;
+        continue := false
+      end
+      else if l > 0 then cascade t (Array.unsafe_get t.buckets idx) start
+      else begin
+        if start > t.cur then t.cur <- start;
+        let bk = Array.unsafe_get t.buckets idx in
+        sort_bucket bk;
+        let bucket_end = start + (1 lsl bucket_bits) in
+        if bucket_end <= target then begin
+          (* Whole bucket is due: every key < bucket_end <= bound. *)
+          let n = bk.blen in
+          bk.blen <- 0;
+          t.len <- t.len - n;
+          for i = 0 to n - 1 do
+            f ~key:bk.keys.(i) ~a:bk.ea.(i) ~b:bk.eb.(i) ~c:bk.ec.(i)
+          done;
+          bucket_release bk;
+          t.cur <- bucket_end
+        end
+        else begin
+          (* The bucket containing [bound]: emit the due prefix, retain the
+             rest, and stop — no other bucket starts at or before target. *)
+          let n = bk.blen in
+          let e = ref 0 in
+          while !e < n && bk.keys.(!e) <= bound do incr e done;
+          let emitted = !e in
+          for i = 0 to emitted - 1 do
+            f ~key:bk.keys.(i) ~a:bk.ea.(i) ~b:bk.eb.(i) ~c:bk.ec.(i)
+          done;
+          if emitted > 0 then begin
+            let m = n - emitted in
+            for i = 0 to m - 1 do
+              let src = emitted + i in
+              bk.keys.(i) <- bk.keys.(src);
+              bk.ticks.(i) <- bk.ticks.(src);
+              bk.ea.(i) <- bk.ea.(src);
+              bk.eb.(i) <- bk.eb.(src);
+              bk.ec.(i) <- bk.ec.(src);
+              bk.seq.(i) <- bk.seq.(src)
+            done;
+            bk.blen <- m;
+            bk.sorted <- m;
+            t.len <- t.len - emitted;
+            if m = 0 then begin
+              bucket_release bk;
+              if target + 1 > t.cur then t.cur <- target + 1
+            end
+          end;
+          continue := false
+        end
+      end
+    done;
+    if t.len = 0 && target + 1 > t.cur then t.cur <- target + 1
+  end
+
+(* [drain_until] without the key in the callback: the driver's free events
+   ignore their timestamp, and passing a float to a non-inlined closure
+   boxes it — two minor words per event on the hottest path. *)
+let drain_payloads t bound f =
+  if t.len > 0 && bound >= 0.0 then begin
+    let target =
+      if bound >= float_of_int max_tick then max_tick else int_of_float bound
+    in
+    let continue = ref true in
+    while !continue && t.len > 0 do
+      next_occupied t;
+      let l = t.no_level and idx = t.no_index and start = t.no_start in
+      if start > target then begin
+        if target + 1 > t.cur then t.cur <- target + 1;
+        continue := false
+      end
+      else if l > 0 then cascade t (Array.unsafe_get t.buckets idx) start
+      else begin
+        if start > t.cur then t.cur <- start;
+        let bk = Array.unsafe_get t.buckets idx in
+        sort_bucket bk;
+        let bucket_end = start + (1 lsl bucket_bits) in
+        if bucket_end <= target then begin
+          let n = bk.blen in
+          bk.blen <- 0;
+          t.len <- t.len - n;
+          for i = 0 to n - 1 do
+            f ~a:(Array.unsafe_get bk.ea i) ~b:(Array.unsafe_get bk.eb i)
+              ~c:(Array.unsafe_get bk.ec i)
+          done;
+          bucket_release bk;
+          t.cur <- bucket_end
+        end
+        else begin
+          let n = bk.blen in
+          let e = ref 0 in
+          while !e < n && bk.keys.(!e) <= bound do incr e done;
+          let emitted = !e in
+          for i = 0 to emitted - 1 do
+            f ~a:(Array.unsafe_get bk.ea i) ~b:(Array.unsafe_get bk.eb i)
+              ~c:(Array.unsafe_get bk.ec i)
+          done;
+          if emitted > 0 then begin
+            let m = n - emitted in
+            for i = 0 to m - 1 do
+              let src = emitted + i in
+              bk.keys.(i) <- bk.keys.(src);
+              bk.ticks.(i) <- bk.ticks.(src);
+              bk.ea.(i) <- bk.ea.(src);
+              bk.eb.(i) <- bk.eb.(src);
+              bk.ec.(i) <- bk.ec.(src);
+              bk.seq.(i) <- bk.seq.(src)
+            done;
+            bk.blen <- m;
+            bk.sorted <- m;
+            t.len <- t.len - emitted;
+            if m = 0 then begin
+              bucket_release bk;
+              if target + 1 > t.cur then t.cur <- target + 1
+            end
+          end;
+          continue := false
+        end
+      end
+    done;
+    if t.len = 0 && target + 1 > t.cur then t.cur <- target + 1
+  end
+
+let clear t =
+  Array.iter (fun bk -> bucket_release bk) t.buckets;
+  t.cur <- 0;
+  t.len <- 0;
+  t.next_seq <- 0
+
+let iter t f =
+  Array.iter
+    (fun bk ->
+      for i = 0 to bk.blen - 1 do
+        f ~key:bk.keys.(i) ~a:bk.ea.(i) ~b:bk.eb.(i) ~c:bk.ec.(i)
+      done)
+    t.buckets

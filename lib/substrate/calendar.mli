@@ -1,0 +1,41 @@
+(** Hierarchical timing-wheel event queue ("calendar queue") with float
+    nanosecond keys bucketed on integer ticks: O(1) amortized push and pop
+    against the O(log n) sifts of {!Event_heap}, which remains the
+    differential-testing reference for this module.
+
+    Keys must be finite and non-negative.  The top wheel spans past any
+    representable tick, so far-future sentinels (e.g. 1e18 ns) need no
+    overflow path.
+
+    Ordering contract: [drain_until] delivers events in nondecreasing key
+    order; events with equal keys are delivered in push (FIFO) order.
+
+    The drain callback must not push events into the queue being drained
+    (the driver's free events satisfy this); pushes between drains are
+    unrestricted. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** [initial_capacity] is accepted for {!Event_heap} interface parity and
+    ignored; buckets size themselves on demand. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> float -> a:int -> b:int -> c:int -> unit
+(** Insert an event with three unboxed int payload slots.
+    @raise Invalid_argument if the key is negative or NaN. *)
+
+val drain_until : t -> float -> (key:float -> a:int -> b:int -> c:int -> unit) -> unit
+(** Pop every event with [key <= bound] in (key, insertion) order. *)
+
+val drain_payloads : t -> float -> (a:int -> b:int -> c:int -> unit) -> unit
+(** {!drain_until} without the key in the callback.  Passing a float to a
+    non-inlined closure boxes it, so key-oblivious consumers (the workload
+    driver's free events) save two minor words per event here. *)
+
+val clear : t -> unit
+
+val iter : t -> (key:float -> a:int -> b:int -> c:int -> unit) -> unit
+(** Visit pending events in unspecified order. *)

@@ -7,7 +7,7 @@ type t = {
 }
 
 let create () = { now = 0.0; queue = Binheap.create (); next_id = 0 }
-let now t = t.now
+let[@inline] now t = t.now
 
 let advance_to t target =
   if target > t.now then begin

@@ -50,11 +50,27 @@ val mean_estimate : t -> Rng.t -> n:int -> float
 
 (** {2 Discrete helpers} *)
 
+type discrete
+(** A precomputed O(1) sampler over ranks [\[0, n)]: cumulative weights plus
+    a guide table, owned by the caller — no global memo, no lock.  The
+    uniform-draw [->] rank mapping is the inverse-CDF search (smallest rank
+    whose cumulative weight reaches the draw), identical to the historical
+    cumulative binary search, so seeded streams are preserved. *)
+
+val discrete_of_weights : float array -> discrete
+(** Build a sampler from a (cumulative-normalized) weight vector.
+    @raise Invalid_argument on an empty array. *)
+
+val zipf_sampler : n:int -> s:float -> discrete
+(** Precomputed Zipf(s) sampler over ranks [\[0, n)]; rank 0 is the most
+    popular. *)
+
+val discrete_sample : discrete -> Rng.t -> int
+(** One draw: one uniform variate, one guide lookup, no allocation. *)
+
 val zipf : Rng.t -> n:int -> s:float -> int
-(** One Zipf(s) draw over ranks [\[0, n)]; rank 0 is the most popular.
-    Sampling is by inversion over precomputed partial sums would be costly to
-    rebuild per call, so this uses rejection-free inversion on the harmonic
-    CDF computed once per [n,s] pair (memoized). *)
+(** One Zipf(s) draw over ranks [\[0, n)]; convenience wrapper that builds
+    the table per call — hot paths should hold a {!zipf_sampler}. *)
 
 val zipf_weights : n:int -> s:float -> float array
 (** Normalized Zipf(s) probability vector of length [n]. *)

@@ -25,7 +25,7 @@ let create ?(base = 2.0) ?(lo = 1.0) ?(hi = 1.125899906842624e15 (* 2^50 *)) () 
     total = Array.make 1 0.0;
   }
 
-let bin_index t v =
+let[@inline] bin_index t v =
   if v <= t.lo then 0
   else begin
     let idx = int_of_float (Float.floor (log (v /. t.lo) /. t.log_base)) in
@@ -35,7 +35,7 @@ let bin_index t v =
 let bin_lower t i = t.lo *. (t.base ** float_of_int i)
 let bin_upper t i = bin_lower t (i + 1)
 
-let add_at t idx ~weight =
+let[@inline] add_at t idx ~weight =
   t.weights.(idx) <- t.weights.(idx) +. weight;
   t.count <- t.count + 1;
   t.total.(0) <- t.total.(0) +. weight

@@ -1,0 +1,152 @@
+(* Open-addressing int -> int hash table over unboxed Bigarray storage.
+
+   The simulator's hottest tables (the allocator's freed-address set, the
+   leak sampler's tracked-address set, the trace recorder's addr -> id map)
+   are int-keyed, int-valued, and queried on every event.  [Hashtbl] costs
+   a bucket-list allocation per [replace] and an option per [find_opt];
+   this table allocates nothing on any operation except a (rare) resize.
+
+   Keys live in a [Bigarray.Array1] of native ints, so the GC never scans
+   the table and membership probes touch exactly one cache line in the
+   common case.  Two key values are reserved as slot markers, so keys must
+   be greater than [min_int + 1] (addresses and ids in the simulator are
+   non-negative).  Collisions use linear probing with tombstone deletion;
+   the load factor, counting tombstones, is kept at or below 1/2. *)
+
+open Bigarray
+
+type slots = (int, int_elt, c_layout) Array1.t
+
+type t = {
+  mutable keys : slots;
+  mutable vals : slots;
+  mutable mask : int;      (* capacity - 1; capacity is a power of two *)
+  mutable shift : int;     (* 63 - log2 capacity, for multiplicative hashing *)
+  mutable live : int;      (* occupied slots *)
+  mutable fill : int;      (* occupied + tombstone slots *)
+}
+
+let empty_key = min_int
+let tombstone = min_int + 1
+
+let fib = 0x2545F4914F6CDD1D
+
+let[@inline] slot_of_key t key = (key * fib) lsr t.shift
+
+let make_slots cap =
+  let a : slots = Array1.create int c_layout cap in
+  Array1.fill a empty_key;
+  a
+
+let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
+
+let log2_exact n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create ?(initial_capacity = 16) () =
+  let cap = ceil_pow2 (max 8 initial_capacity) 8 in
+  {
+    keys = make_slots cap;
+    vals = Array1.create int c_layout cap;
+    mask = cap - 1;
+    shift = 63 - log2_exact cap;
+    live = 0;
+    fill = 0;
+  }
+
+let length t = t.live
+
+(* Find the slot holding [key], or -1. *)
+let[@inline] probe_find t key =
+  let keys = t.keys in
+  let mask = t.mask in
+  let i = ref (slot_of_key t key) in
+  let found = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let k = Array1.unsafe_get keys !i in
+    if k = key then begin
+      found := !i;
+      continue := false
+    end
+    else if k = empty_key then continue := false
+    else i := (!i + 1) land mask
+  done;
+  !found
+
+let mem t key = probe_find t key >= 0
+
+let find t key ~default =
+  let s = probe_find t key in
+  if s >= 0 then Array1.unsafe_get t.vals s else default
+
+let rec resize t new_cap =
+  let old_keys = t.keys and old_vals = t.vals in
+  let old_cap = t.mask + 1 in
+  t.keys <- make_slots new_cap;
+  t.vals <- Array1.create int c_layout new_cap;
+  t.mask <- new_cap - 1;
+  t.shift <- 63 - log2_exact new_cap;
+  t.live <- 0;
+  t.fill <- 0;
+  for i = 0 to old_cap - 1 do
+    let k = Array1.unsafe_get old_keys i in
+    if k <> empty_key && k <> tombstone then
+      set t k (Array1.unsafe_get old_vals i)
+  done
+
+and set t key value =
+  if key = empty_key || key = tombstone then
+    invalid_arg "Int_table.set: key out of range";
+  (* Keep load factor (incl. tombstones) <= 1/2; if most of the fill is
+     tombstones, rehash in place instead of doubling. *)
+  if 2 * (t.fill + 1) > t.mask + 1 then
+    resize t (if 4 * t.live > t.mask + 1 then 2 * (t.mask + 1) else t.mask + 1);
+  let keys = t.keys in
+  let mask = t.mask in
+  let i = ref (slot_of_key t key) in
+  let first_tomb = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let k = Array1.unsafe_get keys !i in
+    if k = key then begin
+      Array1.unsafe_set t.vals !i value;
+      continue := false
+    end
+    else if k = empty_key then begin
+      let dst = if !first_tomb >= 0 then !first_tomb else !i in
+      Array1.unsafe_set keys dst key;
+      Array1.unsafe_set t.vals dst value;
+      t.live <- t.live + 1;
+      if !first_tomb < 0 then t.fill <- t.fill + 1;
+      continue := false
+    end
+    else begin
+      if k = tombstone && !first_tomb < 0 then first_tomb := !i;
+      i := (!i + 1) land mask
+    end
+  done
+
+let remove t key =
+  let s = probe_find t key in
+  if s >= 0 then begin
+    Array1.unsafe_set t.keys s tombstone;
+    t.live <- t.live - 1
+  end
+
+let clear t =
+  Array1.fill t.keys empty_key;
+  t.live <- 0;
+  t.fill <- 0
+
+let iter t f =
+  for i = 0 to t.mask do
+    let k = Array1.unsafe_get t.keys i in
+    if k <> empty_key && k <> tombstone then f k (Array1.unsafe_get t.vals i)
+  done
+
+let fold t init f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc

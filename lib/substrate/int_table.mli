@@ -1,0 +1,27 @@
+(** Open-addressing int -> int hash table backed by unboxed Bigarray
+    storage: no allocation on [mem]/[find]/[set]/[remove] (resizes aside),
+    and the GC never scans the slots.  Used for the event-loop hot tables
+    (freed-address set, sampler tracking, recorder id map).
+
+    Keys must be greater than [min_int + 1]; the two smallest ints are
+    reserved as internal slot markers. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+
+val mem : t -> int -> bool
+
+val find : t -> int -> default:int -> int
+(** [find t key ~default] is the value bound to [key], or [default]. *)
+
+val set : t -> int -> int -> unit
+(** Insert or replace.  @raise Invalid_argument on a reserved key. *)
+
+val remove : t -> int -> unit
+(** No-op when the key is absent. *)
+
+val clear : t -> unit
+val iter : t -> (int -> int -> unit) -> unit
+val fold : t -> 'a -> ('a -> int -> int -> 'a) -> 'a

@@ -42,6 +42,13 @@ let default_jobs () =
     | Some n -> n
     | None -> max 1 (Domain.recommended_domain_count ()))
 
+(* Physical parallelism actually available, independent of the [--jobs] /
+   [WSC_DOMAINS] request.  On a single-core host, extra domains only add
+   scheduling churn and minor-heap pressure — [map] bypasses the pool
+   there, which keeps results identical (the map contract is
+   order-deterministic) while reporting the truth via {!host_cores}. *)
+let host_cores () = max 1 (Domain.recommended_domain_count ())
+
 (* One batch at a time may drive the pool; a [map] issued from inside a
    task (nested parallelism) falls back to sequential execution. *)
 let busy = Atomic.make false
@@ -135,7 +142,8 @@ let map ?jobs f inputs =
   let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
   let jobs = min jobs n in
   if n = 0 then [||]
-  else if jobs <= 1 || not (Atomic.compare_and_set busy false true) then
+  else if jobs <= 1 || host_cores () = 1 || not (Atomic.compare_and_set busy false true)
+  then
     (* Reference mode, tiny batch, or nested call: caller's domain only. *)
     Array.map f inputs
   else begin

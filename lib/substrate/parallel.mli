@@ -21,6 +21,14 @@
     bit-exact reference mode.  Nested [map] calls from inside a task
     degrade to sequential execution instead of deadlocking. *)
 
+val host_cores : unit -> int
+(** Physical parallelism available on this host
+    ([Domain.recommended_domain_count], floored at 1).  When this is 1,
+    {!map} runs every batch on the calling domain regardless of [?jobs] —
+    spawning domains a single core must time-slice only adds overhead, and
+    the map contract makes the results identical either way.  Benchmarks
+    should report this alongside any speedup claim. *)
+
 val default_jobs : unit -> int
 (** The job count a [map] without [?jobs] will use: [--jobs] override if
     set, else [WSC_DOMAINS] if set and positive, else

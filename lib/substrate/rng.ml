@@ -28,10 +28,10 @@ let of_seed seed =
 
 let create seed = of_seed seed
 
-let rotl x k = (x lsl k) lor (x lsr (63 - k))
+let[@inline] rotl x k = (x lsl k) lor (x lsr (63 - k))
 
 (* xoshiro256starstar update rule on 63-bit lanes. *)
-let bits t =
+let[@inline] bits t =
   let result = rotl (t.s1 * 5) 7 * 9 in
   let tmp = t.s1 lsl 17 in
   t.s2 <- t.s2 lxor t.s0;
@@ -46,23 +46,23 @@ let bits64 t = Int64.of_int (bits t)
 let split t = of_seed (bits t)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
-let int t bound =
+let[@inline] int t bound =
   assert (bound > 0);
   (* Drop the (sign) top bits so the value is non-negative; modulo bias is
      negligible for simulation bounds. *)
   (bits t lsr 2) mod bound
 
-let int_in t lo hi =
+let[@inline] int_in t lo hi =
   assert (hi >= lo);
   lo + int t (hi - lo + 1)
 
-let unit_float t =
+let[@inline] unit_float t =
   (* 53 high bits -> uniform double in [0,1). *)
   float_of_int (bits t lsr 10) *. (1.0 /. 9007199254740992.0)
 
-let float t bound = unit_float t *. bound
-let bool t = bits t land 1 = 1
-let bernoulli t p = unit_float t < p
+let[@inline] float t bound = unit_float t *. bound
+let[@inline] bool t = bits t land 1 = 1
+let[@inline] bernoulli t p = unit_float t < p
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -10,7 +10,9 @@ module Running = struct
 
   let create () = { n = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan; total = 0.0 }
 
-  let add t x =
+  (* [@inline]: lets hot callers pass [x] straight from float registers —
+     a non-inlined cross-module call would box the argument. *)
+  let[@inline] add t x =
     t.n <- t.n + 1;
     t.total <- t.total +. x;
     let delta = x -. t.mean in

@@ -163,11 +163,14 @@ let return_objects t ~cls ~addrs ~now =
       else relist t cs span ~force:was_exhausted)
     addrs
 
+(* Plain index loop: this runs every driver epoch, and the closure the
+   [Array.iteri] form captures its accumulator in would allocate. *)
 let fragmented_bytes t =
   let total = ref 0 in
-  Array.iteri
-    (fun cls cs -> total := !total + (cs.free_objects * Size_class.size cls))
-    t.classes;
+  for cls = 0 to Array.length t.classes - 1 do
+    let cs = Array.unsafe_get t.classes cls in
+    total := !total + (cs.free_objects * Size_class.size cls)
+  done;
   !total
 
 let released_span_bytes t = t.released_span_bytes

@@ -47,7 +47,7 @@ type t = {
      holds is never in this set.  Used to detect double frees of objects
      still sitting in a cache, which the span-level occupancy check cannot
      see. *)
-  in_flight : (addr, unit) Hashtbl.t;
+  in_flight : Int_table.t;
   (* Preemption injector; None runs the fast path atomically (pre-rseq). *)
   rseq : Rseq.t option;
   (* vCPU ids retired with a still-populated cache, awaiting the background
@@ -119,8 +119,9 @@ let cache_index_id t ~thread ~cpu =
   | Config.Per_thread_caches when thread >= 0 -> thread
   | Config.Per_thread_caches | Config.Per_cpu_caches ->
     let id = Vcpu.acquire t.vcpus ~phys_cpu:cpu in
-    (* A reused id reclaims its own (warm) cache; it is no longer stranded. *)
-    Hashtbl.remove t.stranded_pending id;
+    (* A reused id reclaims its own (warm) cache; it is no longer stranded.
+       (The table is almost always empty: skip the hash.) *)
+    if Hashtbl.length t.stranded_pending > 0 then Hashtbl.remove t.stranded_pending id;
     id
 
 let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topology ~clock () =
@@ -145,7 +146,7 @@ let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topolog
       telemetry = Telemetry.create ();
       span_stats;
       vcpu_domain = Array.make 16 0;
-      in_flight = Hashtbl.create 4096;
+      in_flight = Int_table.create ~initial_capacity:4096 ();
       rseq;
       stranded_pending = Hashtbl.create 16;
       fast =
@@ -223,16 +224,22 @@ let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topolog
 
 let charge t tier = Telemetry.charge_tier t.telemetry tier (Cost_model.tier_hit_ns tier)
 
-let maybe_sample t a ~size ~now =
-  if Sampler.on_alloc t.sampler a ~size ~now then
+(* Both sampler probes defer the clock reading to their rare hit branches,
+   keeping the common per-event path free of float returns. *)
+let maybe_sample t a ~size =
+  if Sampler.tick t.sampler ~size then begin
+    Sampler.track t.sampler a ~size ~now:(Clock.now t.clock);
     Telemetry.charge_sampled t.telemetry Cost_model.sampling_ns
+  end
 
-let record_sampled_free t a ~now =
-  match Sampler.on_free t.sampler a ~now with
-  | None -> ()
-  | Some (size, lifetime_ns) -> Telemetry.record_lifetime t.telemetry ~size ~lifetime_ns
+let record_sampled_free t a =
+  if Sampler.is_tracked t.sampler a then
+    match Sampler.on_free t.sampler a ~now:(Clock.now t.clock) with
+    | None -> ()
+    | Some (size, lifetime_ns) -> Telemetry.record_lifetime t.telemetry ~size ~lifetime_ns
 
-let malloc_large t ~size ~now =
+let malloc_large t ~size =
+  let now = Clock.now t.clock in
   let pages = (size + page_size - 1) / page_size in
   let span, mmaps = Pageheap.new_large_span t.pageheap ~pages ~now in
   charge t Cost_model.Pageheap;
@@ -244,7 +251,7 @@ let malloc_large t ~size ~now =
   else Telemetry.record_hit t.telemetry Cost_model.Pageheap;
   let a = Span.pop_object span in
   Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(pages * page_size);
-  maybe_sample t a ~size ~now;
+  maybe_sample t a ~size;
   a
 
 (* Refill the per-CPU cache from the transfer cache, recording where the
@@ -315,7 +322,8 @@ let finish_rseq_op t ~ret =
    first object, and offer the rest to the per-CPU cache (under rseq when the
    injector is on; a refill whose restart budget runs out caches nothing and
    the whole batch returns to the transfer cache). *)
-let alloc_miss t ~thread ~cpu ~vcpu ~cls ~now =
+let alloc_miss t ~thread ~cpu ~vcpu ~cls =
+  let now = Clock.now t.clock in
   Telemetry.record_front_end_miss t.telemetry ~vcpu;
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
@@ -327,7 +335,7 @@ let alloc_miss t ~thread ~cpu ~vcpu ~cls ~now =
        nothing; surface it so the retry-with-reclaim loop engages. *)
     raise (Vm.Mmap_failed Vm.Transient_fault)
   | first :: rest ->
-    List.iter (fun a -> Hashtbl.replace t.in_flight a ()) rest;
+    List.iter (fun a -> Int_table.set t.in_flight a 1) rest;
     let rejected =
       match t.rseq with
       | None -> Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest
@@ -344,10 +352,9 @@ let alloc_miss t ~thread ~cpu ~vcpu ~cls ~now =
     first
 
 let malloc_attempt t ~thread ~cpu ~size =
-  let now = Clock.now t.clock in
   Telemetry.charge_prefetch t.telemetry Cost_model.prefetch_ns;
   let cls = Size_class.index_of_size size in
-  if cls < 0 then malloc_large t ~size ~now
+  if cls < 0 then malloc_large t ~size
   else begin
     charge t Cost_model.Per_cpu_cache;
     let a =
@@ -360,7 +367,7 @@ let malloc_attempt t ~thread ~cpu ~size =
           Telemetry.record_hit t.telemetry Cost_model.Per_cpu_cache;
           a
         end
-        else alloc_miss t ~thread ~cpu ~vcpu ~cls ~now
+        else alloc_miss t ~thread ~cpu ~vcpu ~cls
       | Some r ->
         let fo = t.fast in
         fo.fo_thread <- thread;
@@ -379,11 +386,11 @@ let malloc_attempt t ~thread ~cpu ~size =
         else
           (* Committed miss, or restart budget exhausted: either way the
              front end yielded nothing — take the refill slow path. *)
-          alloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls ~now
+          alloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls
     in
-    Hashtbl.remove t.in_flight a;
+    Int_table.remove t.in_flight a;
     Telemetry.record_alloc t.telemetry ~requested:size ~rounded:(Size_class.size cls);
-    maybe_sample t a ~size ~now;
+    maybe_sample t a ~size;
     a
   end
 
@@ -391,24 +398,27 @@ let malloc_attempt t ~thread ~cpu ~size =
    failure (transient fault or hard memory limit) triggers the reclaim
    cascade and a retry; only after [reclaim_retries] exhausted attempts does
    the allocator surface [Out_of_memory]. *)
+let reclaim_target t ~size = max t.config.Config.reclaim_min_target_bytes (2 * size)
+
+(* Toplevel recursion (not a local closure capturing the parameters): the
+   closure would cost several minor words on every allocation. *)
+let rec malloc_retry t ~thread ~cpu ~size retries_left =
+  match malloc_attempt t ~thread ~cpu ~size with
+  | a -> a
+  | exception Vm.Mmap_failed _ ->
+    ignore (release_memory t ~target_bytes:(reclaim_target t ~size));
+    if retries_left > 0 then begin
+      Telemetry.record_reclaim_retry t.telemetry;
+      malloc_retry t ~thread ~cpu ~size (retries_left - 1)
+    end
+    else begin
+      Telemetry.record_oom t.telemetry;
+      raise Stdlib.Out_of_memory
+    end
+
 let malloc_th t ~thread ~cpu ~size =
   if size <= 0 then invalid_arg "Malloc.malloc: size must be positive";
-  let target t ~size = max t.config.Config.reclaim_min_target_bytes (2 * size) in
-  let rec attempt retries_left =
-    match malloc_attempt t ~thread ~cpu ~size with
-    | a -> a
-    | exception Vm.Mmap_failed _ ->
-      ignore (release_memory t ~target_bytes:(target t ~size));
-      if retries_left > 0 then begin
-        Telemetry.record_reclaim_retry t.telemetry;
-        attempt (retries_left - 1)
-      end
-      else begin
-        Telemetry.record_oom t.telemetry;
-        raise Stdlib.Out_of_memory
-      end
-  in
-  attempt t.config.Config.reclaim_retries
+  malloc_retry t ~thread ~cpu ~size t.config.Config.reclaim_retries
 
 let malloc ?thread t ~cpu ~size =
   malloc_th t ~thread:(match thread with Some th -> th | None -> -1) ~cpu ~size
@@ -417,7 +427,7 @@ let free_error ~what ~a ~size ~tier =
   invalid_arg
     (Printf.sprintf "Malloc.free: %s (addr=0x%x, size=%d, tier=%s)" what a size tier)
 
-let free_large t a ~size ~now =
+let free_large t a ~size =
   match Pageheap.span_of_addr t.pageheap a with
   | None -> free_error ~what:"wild pointer" ~a ~size ~tier:"page-map"
   | Some span ->
@@ -430,7 +440,7 @@ let free_large t a ~size ~now =
       free_error ~what:"misaligned free: interior pointer" ~a ~size ~tier:"pageheap";
     if Span.is_idle span then free_error ~what:"double free" ~a ~size ~tier:"pageheap";
     charge t Cost_model.Pageheap;
-    record_sampled_free t a ~now;
+    record_sampled_free t a;
     Telemetry.record_free t.telemetry ~requested:size
       ~rounded:(span.Span.pages * page_size);
     Span.push_object span a;
@@ -458,13 +468,14 @@ let check_small_free t a ~size ~cls =
        still have a stale cache-tier marker, and the span is ground truth. *)
     if Span.object_is_free span a then
       free_error ~what:"double free" ~a ~size ~tier:"central-free-list";
-    if Hashtbl.mem t.in_flight a then
+    if Int_table.mem t.in_flight a then
       free_error ~what:"double free" ~a ~size ~tier:"front-end"
 
 (* Deallocation miss: flush a batch (including this object) to the transfer
    cache.  Under rseq the flush is itself restartable; a flush whose budget
    runs out sends only the freed object. *)
-let dealloc_miss t ~thread ~cpu ~vcpu ~cls a ~now =
+let dealloc_miss t ~thread ~cpu ~vcpu ~cls a =
+  let now = Clock.now t.clock in
   Telemetry.record_front_end_miss t.telemetry ~vcpu;
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
@@ -486,21 +497,20 @@ let dealloc_miss t ~thread ~cpu ~vcpu ~cls a ~now =
 
 let free_th t ~thread ~cpu a ~size =
   if size <= 0 then invalid_arg "Malloc.free: size must be positive";
-  let now = Clock.now t.clock in
   let cls = Size_class.index_of_size size in
-  if cls < 0 then free_large t a ~size ~now
+  if cls < 0 then free_large t a ~size
   else begin
     check_small_free t a ~size ~cls;
     charge t Cost_model.Per_cpu_cache;
-    record_sampled_free t a ~now;
+    record_sampled_free t a;
     Telemetry.record_free t.telemetry ~requested:size ~rounded:(Size_class.size cls);
-    Hashtbl.replace t.in_flight a ();
+    Int_table.set t.in_flight a 1;
     match t.rseq with
     | None ->
       let vcpu = cache_index_id t ~thread ~cpu in
       remember_domain t ~vcpu ~cpu;
       if not (Per_cpu_cache.dealloc t.pcc ~vcpu ~cls a) then
-        dealloc_miss t ~thread ~cpu ~vcpu ~cls a ~now
+        dealloc_miss t ~thread ~cpu ~vcpu ~cls a
     | Some r ->
       let fo = t.fast in
       fo.fo_thread <- thread;
@@ -520,10 +530,12 @@ let free_th t ~thread ~cpu a ~size =
            miss to the vCPU. *)
         let domain = Topology.domain_of_cpu t.topology cpu in
         charge t Cost_model.Transfer_cache;
-        let overflow = Transfer_cache.insert t.tc ~cls ~addrs:[ a ] ~domain ~now in
+        let overflow =
+          Transfer_cache.insert t.tc ~cls ~addrs:[ a ] ~domain ~now:(Clock.now t.clock)
+        in
         if overflow > 0 then charge t Cost_model.Central_free_list
       end
-      else if not fo.fo_res_ok then dealloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls a ~now
+      else if not fo.fo_res_ok then dealloc_miss t ~thread ~cpu ~vcpu:fo.fo_observed ~cls a
   end
 
 let free ?thread t ~cpu a ~size =
@@ -588,6 +600,24 @@ let heap_stats t =
   }
 
 let hugepage_coverage t = Pageheap.hugepage_coverage t.pageheap
+
+(* Allocation-free observation accessors for the driver's per-epoch memory
+   sampling: [heap_stats] builds a record (plus three component walks) each
+   call, which dominated the epoch loop's allocation budget. *)
+let resident_bytes t = Vm.resident_bytes t.vm
+
+let[@inline] live_fragmentation_ratio t =
+  let live = Telemetry.live_requested_bytes t.telemetry in
+  if live <= 0 then 0.0
+  else begin
+    let fragmented =
+      Per_cpu_cache.cached_bytes t.pcc + Transfer_cache.cached_bytes t.tc
+      + Central_free_list.fragmented_bytes t.cfl
+      + Pageheap.fragmented_bytes t.pageheap
+      + Telemetry.internal_fragmentation_bytes t.telemetry
+    in
+    float_of_int fragmented /. float_of_int live
+  end
 
 let fragmentation_ratio stats =
   if stats.live_requested_bytes <= 0 then 0.0

@@ -127,6 +127,13 @@ val hugepage_coverage : t -> float
 val fragmentation_ratio : heap_stats -> float
 (** (external + internal) / live requested — the Fig. 5b metric. *)
 
+val resident_bytes : t -> int
+(** [(heap_stats t).resident_bytes] without building the record. *)
+
+val live_fragmentation_ratio : t -> float
+(** [fragmentation_ratio (heap_stats t)] without building the record —
+    the allocation-free form for per-epoch sampling loops. *)
+
 val telemetry : t -> Telemetry.t
 val span_stats : t -> Span_stats.t
 val per_cpu_caches : t -> Per_cpu_cache.t

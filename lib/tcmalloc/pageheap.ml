@@ -211,13 +211,16 @@ let cache_stats t =
     fragmented_bytes = Hugepage_cache.cached_bytes t.cache;
   }
 
+(* Component totals read directly (not via the [component_stats] records):
+   these run every driver epoch and the three records would be the epoch
+   loop's only allocations here. *)
 let fragmented_bytes t =
-  (filler_stats t).fragmented_bytes
-  + (region_stats t).fragmented_bytes
-  + (cache_stats t).fragmented_bytes
+  Hugepage_filler.free_bytes t.filler
+  + Hugepage_region.free_bytes t.region
+  + Hugepage_cache.cached_bytes t.cache
 
 let in_use_bytes t =
-  (filler_stats t).in_use_bytes + (region_stats t).in_use_bytes
+  Hugepage_filler.used_bytes t.filler + Hugepage_region.used_bytes t.region
   + (cache_stats t).in_use_bytes
 
 let hugepage_coverage t =

@@ -15,7 +15,20 @@ val create : period_bytes:int -> t
 
 val on_alloc : t -> addr -> size:int -> now:float -> bool
 (** Advance the byte counter; [true] when this allocation is sampled (its
-    address is then tracked until freed). *)
+    address is then tracked until freed).  Equivalent to {!tick} followed by
+    {!track} on a hit; the split form lets hot callers defer the clock
+    reading to the rare sampled case. *)
+
+val tick : t -> size:int -> bool
+(** Advance the byte counter only; [true] means this allocation crossed a
+    sample boundary and the caller must {!track} it. *)
+
+val track : t -> addr -> size:int -> now:float -> unit
+(** Record a sampled allocation (after {!tick} returned [true]). *)
+
+val is_tracked : t -> addr -> bool
+(** Whether this address is currently sampled — an allocation-free probe for
+    the per-free miss path; a [true] result is confirmed by {!on_free}. *)
 
 val on_free : t -> addr -> now:float -> (int * float) option
 (** If the freed address was sampled, stop tracking it and return

@@ -76,10 +76,10 @@ let create () =
     mark_aux_ns = Array.make 3 0.0;
   }
 
-let charge_tier t tier ns = t.tier_ns.(tier_slot tier) <- t.tier_ns.(tier_slot tier) +. ns
-let charge_prefetch t ns = t.aux_ns.(aux_prefetch) <- t.aux_ns.(aux_prefetch) +. ns
-let charge_sampled t ns = t.aux_ns.(aux_sampled) <- t.aux_ns.(aux_sampled) +. ns
-let charge_other t ns = t.aux_ns.(aux_other) <- t.aux_ns.(aux_other) +. ns
+let[@inline] charge_tier t tier ns = t.tier_ns.(tier_slot tier) <- t.tier_ns.(tier_slot tier) +. ns
+let[@inline] charge_prefetch t ns = t.aux_ns.(aux_prefetch) <- t.aux_ns.(aux_prefetch) +. ns
+let[@inline] charge_sampled t ns = t.aux_ns.(aux_sampled) <- t.aux_ns.(aux_sampled) +. ns
+let[@inline] charge_other t ns = t.aux_ns.(aux_other) <- t.aux_ns.(aux_other) +. ns
 let tier_ns t tier = t.tier_ns.(tier_slot tier)
 let prefetch_ns t = t.aux_ns.(aux_prefetch)
 let sampled_ns t = t.aux_ns.(aux_sampled)
@@ -117,12 +117,12 @@ let record_alloc t ~requested ~rounded =
   Histogram.add_at t.size_count bin ~weight:1.0;
   Histogram.add_at t.size_bytes bin ~weight:fsize
 
-let record_free t ~requested ~rounded =
+let[@inline] record_free t ~requested ~rounded =
   t.frees <- t.frees + 1;
   t.live_requested <- t.live_requested - requested;
   t.live_rounded <- t.live_rounded - rounded
 
-let record_hit t tier = t.tier_hits.(tier_slot tier) <- t.tier_hits.(tier_slot tier) + 1
+let[@inline] record_hit t tier = t.tier_hits.(tier_slot tier) <- t.tier_hits.(tier_slot tier) + 1
 let alloc_count t = t.allocs
 let free_count t = t.frees
 let live_requested_bytes t = t.live_requested

@@ -10,11 +10,14 @@ module Event = Wsc_workload.Trace
 
 type t = {
   writer : Writer.t;
-  id_of_addr : (int, int) Hashtbl.t;
+  (* Unboxed int->int table: the recorder probe runs on every simulated
+     alloc/free, and a boxed Hashtbl here allocated on each replace. *)
+  id_of_addr : Int_table.t;
   mutable next_id : int;
 }
 
-let create writer = { writer; id_of_addr = Hashtbl.create 4096; next_id = 0 }
+let create writer =
+  { writer; id_of_addr = Int_table.create ~initial_capacity:4096 (); next_id = 0 }
 let events_recorded t = Writer.events_written t.writer
 
 (* Addresses are reused by the allocator; ordinals are not, which is what
@@ -27,15 +30,16 @@ let probe t : Driver.probe =
       (fun ~addr ~size ~cpu ->
         let id = t.next_id in
         t.next_id <- id + 1;
-        Hashtbl.replace t.id_of_addr addr id;
+        Int_table.set t.id_of_addr addr id;
         Writer.add t.writer (Event.Alloc { id; size; cpu }));
     on_free =
       (fun ~addr ~cpu ->
-        match Hashtbl.find_opt t.id_of_addr addr with
-        | Some id ->
-          Hashtbl.remove t.id_of_addr addr;
+        let id = Int_table.find t.id_of_addr addr ~default:(-1) in
+        if id >= 0 then begin
+          Int_table.remove t.id_of_addr addr;
           Writer.add t.writer (Event.Free { id; cpu })
-        | None ->
+        end
+        else
           invalid_arg
             (Printf.sprintf "Wsc_trace.Recorder: free of unrecorded address %#x" addr));
     on_advance = (fun ~dt_ns -> Writer.add t.writer (Event.Advance { dt_ns }));

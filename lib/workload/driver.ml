@@ -19,8 +19,9 @@ type t = {
   clock : Clock.t;
   rng : Rng.t;
   (* Pending frees as (free_time, addr, size, thread) in an int-payload
-     event heap: no per-event record, no per-drain list. *)
-  pending_frees : Event_heap.t;
+     calendar queue: no per-event record, no per-drain list, O(1) amortized
+     push/pop (Event_heap remains the differential-testing reference). *)
+  pending_frees : Calendar.t;
   mutable active_threads : int;
   (* CPUs the pool currently occupies, ascending in [active_cpus.(0 ..
      n_active_cpus-1)]; [cpu_mark] is the dedup/membership scratch that
@@ -65,7 +66,7 @@ type t = {
   mutable next_audit : float;
   audit_reports : Audit.report Vec.t;
   (* Preallocated pending-free drain callback (captures [t] once). *)
-  mutable on_free : key:float -> a:int -> b:int -> c:int -> unit;
+  mutable on_free : a:int -> b:int -> c:int -> unit;
 }
 
 let record_lifetime_sample t ~size ~lifetime =
@@ -94,7 +95,7 @@ let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults ?
       malloc;
       clock;
       rng = Rng.create seed;
-      pending_frees = Event_heap.create ();
+      pending_frees = Calendar.create ();
       active_threads = 1;
       active_cpus = Array.make (max 1 num_cpus) 0;
       n_active_cpus = 0;
@@ -125,10 +126,10 @@ let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults ?
       audit_interval_ns;
       next_audit = 0.0;
       audit_reports = Vec.create ();
-      on_free = (fun ~key:_ ~a:_ ~b:_ ~c:_ -> ());
+      on_free = (fun ~a:_ ~b:_ ~c:_ -> ());
     }
   in
-  t.on_free <- (fun ~key:_ ~a ~b ~c -> execute_free t ~addr:a ~size:b ~thread:c);
+  t.on_free <- (fun ~a ~b ~c -> execute_free t ~addr:a ~size:b ~thread:c);
   t
 
 let ensure_mark t cpu =
@@ -229,16 +230,35 @@ let update_threads t ~now =
     record_series t ~now
   end
 
-let allocate_one t ~now =
-  let thread = Rng.int t.rng t.active_threads in
-  let cpu = Sched.cpu_of_thread t.sched ~thread in
-  let size = Profile.sample_size ~now t.profile t.rng in
-  let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
-  (match t.probe with Some p -> p.on_alloc ~addr ~size ~cpu | None -> ());
-  let lifetime = Profile.sample_lifetime t.profile t.rng ~size in
-  record_lifetime_sample t ~size ~lifetime;
-  Event_heap.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread;
-  t.allocs <- t.allocs + 1
+(* Issue one tick's allocations as a batch: the drift factor (a [sin] of
+   the tick clock), the probe presence check, and the schedule/profile
+   field loads are hoisted out of the per-event loop. *)
+let allocate_batch t ~now n =
+  let drift = Profile.size_drift_factor t.profile ~now in
+  let profile = t.profile and rng = t.rng and malloc = t.malloc in
+  (match t.probe with
+  | None ->
+    for _ = 1 to n do
+      let thread = Rng.int rng t.active_threads in
+      let cpu = Sched.cpu_of_thread t.sched ~thread in
+      let size = Profile.sample_size_drifted profile rng ~drift in
+      let addr = Malloc.malloc_th malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+      let lifetime = Profile.sample_lifetime profile rng ~size in
+      record_lifetime_sample t ~size ~lifetime;
+      Calendar.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread
+    done
+  | Some probe ->
+    for _ = 1 to n do
+      let thread = Rng.int rng t.active_threads in
+      let cpu = Sched.cpu_of_thread t.sched ~thread in
+      let size = Profile.sample_size_drifted profile rng ~drift in
+      let addr = Malloc.malloc_th malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+      probe.on_alloc ~addr ~size ~cpu;
+      let lifetime = Profile.sample_lifetime profile rng ~size in
+      record_lifetime_sample t ~size ~lifetime;
+      Calendar.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread
+    done);
+  t.allocs <- t.allocs + n
 
 let startup_burst t =
   (* Startup allocations live "forever": model them with a free time far
@@ -252,7 +272,7 @@ let startup_burst t =
     let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
     (match t.probe with Some p -> p.on_alloc ~addr ~size ~cpu | None -> ());
     record_lifetime_sample t ~size ~lifetime:far_future;
-    Event_heap.push t.pending_frees far_future ~a:addr ~b:size ~c:thread;
+    Calendar.push t.pending_frees far_future ~a:addr ~b:size ~c:thread;
     t.allocs <- t.allocs + 1
   done
 
@@ -260,11 +280,10 @@ let startup_burst t =
 let coverage_sample_interval = 0.5 *. Units.sec
 
 let observe_memory t ~now =
-  let stats = Malloc.heap_stats t.malloc in
-  let rss = stats.Malloc.resident_bytes in
+  let rss = Malloc.resident_bytes t.malloc in
   Stats.Running.add t.rss_stats (float_of_int rss);
   if rss > t.peak_rss then t.peak_rss <- rss;
-  Stats.Running.add t.frag_stats (Malloc.fragmentation_ratio stats);
+  Stats.Running.add t.frag_stats (Malloc.live_fragmentation_ratio t.malloc);
   if now >= t.next_coverage_sample then begin
     t.next_coverage_sample <- now +. coverage_sample_interval;
     Stats.Running.add t.coverage_stats (Malloc.hugepage_coverage t.malloc)
@@ -295,7 +314,7 @@ let step t ~dt =
   end;
   (* Retire frees that came due during this epoch (frees never push new
      events, so in-place draining is safe). *)
-  Event_heap.drain_until t.pending_frees now t.on_free;
+  Calendar.drain_payloads t.pending_frees now t.on_free;
   (* Issue the epoch's allocations. *)
   let rate =
     t.profile.Profile.requests_per_thread_per_sec
@@ -307,9 +326,7 @@ let step t ~dt =
     let whole = int_of_float expected in
     whole + (if Rng.bernoulli t.rng (expected -. float_of_int whole) then 1 else 0)
   in
-  for _ = 1 to n do
-    allocate_one t ~now
-  done;
+  allocate_batch t ~now n;
   t.requests <- t.requests +. (float_of_int n /. t.profile.Profile.allocs_per_request);
   observe_memory t ~now;
   match t.audit_interval_ns with
@@ -328,7 +345,7 @@ let run t ~duration_ns ~epoch_ns =
 
 let requests_completed t = t.requests
 let allocations t = t.allocs
-let live_objects t = Event_heap.length t.pending_frees
+let live_objects t = Calendar.length t.pending_frees
 
 let thread_series t =
   let out = ref [] in
@@ -377,7 +394,7 @@ let reset_measurements t =
 let measured_malloc_ns t =
   Telemetry.total_malloc_ns (Malloc.telemetry t.malloc) -. t.malloc_ns_at_reset
 
-let drain t = Event_heap.drain_until t.pending_frees infinity t.on_free
+let drain t = Calendar.drain_payloads t.pending_frees infinity t.on_free
 
 (* --- Warm-state checkpointing ----------------------------------------- *)
 

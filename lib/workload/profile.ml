@@ -14,28 +14,36 @@ type t = {
   productivity : Wsc_hw.Productivity.params;
 }
 
-let lifetime_dist t ~size =
-  let rec pick = function
-    | [] -> invalid_arg "Profile.lifetime_dist: empty lifetime table"
-    | [ (_, d) ] -> d
-    | (bound, d) :: rest -> if size <= bound then d else pick rest
-  in
-  pick t.lifetime_table
+(* Toplevel recursion (not a local closure capturing [size]) keeps the
+   per-allocation lookup allocation-free. *)
+let rec pick_lifetime table size =
+  match table with
+  | [] -> invalid_arg "Profile.lifetime_dist: empty lifetime table"
+  | [ (_, d) ] -> d
+  | (bound, d) :: rest -> if size <= bound then d else pick_lifetime rest size
 
-let sample_size ?(now = 0.0) t rng =
+let[@inline] lifetime_dist t ~size = pick_lifetime t.lifetime_table size
+
+(* The drift multiplier depends only on [now], so the driver computes it
+   once per tick instead of paying a [sin] per allocation. *)
+let[@inline] size_drift_factor t ~now =
+  if t.size_drift_amplitude <= 0.0 then 1.0
+  else begin
+    let phase = 2.0 *. Float.pi *. now /. t.size_drift_period_ns in
+    1.0 +. (t.size_drift_amplitude *. sin phase)
+  end
+
+let[@inline] sample_size_drifted t rng ~drift =
   let v = Dist.sample t.size_dist rng in
   (* Drift shifts the small-object mix across neighbouring size classes;
      large buffers keep their standard sizes. *)
-  let v =
-    if t.size_drift_amplitude <= 0.0 || v > 262144.0 then v
-    else begin
-      let phase = 2.0 *. Float.pi *. now /. t.size_drift_period_ns in
-      v *. (1.0 +. (t.size_drift_amplitude *. sin phase))
-    end
-  in
+  let v = if drift = 1.0 || v > 262144.0 then v else v *. drift in
   max 1 (int_of_float (Float.round v))
 
-let sample_lifetime t rng ~size = Dist.sample (lifetime_dist t ~size) rng
+let sample_size ?(now = 0.0) t rng =
+  sample_size_drifted t rng ~drift:(size_drift_factor t ~now)
+
+let[@inline] sample_lifetime t rng ~size = Dist.sample (lifetime_dist t ~size) rng
 
 (* Fleet object-size inverse CDF, numerically calibrated (Monte-Carlo) so
    the count CDF has ~98% of objects below 1 KiB while bytes split

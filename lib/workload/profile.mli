@@ -39,6 +39,15 @@ val lifetime_dist : t -> size:int -> Wsc_substrate.Dist.t
 val sample_size : ?now:float -> t -> Wsc_substrate.Rng.t -> int
 (** One object size (>= 1 byte, integer); [now] applies the size drift. *)
 
+val size_drift_factor : t -> now:float -> float
+(** The size-drift multiplier at [now] (1.0 when drift is disabled).  The
+    factor only depends on the clock, so batch issuers compute it once per
+    tick and draw with {!sample_size_drifted}. *)
+
+val sample_size_drifted : t -> Wsc_substrate.Rng.t -> drift:float -> int
+(** [sample_size] with a precomputed {!size_drift_factor}; the two paths
+    produce bit-identical draws for the same RNG state. *)
+
 val sample_lifetime : t -> Wsc_substrate.Rng.t -> size:int -> float
 (** One lifetime in ns for an object of the given size. *)
 

@@ -1,0 +1,386 @@
+(* Differential property tests for the event-loop rework: the calendar
+   queue against the binary-heap reference, the payload-only drain against
+   the keyed drain, the guide-table samplers against straight-line
+   reference searches on the same RNG stream, the alias table's
+   distribution, and the unboxed int table against a Hashtbl model. *)
+
+open Wsc_substrate
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+let check_int = Alcotest.(check int)
+
+(* {1 Calendar vs Event_heap} *)
+
+(* A schedule is a list of steps; keys come from a small pool of magnitudes
+   (forcing equal-key collisions) plus a far-future sentinel, and drains
+   advance a monotone [now].  Drain bounds and pushed keys are always
+   >= the current drain point, matching the driver's usage and both
+   modules' contracts. *)
+type sched_step =
+  | Push of int (* key selector *)
+  | Drain of int (* advance selector *)
+
+let sched_gen =
+  QCheck.Gen.(
+    list_size (int_range 20 300)
+      (frequency
+         [ (3, map (fun k -> Push k) (int_range 0 9)); (1, map (fun d -> Drain d) (int_range 0 3)) ]))
+
+let sched_arb =
+  QCheck.make sched_gen
+    ~print:(fun steps ->
+      String.concat ";"
+        (List.map (function Push k -> Printf.sprintf "P%d" k | Drain d -> Printf.sprintf "D%d" d) steps))
+
+(* Key pool: exact ties (same selector -> same float), sub-bucket spacings
+   (< 1024 ns, landing in one calendar bucket), multi-level spacings, and
+   the startup-burst sentinel. *)
+let key_of_selector ~now = function
+  | 0 | 1 -> now +. 1.0 (* frequent exact ties, same bucket as now *)
+  | 2 -> now +. 100.0
+  | 3 -> now +. 999.0 (* still level-0 bucket scale *)
+  | 4 -> now +. 5_000.0
+  | 5 -> now +. 300_000.0
+  | 6 -> now +. 5.0e7
+  | 7 -> now +. 3.0e9 (* deep wheel levels *)
+  | 8 -> now
+  | _ -> 1.0e18 (* far-future: startup-burst "lives forever" events *)
+
+let advance_of_selector = function
+  | 0 -> 0.0 (* drain at now: empty or equal-key-only drains *)
+  | 1 -> 512.0
+  | 2 -> 4096.0
+  | _ -> 1.0e6
+
+let run_schedule steps ~push ~drain =
+  let now = ref 0.0 in
+  let seq = ref 0 in
+  List.iter
+    (fun step ->
+      match step with
+      | Push k ->
+        let key = key_of_selector ~now:!now k in
+        push key !seq;
+        incr seq
+      | Drain d ->
+        now := !now +. advance_of_selector d;
+        drain !now)
+    steps;
+  (* Final full drain flushes the far-future sentinels too. *)
+  drain infinity
+
+(* The two queues agree on the delivered key sequence, and within each
+   equal-key run deliver the same *set* of events; the calendar
+   additionally delivers equal keys in push (FIFO) order, which the heap's
+   unstable sift does not promise. *)
+let calendar_matches_event_heap =
+  QCheck.Test.make ~name:"calendar_matches_event_heap_pop_order" ~count:200 sched_arb
+    (fun steps ->
+      let cal = Calendar.create () in
+      let heap = Event_heap.create () in
+      let cal_out = ref [] and heap_out = ref [] in
+      run_schedule steps
+        ~push:(fun key seq ->
+          Calendar.push cal key ~a:seq ~b:(seq * 7) ~c:(seq land 3))
+        ~drain:(fun bound ->
+          Calendar.drain_until cal bound (fun ~key ~a ~b ~c ->
+              cal_out := (key, a, b, c) :: !cal_out));
+      run_schedule steps
+        ~push:(fun key seq -> Event_heap.push heap key ~a:seq ~b:(seq * 7) ~c:(seq land 3))
+        ~drain:(fun bound ->
+          Event_heap.drain_until heap bound (fun ~key ~a ~b ~c ->
+              heap_out := (key, a, b, c) :: !heap_out));
+      let cal_out = List.rev !cal_out and heap_out = List.rev !heap_out in
+      (* Same key sequence... *)
+      List.length cal_out = List.length heap_out
+      && List.for_all2 (fun (k1, _, _, _) (k2, _, _, _) -> k1 = k2) cal_out heap_out
+      && (* ...same events within each equal-key run... *)
+      (let sort l = List.sort compare l in
+       sort cal_out = sort heap_out)
+      && (* ...and the calendar's ties are FIFO: the push sequence number in
+            [a] must ascend within an equal-key run. *)
+      (let rec fifo = function
+         | (k1, a1, _, _) :: ((k2, a2, _, _) :: _ as rest) ->
+           (k1 <> k2 || a1 < a2) && fifo rest
+         | _ -> true
+       in
+       fifo cal_out))
+
+(* [drain_payloads] is [drain_until] minus the key argument: identical
+   payload sequence on an identical schedule. *)
+let drain_payloads_matches_drain_until =
+  QCheck.Test.make ~name:"calendar_drain_payloads_matches_drain_until" ~count:200 sched_arb
+    (fun steps ->
+      let c1 = Calendar.create () and c2 = Calendar.create () in
+      let out1 = ref [] and out2 = ref [] in
+      run_schedule steps
+        ~push:(fun key seq -> Calendar.push c1 key ~a:seq ~b:seq ~c:seq)
+        ~drain:(fun bound ->
+          Calendar.drain_until c1 bound (fun ~key:_ ~a ~b ~c -> out1 := (a, b, c) :: !out1));
+      run_schedule steps
+        ~push:(fun key seq -> Calendar.push c2 key ~a:seq ~b:seq ~c:seq)
+        ~drain:(fun bound ->
+          Calendar.drain_payloads c2 bound (fun ~a ~b ~c -> out2 := (a, b, c) :: !out2));
+      !out1 = !out2)
+
+(* Directed regression for the bucket sort watermark: partially drain a
+   bucket, append more equal-key events to it, then finish draining — the
+   appended suffix must still be sorted into place (a stale watermark
+   would deliver it unsorted). *)
+let watermark_resort () =
+  let cal = Calendar.create () in
+  (* One level-0 bucket: keys within [0, 1024). *)
+  Calendar.push cal 30.0 ~a:0 ~b:0 ~c:0;
+  Calendar.push cal 10.0 ~a:1 ~b:0 ~c:0;
+  Calendar.push cal 20.0 ~a:2 ~b:0 ~c:0;
+  let order = ref [] in
+  let record ~key:_ ~a ~b:_ ~c:_ = order := a :: !order in
+  Calendar.drain_until cal 10.0 record;
+  check_int "first partial drain" 1 (List.length !order);
+  (* Append into the same (already sorted, partially drained) bucket. *)
+  Calendar.push cal 15.0 ~a:3 ~b:0 ~c:0;
+  Calendar.push cal 20.0 ~a:4 ~b:0 ~c:0;
+  (* equal-key tie with a=2 *)
+  Calendar.drain_until cal 1023.0 record;
+  Alcotest.(check (list int)) "sorted with FIFO ties" [ 1; 3; 2; 4; 0 ] (List.rev !order)
+
+(* {1 Guide-table samplers vs reference searches} *)
+
+(* Straight-line reference samplers replicating the pre-guide-table
+   semantics: a linear scan for the bracketing index.  The guide-table
+   fast path must map every uniform draw to the same value bit-for-bit. *)
+let reference_empirical qs vs u =
+  let n = Array.length qs in
+  if u <= qs.(0) then vs.(0)
+  else if u >= qs.(n - 1) then vs.(n - 1)
+  else begin
+    let lo = ref 0 in
+    while !lo + 1 < n && qs.(!lo + 1) <= u do incr lo done;
+    let lo = !lo in
+    let q0 = qs.(lo) and q1 = qs.(lo + 1) in
+    if q1 -. q0 <= 0.0 then vs.(lo)
+    else begin
+      let frac = (u -. q0) /. (q1 -. q0) in
+      let lv0 = log vs.(lo) and lv1 = log vs.(lo + 1) in
+      exp (lv0 +. (frac *. (lv1 -. lv0)))
+    end
+  end
+
+let reference_pick_index cum u =
+  let n = Array.length cum in
+  let i = ref 0 in
+  while !i < n - 1 && cum.(!i) < u do incr i done;
+  !i
+
+let points_gen =
+  (* Strictly increasing quantiles in (0,1), positive values. *)
+  QCheck.Gen.(
+    map
+      (fun (seed, n) ->
+        let rng = Rng.create (1 + abs seed) in
+        let qs =
+          Array.init n (fun _ -> 0.001 +. (0.998 *. Rng.unit_float rng))
+          |> Array.to_list
+          |> List.sort_uniq compare
+        in
+        let qs = match qs with [ q ] -> [ q /. 2.0; q ] | qs -> qs in
+        List.map (fun q -> (q, 1.0 +. (1.0e6 *. Rng.unit_float rng))) qs)
+      (pair int (int_range 2 12)))
+
+let empirical_guide_matches_reference =
+  QCheck.Test.make ~name:"dist_empirical_guide_table_matches_reference" ~count:100
+    (QCheck.make
+       QCheck.Gen.(pair points_gen int)
+       ~print:(fun (pts, seed) ->
+         Printf.sprintf "%d points, seed %d" (List.length pts) seed))
+    (fun (points, seed) ->
+      let d = Dist.empirical points in
+      let sorted = List.sort (fun (q1, _) (q2, _) -> compare q1 q2) points in
+      let qs = Array.of_list (List.map fst sorted) in
+      let vs = Array.of_list (List.map snd sorted) in
+      (* Two RNGs on the same seed: [Dist.sample] consumes exactly one
+         uniform per draw, so the streams stay aligned. *)
+      let r1 = Rng.create seed and r2 = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        let fast = Dist.sample d r1 in
+        let u = Rng.unit_float r2 in
+        if fast <> reference_empirical qs vs u then ok := false
+      done;
+      !ok)
+
+let mixture_guide_matches_reference =
+  QCheck.Test.make ~name:"dist_mixture_guide_table_matches_reference" ~count:100
+    QCheck.(pair (make Gen.(int_range 1 1000) ~print:string_of_int) small_int)
+    (fun (wseed, seed) ->
+      let rng = Rng.create wseed in
+      let n = 2 + Rng.int rng 10 in
+      let weights = List.init n (fun _ -> 0.01 +. Rng.unit_float rng) in
+      (* Constant components make the picked branch observable in the
+         sampled value. *)
+      let parts = List.mapi (fun i w -> (w, Dist.constant (float_of_int i))) weights in
+      let d = Dist.mixture parts in
+      let total = List.fold_left ( +. ) 0.0 weights in
+      let cum = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      List.iteri
+        (fun i w ->
+          acc := !acc +. (w /. total);
+          cum.(i) <- !acc)
+        weights;
+      let r1 = Rng.create seed and r2 = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        let fast = Dist.sample d r1 in
+        let u = Rng.unit_float r2 in
+        if int_of_float fast <> reference_pick_index cum u then ok := false
+      done;
+      !ok)
+
+let discrete_guide_matches_reference =
+  QCheck.Test.make ~name:"dist_discrete_guide_table_matches_reference" ~count:100
+    QCheck.(pair (make Gen.(int_range 1 1000) ~print:string_of_int) small_int)
+    (fun (wseed, seed) ->
+      let rng = Rng.create wseed in
+      let n = 1 + Rng.int rng 40 in
+      let weights = Array.init n (fun _ -> 0.001 +. Rng.unit_float rng) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let weights = Array.map (fun w -> w /. total) weights in
+      let d = Dist.discrete_of_weights weights in
+      let cum = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i w ->
+          acc := !acc +. w;
+          cum.(i) <- !acc)
+        weights;
+      let r1 = Rng.create seed and r2 = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        let fast = Dist.discrete_sample d r1 in
+        let u = Rng.unit_float r2 in
+        if fast <> reference_pick_index cum u then ok := false
+      done;
+      !ok)
+
+(* {1 Alias table} *)
+
+(* The alias table may legitimately map uniforms to outcomes differently
+   from the inverse-CDF samplers, so it is tested distributionally: a
+   chi-squared goodness-of-fit against the target weights.  Thresholds are
+   the 99.9% quantile for the degrees of freedom in play; seeds are pinned
+   so the test is deterministic. *)
+let alias_chi_squared () =
+  let weights = [| 0.5; 0.2; 0.1; 0.08; 0.06; 0.03; 0.02; 0.01 |] in
+  let t = Alias.create weights in
+  check_int "length" (Array.length weights) (Alias.length t);
+  let rng = Rng.create 12345 in
+  let n = 200_000 in
+  let counts = Array.make (Array.length weights) 0 in
+  for _ = 1 to n do
+    let i = Alias.sample t rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let chi2 = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      let expected = w *. float_of_int n in
+      let d = float_of_int counts.(i) -. expected in
+      chi2 := !chi2 +. (d *. d /. expected))
+    weights;
+  (* df = 7, chi2 crit at p=0.001 is 24.32 *)
+  if !chi2 > 24.32 then
+    Alcotest.failf "alias chi-squared %.2f exceeds 24.32 (df=7)" !chi2
+
+let alias_uniform_and_degenerate () =
+  (* Uniform weights: every outcome must appear. *)
+  let t = Alias.create (Array.make 16 1.0) in
+  let rng = Rng.create 7 in
+  let seen = Array.make 16 false in
+  for _ = 1 to 10_000 do
+    seen.(Alias.sample t rng) <- true
+  done;
+  Array.iteri (fun i s -> if not s then Alcotest.failf "outcome %d never drawn" i) seen;
+  (* Single outcome: always 0. *)
+  let one = Alias.create [| 42.0 |] in
+  for _ = 1 to 100 do
+    check_int "singleton" 0 (Alias.sample one rng)
+  done;
+  (* Zero-weight outcomes are never drawn. *)
+  let holes = Alias.create [| 1.0; 0.0; 3.0; 0.0 |] in
+  for _ = 1 to 10_000 do
+    let i = Alias.sample holes rng in
+    if i = 1 || i = 3 then Alcotest.failf "zero-weight outcome %d drawn" i
+  done
+
+(* {1 Int_table vs Hashtbl model} *)
+
+let int_table_matches_hashtbl =
+  QCheck.Test.make ~name:"int_table_matches_hashtbl_model" ~count:100
+    QCheck.(
+      pair small_int
+        (list_of_size (Gen.int_range 50 400) (pair (int_range 0 3) (int_range (-100) 100))))
+    (fun (salt, ops) ->
+      let t = Int_table.create ~initial_capacity:4 () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      (* Key pool mixes small, negative, and huge magnitudes (addresses). *)
+      let key_of k = if k land 1 = 0 then k * 977 else (k * 131) + (salt * 1_000_003) in
+      List.iter
+        (fun (op, k) ->
+          let key = key_of k in
+          match op with
+          | 0 ->
+            Int_table.set t key k;
+            Hashtbl.replace model key k
+          | 1 ->
+            Int_table.remove t key;
+            Hashtbl.remove model key
+          | 2 ->
+            if Int_table.mem t key <> Hashtbl.mem model key then ok := false
+          | _ ->
+            let expect = match Hashtbl.find_opt model key with Some v -> v | None -> min_int + 2 in
+            if Int_table.find t key ~default:(min_int + 2) <> expect then ok := false)
+        ops;
+      if Int_table.length t <> Hashtbl.length model then ok := false;
+      Hashtbl.iter
+        (fun k v -> if Int_table.find t k ~default:(v + 1) <> v then ok := false)
+        model;
+      !ok)
+
+let int_table_tombstone_churn () =
+  (* Set/remove cycling through a fixed key range forces tombstone
+     accumulation and the rehash-in-place path. *)
+  let t = Int_table.create ~initial_capacity:8 () in
+  for i = 1 to 100_000 do
+    let k = i land 0x3f in
+    Int_table.set t k i;
+    Int_table.remove t k
+  done;
+  check_int "empty after churn" 0 (Int_table.length t);
+  for k = 0 to 0x3f do
+    if Int_table.mem t k then Alcotest.failf "stale key %d after churn" k
+  done
+
+let suite =
+    [
+      ( "calendar",
+        [
+          qcheck calendar_matches_event_heap;
+          qcheck drain_payloads_matches_drain_until;
+          Alcotest.test_case "watermark resort after partial drain" `Quick watermark_resort;
+        ] );
+      ( "samplers",
+        [
+          qcheck empirical_guide_matches_reference;
+          qcheck mixture_guide_matches_reference;
+          qcheck discrete_guide_matches_reference;
+          Alcotest.test_case "alias chi-squared" `Quick alias_chi_squared;
+          Alcotest.test_case "alias uniform and degenerate" `Quick alias_uniform_and_degenerate;
+        ] );
+      ( "int_table",
+        [
+          qcheck int_table_matches_hashtbl;
+          Alcotest.test_case "tombstone churn" `Quick int_table_tombstone_churn;
+        ] );
+    ]

@@ -22,4 +22,5 @@ let () =
          Test_parallel.suite;
          Test_campaign.suite;
          Test_salvage.suite;
+         Test_eventloop.suite;
        ])
