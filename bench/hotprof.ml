@@ -5,6 +5,7 @@
    BENCH_simperf.json via `bench/main.exe simperf`. *)
 open Wsc_substrate
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Topology = Wsc_hw.Topology
 module Profile = Wsc_workload.Profile
@@ -114,7 +115,7 @@ let () =
   let machine = Machine.create ~seed:42 ~platform:Topology.default ~jobs:[ Apps.fleet ] () in
   Machine.run machine ~duration_ns:(5.0 *. Units.sec) ~epoch_ns:Units.ms;
   let job = List.hd (Machine.jobs machine) in
-  let tel = Malloc.telemetry job.Machine.malloc in
+  let tel = Backend.telemetry job.Machine.backend in
   let e0 = Telemetry.alloc_count tel + Telemetry.free_count tel in
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in

@@ -13,6 +13,7 @@
 open Wsc_substrate
 module Config = Wsc_tcmalloc.Config
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Size_class = Wsc_tcmalloc.Size_class
 module Span_stats = Wsc_tcmalloc.Span_stats
@@ -106,16 +107,16 @@ let span_observatory =
   lazy
     (let clock = Clock.create () in
      let topology = Topology.default in
-     let malloc =
-       Malloc.create ~config:Config.baseline
+     let backend =
+       Backend.create ~config:Config.baseline
          ~span_snapshot_interval_ns:(1.0 *. Units.sec) ~topology ~clock ()
      in
      let sched = Wsc_os.Sched.spread topology ~first_cpu:0 ~cpus:16 ~domains:2 in
      let driver =
-       Driver.create ~seed:42 ~profile:span_study_profile ~sched ~malloc ~clock ()
+       Driver.create ~seed:42 ~profile:span_study_profile ~sched ~backend ~clock ()
      in
      Driver.run driver ~duration_ns:(sec 90.0) ~epoch_ns:Units.ms;
-     Malloc.span_stats malloc)
+     Malloc.span_stats (Backend.tc_exn backend))
 
 let ab_experiments =
   [
@@ -208,7 +209,7 @@ let fig3 () =
 
 let fig4 () =
   let job = solo Apps.fleet in
-  let tel = Malloc.telemetry job.Machine.malloc in
+  let tel = Backend.telemetry job.Machine.backend in
   let total_hits =
     List.fold_left (fun a tier -> a + Telemetry.hits tel tier) 0 Cost_model.all_tiers
   in
@@ -293,7 +294,7 @@ let fig6 () =
 
 let fig7 () =
   let job = solo Apps.fleet_characterization in
-  let tel = Malloc.telemetry job.Machine.malloc in
+  let tel = Backend.telemetry job.Machine.backend in
   let count_h = Telemetry.size_histogram_count tel in
   let bytes_h = Telemetry.size_histogram_bytes tel in
   let t =
@@ -323,7 +324,7 @@ let fig7 () =
 
 let fig8 () =
   let report name job =
-    let tel = Malloc.telemetry job.Machine.malloc in
+    let tel = Backend.telemetry job.Machine.backend in
     let t =
       Table.create
         ~title:(Printf.sprintf "Fig. 8 - object lifetimes by size (%s)" name)
@@ -374,7 +375,7 @@ let fig9 () =
   let counts = List.map snd series in
   let mn = List.fold_left min max_int counts and mx = List.fold_left max 0 counts in
   note "constant fluctuation: %d..%d threads (diurnal swing + noise + spikes)." mn mx;
-  let misses = Telemetry.front_end_misses (Malloc.telemetry job.Machine.malloc) in
+  let misses = Telemetry.front_end_misses (Backend.telemetry job.Machine.backend) in
   let total = Array.fold_left ( + ) 0 misses in
   let t =
     Table.create ~title:"Fig. 9b - per-CPU cache miss share by vCPU id"
@@ -575,7 +576,7 @@ let fig14 () =
 
 let fig15 () =
   let jobs = Lazy.force fleet_jobs in
-  let sum f = List.fold_left (fun a j -> a + f (Malloc.pageheap j.Machine.malloc)) 0 jobs in
+  let sum f = List.fold_left (fun a j -> a + f (Malloc.pageheap (Backend.tc_exn j.Machine.backend))) 0 jobs in
   let open Wsc_tcmalloc.Pageheap in
   let filler_used = sum (fun ph -> (filler_stats ph).in_use_bytes) in
   let region_used = sum (fun ph -> (region_stats ph).in_use_bytes) in
@@ -744,7 +745,7 @@ let ablation () =
     in
     Machine.run machine ~duration_ns:(sec 60.0) ~epoch_ns:Units.ms;
     let job = List.hd (Machine.jobs machine) in
-    let stats = Malloc.heap_stats job.Machine.malloc in
+    let stats = Backend.heap_stats job.Machine.backend in
     (Driver.avg_rss_bytes job.Machine.driver, stats.Malloc.front_end_cached_bytes)
   in
   let rss_cpu, fe_cpu = run_front_end Config.baseline in
@@ -804,7 +805,7 @@ let rseq_bench () =
         in
         Machine.run machine ~duration_ns:(sec 30.0) ~epoch_ns:Units.ms;
         let job = List.hd (Machine.jobs machine) in
-        let tel = Malloc.telemetry job.Machine.malloc in
+        let tel = Backend.telemetry job.Machine.backend in
         let hits = Telemetry.hits tel Cost_model.Per_cpu_cache in
         let total =
           List.fold_left (fun a tier -> a + Telemetry.hits tel tier) 0 Cost_model.all_tiers
@@ -1002,7 +1003,7 @@ let simperf () =
     in
     Machine.run machine ~duration_ns:(5.0 *. Units.sec) ~epoch_ns:Units.ms;
     let job = List.hd (Machine.jobs machine) in
-    let tel = Malloc.telemetry job.Machine.malloc in
+    let tel = Backend.telemetry job.Machine.backend in
     let e0 = Telemetry.alloc_count tel + Telemetry.free_count tel in
     let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
@@ -1308,17 +1309,17 @@ let longhorizon () =
   let make_observatory () =
     let clock = Clock.create () in
     let topology = Topology.default in
-    let malloc =
-      Malloc.create ~config:Config.baseline
+    let backend =
+      Backend.create ~config:Config.baseline
         ~span_snapshot_interval_ns:(1.0 *. Units.sec) ~topology ~clock ()
     in
     let sched = Wsc_os.Sched.spread topology ~first_cpu:0 ~cpus:16 ~domains:2 in
-    Driver.create ~seed:42 ~profile:span_study_profile ~sched ~malloc ~clock ()
+    Driver.create ~seed:42 ~profile:span_study_profile ~sched ~backend ~clock ()
   in
   let digest d =
-    let m = Driver.malloc d in
-    let tel = Malloc.telemetry m in
-    ( Malloc.heap_stats m,
+    let m = Driver.backend d in
+    let tel = Backend.telemetry m in
+    ( Backend.heap_stats m,
       Telemetry.alloc_count tel,
       Telemetry.free_count tel,
       Telemetry.total_malloc_ns tel,
@@ -1349,7 +1350,7 @@ let longhorizon () =
     end;
     note "bit-identity: chained run == uninterrupted %.0f s reference" observatory_s
   end;
-  let stats = Malloc.span_stats (Driver.malloc !chained) in
+  let stats = Malloc.span_stats (Backend.tc_exn (Driver.backend !chained)) in
   (* Fig. 13 over the long window.  Two choices matter here.  The class:
      it needs several objects per span, or there are too few occupancy
      levels to correlate over (the most-created classes hold 1-5 objects);
@@ -1868,6 +1869,60 @@ let salvage () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* arena — cross-allocator shoot-out.                                  *)
+(* ------------------------------------------------------------------ *)
+(* Every backend (tcmalloc, rpmalloc, jemalloc) runs the same four     *)
+(* pinned workloads: a workload-zoo machine, a cross-CPU               *)
+(* producer/consumer flood, Fig. 7 size-mix churn, and                 *)
+(* memory-pressure survival.  All counter/byte cells are               *)
+(* bit-deterministic, so the smoke gate is an exact match against the  *)
+(* committed BENCH_arena.json rather than a throughput ratio; the      *)
+(* wall-clock throughput column is informational.                      *)
+
+module Arena = Wsc_fleet.Arena
+
+let arena_json = "BENCH_arena.json"
+
+let arena_bench () =
+  let report = Arena.run ~seed:42 () in
+  Arena.pp_table Format.std_formatter report;
+  Format.pp_print_flush Format.std_formatter ();
+  let dead = List.filter (fun c -> not c.Arena.survived) report.Arena.cells in
+  List.iter
+    (fun (c : Arena.cell) ->
+      Printf.eprintf "arena: %s/%s did not survive (audit or limit failure)\n"
+        (Config.backend_name c.Arena.cell_backend)
+        (Arena.scenario_name c.Arena.cell_scenario))
+    dead;
+  if dead <> [] then exit 1;
+  if !smoke then begin
+    let committed =
+      if Sys.file_exists arena_json then begin
+        let ic = open_in_bin arena_json in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      end
+      else None
+    in
+    match committed with
+    | None -> note "no committed %s; skipping the determinism gate." arena_json
+    | Some text -> (
+      match Arena.check_committed ~committed:text report with
+      | [] -> note "all deterministic cells match committed %s" arena_json
+      | msgs ->
+        List.iter (fun m -> Printf.eprintf "arena: %s\n" m) msgs;
+        exit 1)
+  end
+  else begin
+    let oc = open_out arena_json in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Arena.to_json report));
+    note "wrote %s" arena_json
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1882,7 +1937,7 @@ let experiments =
     ("fig16", fig16); ("table2", table2); ("fig17", fig17); ("combined", combined);
     ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
     ("tracecodec", tracecodec); ("longhorizon", longhorizon);
-    ("fleetcampaign", fleetcampaign); ("salvage", salvage);
+    ("fleetcampaign", fleetcampaign); ("salvage", salvage); ("arena", arena_bench);
   ]
 
 let () =

@@ -11,6 +11,7 @@ module Units = Substrate.Units
 module Config = Tcmalloc.Config
 module Malloc = Tcmalloc.Malloc
 module Telemetry = Tcmalloc.Telemetry
+module Arena = Fleet_sim.Arena
 module Apps = Workload.Apps
 module Profile = Workload.Profile
 module Driver = Workload.Driver
@@ -26,7 +27,35 @@ let experiments =
     ("span-prioritization", Config.with_span_prioritization true Config.baseline);
     ("lifetime-filler", Config.with_lifetime_aware_filler true Config.baseline);
     ("all", Config.all_optimizations);
+    (* Cross-allocator arms: the experiment swaps the whole backend, so
+       `wscalloc ab -e rpmalloc` is a tcmalloc-vs-rpmalloc A/B and
+       `trace replay --configs baseline,rpmalloc,jemalloc` replays one
+       stream under all three allocators. *)
+    ("rpmalloc", Config.rpmalloc);
+    ("jemalloc", Config.jemalloc);
   ]
+
+let backend_arg =
+  let parse name =
+    match Config.backend_of_name name with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown backend %S (known: %s)" name
+             (String.concat ", " (List.map Config.backend_name Config.all_backends))))
+  in
+  let print fmt k = Format.pp_print_string fmt (Config.backend_name k) in
+  Arg.conv (parse, print)
+
+let backend_term =
+  Arg.(
+    value
+    & opt (some backend_arg) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Allocator backend to run on: $(b,tcmalloc) (default), $(b,rpmalloc), or \
+           $(b,jemalloc).")
 
 let app_arg =
   let parse name =
@@ -102,13 +131,20 @@ let corrupt_guard f =
     Printf.eprintf "wscalloc: corrupt: invalid data: %s\n" msg;
     exit 65
 
-let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on preempt_prob
-    audit jobs checkpoint checkpoint_every resume_from =
+let simulate app duration optimized backend seed memory_limit_mib fault_rate rseq_on
+    preempt_prob audit jobs checkpoint checkpoint_every resume_from =
   corrupt_guard @@ fun () ->
   apply_jobs jobs;
   let config = if optimized then Config.all_optimizations else Config.baseline in
+  let config =
+    match backend with None -> config | Some k -> Config.with_backend k config
+  in
   if preempt_prob <> None && not rseq_on then begin
     Printf.eprintf "wscalloc: --preempt-prob requires --rseq\n";
+    exit 124
+  end;
+  if rseq_on && config.Config.backend <> Config.Tcmalloc then begin
+    Printf.eprintf "wscalloc: --rseq requires the tcmalloc backend\n";
     exit 124
   end;
   if checkpoint_every <> None && checkpoint = None then begin
@@ -135,7 +171,7 @@ let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on pre
       Printf.printf "resuming %s at %.1fs, continuing to %.0fs (%s)...\n%!" name
         (Substrate.Clock.now (Machine.clock machine) /. Units.sec)
         duration
-        (Config.describe (Malloc.config job.Machine.malloc));
+        (Config.describe (Backend.config job.Machine.backend));
       machine
     | None ->
       let app =
@@ -197,9 +233,9 @@ let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on pre
        "job killed: out of memory under the configured limit/fault schedule\n";
      exit 2);
   let job = List.hd (Machine.jobs machine) in
-  let m = job.Machine.malloc in
-  let stats = Malloc.heap_stats m in
-  let tel = Malloc.telemetry m in
+  let m = job.Machine.backend in
+  let stats = Backend.heap_stats m in
+  let tel = Backend.telemetry m in
   Printf.printf "requests completed : %.0f\n" (Driver.requests_completed job.Machine.driver);
   Printf.printf "allocations        : %d (%d frees)\n" (Telemetry.alloc_count tel)
     (Telemetry.free_count tel);
@@ -208,25 +244,29 @@ let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on pre
   Printf.printf "simulated RSS      : %s\n"
     (Units.bytes_to_string stats.Malloc.resident_bytes);
   Printf.printf "fragmentation      : %.1f%% (ext %s, int %s)\n"
-    (100.0 *. Malloc.fragmentation_ratio stats)
+    (100.0 *. Backend.fragmentation_ratio stats)
     (Units.bytes_to_string stats.Malloc.external_fragmentation_bytes)
     (Units.bytes_to_string stats.Malloc.internal_fragmentation_bytes);
-  Printf.printf "hugepage coverage  : %.1f%%\n" (100.0 *. Malloc.hugepage_coverage m);
+  Printf.printf "hugepage coverage  : %.1f%%\n" (100.0 *. Backend.hugepage_coverage m);
   Printf.printf "malloc cycle share : %.2f%%\n" (100.0 *. Gwp.malloc_cycle_fraction job);
   List.iter
     (fun tier ->
       Printf.printf "  %-16s %d hits\n" (Hw.Cost_model.tier_name tier)
         (Telemetry.hits tel tier))
     Hw.Cost_model.all_tiers;
-  (* GWP-style sampled heap profile (Sec. 3, "Sampled"). *)
-  let sampler = Malloc.sampler m in
-  Printf.printf "sampled live heap  : ~%s across size bins:\n"
-    (Units.bytes_to_string (Tcmalloc.Sampler.live_heap_estimate_bytes sampler));
-  List.iter
-    (fun (bin, n) -> Printf.printf "  >= %-10s %d samples\n" (Units.bytes_to_string bin) n)
-    (Tcmalloc.Sampler.live_profile sampler);
+  (* GWP-style sampled heap profile (Sec. 3, "Sampled"); TCMalloc only —
+     the rival backends have no sampler. *)
+  (match Backend.sampler m with
+  | None -> ()
+  | Some sampler ->
+    Printf.printf "sampled live heap  : ~%s across size bins:\n"
+      (Units.bytes_to_string (Tcmalloc.Sampler.live_heap_estimate_bytes sampler));
+    List.iter
+      (fun (bin, n) ->
+        Printf.printf "  >= %-10s %d samples\n" (Units.bytes_to_string bin) n)
+      (Tcmalloc.Sampler.live_profile sampler));
   (* Memory-pressure block: only interesting when limits or faults are on. *)
-  let vm = Malloc.vm m in
+  let vm = Backend.vm m in
   if memory_limit_mib <> None || fault_rate <> None then begin
     Printf.printf "memory pressure:\n";
     (match Os.Vm.hard_limit vm with
@@ -248,7 +288,7 @@ let simulate app duration optimized seed memory_limit_mib fault_rate rseq_on pre
   end;
   (* Restartable-sequence block: restart overhead (Fig. 4 cost model — each
      restart re-runs the 3.1 ns fast path) and stranded-cache reclaim. *)
-  (match Malloc.rseq m with
+  (match Backend.rseq m with
   | None -> ()
   | Some r ->
     let s = Os.Rseq.stats r in
@@ -373,13 +413,13 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one application on a dedicated simulated server.")
     Term.(
-      const simulate $ app_opt $ duration_term $ optimized $ seed_term $ memory_limit
-      $ faults $ rseq $ preempt_prob $ audit $ jobs_term $ checkpoint $ checkpoint_every
-      $ resume)
+      const simulate $ app_opt $ duration_term $ optimized $ backend_term $ seed_term
+      $ memory_limit $ faults $ rseq $ preempt_prob $ audit $ jobs_term $ checkpoint
+      $ checkpoint_every $ resume)
 
 (* ab *)
 
-let ab app experiment_name duration seed jobs =
+let ab app experiment_name backend duration seed jobs =
   apply_jobs jobs;
   match List.assoc_opt experiment_name experiments with
   | None ->
@@ -387,10 +427,19 @@ let ab app experiment_name duration seed jobs =
       (String.concat ", " (List.map fst experiments));
     exit 1
   | Some experiment ->
-    Printf.printf "A/B %s: baseline vs %s...\n%!" app.Profile.name experiment_name;
+    (* --backend pins BOTH arms to one allocator (optimization A/Bs on a
+       rival); without it the control is tcmalloc baseline and a backend
+       experiment (rpmalloc/jemalloc) makes it a cross-allocator A/B. *)
+    let control, experiment =
+      match backend with
+      | None -> (Config.baseline, experiment)
+      | Some k -> (Config.with_backend k Config.baseline, Config.with_backend k experiment)
+    in
+    Printf.printf "A/B %s: %s vs %s...\n%!" app.Profile.name
+      (Config.backend_name control.Config.backend ^ " baseline")
+      experiment_name;
     let o =
-      Ab.run_app ~seed ~duration_ns:(duration *. Units.sec) ~control:Config.baseline
-        ~experiment app
+      Ab.run_app ~seed ~duration_ns:(duration *. Units.sec) ~control ~experiment app
     in
     Printf.printf "throughput : %+.2f%%\n" o.Ab.throughput_change_pct;
     Printf.printf "memory     : %+.2f%%\n" o.Ab.memory_change_pct;
@@ -408,11 +457,14 @@ let ab_cmd =
       & info [ "experiment"; "e" ] ~docv:"EXPERIMENT"
           ~doc:
             "One of dynamic-cpu-caches, nuca-transfer-cache, span-prioritization, \
-             lifetime-filler, all.")
+             lifetime-filler, all, rpmalloc, jemalloc (the last two swap the whole \
+             allocator backend in the experiment arm).")
   in
   Cmd.v
     (Cmd.info "ab" ~doc:"Run a baseline-vs-optimization A/B experiment for one app.")
-    Term.(const ab $ app_term $ experiment $ duration_term $ seed_term $ jobs_term)
+    Term.(
+      const ab $ app_term $ experiment $ backend_term $ duration_term $ seed_term
+      $ jobs_term)
 
 (* fleet *)
 
@@ -449,8 +501,8 @@ let chaos_arg =
   let print fmt c = Format.pp_print_string fmt (Os.Fault.describe_chaos c) in
   Arg.conv (parse, print)
 
-let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_after
-    aggregate_out =
+let fleet machines duration backend seed jobs chaos retries shard_every resume_dir
+    stop_after aggregate_out =
   apply_jobs jobs;
   if machines <= 0 then begin
     Printf.eprintf "wscalloc: --machines must be positive\n";
@@ -464,9 +516,15 @@ let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_
     chaos <> None || retries <> None || shard_every <> None || resume_dir <> None
     || stop_after <> None || aggregate_out <> None
   in
+  let config =
+    match backend with
+    | None -> Config.baseline
+    | Some k -> Config.with_backend k Config.baseline
+  in
   if not campaign_mode then begin
-    Printf.printf "running a %d-machine fleet for %.0fs...\n%!" machines duration;
-    let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines () in
+    Printf.printf "running a %d-machine fleet for %.0fs (%s)...\n%!" machines duration
+      (Config.backend_name config.Config.backend);
+    let fleet = Fleet_sim.Fleet.create ~seed ~num_machines:machines ~config () in
     let (_ : Machine.summary list) =
       Fleet_sim.Fleet.run fleet ~duration_ns:(duration *. Units.sec) ~epoch_ns:Units.ms
     in
@@ -496,6 +554,7 @@ let fleet machines duration seed jobs chaos retries shard_every resume_dir stop_
         Campaign.seed;
         machines;
         duration_ns = duration *. Units.sec;
+        config;
         chaos;
         policy;
         shard_size =
@@ -652,8 +711,8 @@ let fleet_cmd =
   Cmd.group
     ~default:
       Term.(
-        const fleet $ machines $ duration_term $ seed_term $ jobs_term $ chaos $ retries
-        $ shard_every $ resume_dir $ stop_after $ aggregate_out)
+        const fleet $ machines $ duration_term $ backend_term $ seed_term $ jobs_term
+        $ chaos $ retries $ shard_every $ resume_dir $ stop_after $ aggregate_out)
     (Cmd.info "fleet"
        ~doc:
          "Run a heterogeneous fleet and print a GWP-style profile; campaign flags \
@@ -736,8 +795,24 @@ let config_list =
   in
   Arg.conv (parse, print)
 
-let trace_replay file configs jobs salvage =
+let trace_replay file configs backend jobs salvage =
   apply_jobs jobs;
+  (* --backend rebases every selected config arm onto the given allocator
+     model, so `replay --backend rpmalloc` is the cross-allocator twin of
+     the default baseline replay. *)
+  let configs =
+    match backend with
+    | None -> configs
+    | Some kind ->
+      List.map
+        (fun (name, config) ->
+          let name =
+            if name = "baseline" then Config.backend_name kind
+            else name ^ "+" ^ Config.backend_name kind
+          in
+          (name, Config.with_backend kind config))
+        configs
+  in
   Printf.printf "replaying %s under %d config(s)%s...\n%!" file (List.length configs)
     (if salvage then " in salvage mode" else "");
   let results, salvage_report =
@@ -803,8 +878,8 @@ let trace_replay_cmd =
     (Cmd.info "replay"
        ~doc:"Replay a trace against one or more allocator configs, in parallel.")
     Term.(
-      const (fun f c j s -> corrupt_guard (fun () -> trace_replay f c j s))
-      $ in_term $ configs $ jobs_term $ salvage_term)
+      const (fun f c b j s -> corrupt_guard (fun () -> trace_replay f c b j s))
+      $ in_term $ configs $ backend_term $ jobs_term $ salvage_term)
 
 let trace_stat file =
   print_string (Analyzer.render (Analyzer.scan_file file))
@@ -1026,6 +1101,122 @@ let snapshot_cmd =
         Term.(const snapshot_repair $ repair_src $ repair_dst);
     ]
 
+(* arena: cross-allocator shoot-out *)
+
+let backend_list_arg =
+  let parse s =
+    let names = List.map String.trim (String.split_on_char ',' s) in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match Config.backend_of_name name with
+        | Some k -> resolve (k :: acc) rest
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown backend %S (known: %s)" name
+                 (String.concat ", " (List.map Config.backend_name Config.all_backends)))))
+    in
+    resolve [] names
+  in
+  let print fmt ks =
+    Format.pp_print_string fmt (String.concat "," (List.map Config.backend_name ks))
+  in
+  Arg.conv (parse, print)
+
+let arena backends seed jobs smoke committed json_out =
+  apply_jobs jobs;
+  Printf.printf "arena: %s, seed %d...\n%!"
+    (String.concat " vs " (List.map Config.backend_name backends))
+    seed;
+  let report = Arena.run ~backends ~seed () in
+  Arena.pp_table Format.std_formatter report;
+  Format.pp_print_flush Format.std_formatter ();
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Arena.to_json report));
+    Printf.printf "wrote %s\n" path);
+  let dead =
+    List.filter (fun c -> not c.Arena.survived) report.Arena.cells
+  in
+  List.iter
+    (fun (c : Arena.cell) ->
+      Printf.eprintf "wscalloc: arena: %s/%s did not survive (audit or limit failure)\n"
+        (Config.backend_name c.Arena.cell_backend)
+        (Arena.scenario_name c.Arena.cell_scenario))
+    dead;
+  if smoke then begin
+    let committed_text =
+      match open_in_bin committed with
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | exception Sys_error msg ->
+        Printf.eprintf "wscalloc: arena: cannot read committed baseline: %s\n" msg;
+        exit 1
+    in
+    match Arena.check_committed ~committed:committed_text report with
+    | [] -> Printf.printf "arena smoke: all deterministic cells match %s\n" committed
+    | msgs ->
+      List.iter (fun m -> Printf.eprintf "wscalloc: arena: %s\n" m) msgs;
+      exit 1
+  end;
+  if dead <> [] then exit 1
+
+let arena_cmd =
+  let backends =
+    Arg.(
+      value
+      & opt backend_list_arg Config.all_backends
+      & info [ "backends" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated backends to race (default all: \
+             $(b,tcmalloc,rpmalloc,jemalloc)).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Gate mode: re-run the pinned arena workloads and require every \
+             deterministic cell metric to match the committed baseline exactly; \
+             exit 1 on any drift.")
+  in
+  let committed =
+    Arg.(
+      value
+      & opt string "BENCH_arena.json"
+      & info [ "committed" ] ~docv:"FILE"
+          ~doc:"Committed baseline JSON for $(b,--smoke) (default BENCH_arena.json).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the full report as JSON to $(docv).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Arena seed (default 42, the committed-baseline seed: $(b,--smoke) \
+             only matches BENCH_arena.json at the seed it was generated with).")
+  in
+  Cmd.v
+    (Cmd.info "arena"
+       ~doc:
+         "Race the allocator backends through the cross-allocator arena: a \
+          workload-zoo machine, a cross-CPU producer/consumer flood, Fig. 7 \
+          size-mix churn, and memory-pressure survival, reporting per-backend \
+          RSS, throughput and fragmentation.")
+    Term.(const arena $ backends $ seed $ jobs_term $ smoke $ committed $ json_out)
+
 let () =
   let info =
     Cmd.info "wscalloc" ~version:"1.0.0"
@@ -1034,4 +1225,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; trace_cmd; snapshot_cmd ]))
+          [
+            list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; arena_cmd; trace_cmd;
+            snapshot_cmd;
+          ]))

@@ -25,7 +25,7 @@ let () =
   Printf.printf "  %.2f requests per second (allocator-visible)\n" (requests /. 30.0);
   Printf.printf "  %d allocations issued, %d objects still live\n"
     (Driver.allocations driver) (Driver.live_objects driver);
-  let stats = Malloc.heap_stats job.Fleet_sim.Machine.malloc in
+  let stats = Backend.heap_stats job.Fleet_sim.Machine.backend in
   Printf.printf "\n====== allocator view ======\n";
   Printf.printf "  keyspace + working set : %s live\n"
     (Units.bytes_to_string stats.Malloc.live_requested_bytes);
@@ -35,9 +35,9 @@ let () =
   Printf.printf "  fragmentation ratio    : %.1f%%\n"
     (100.0 *. Malloc.fragmentation_ratio stats);
   Printf.printf "  hugepage coverage      : %.1f%%\n"
-    (100.0 *. Malloc.hugepage_coverage job.Fleet_sim.Machine.malloc);
+    (100.0 *. Backend.hugepage_coverage job.Fleet_sim.Machine.backend);
   (* Redis is single-threaded: exactly one per-CPU cache gets populated,
      which is why the paper omits it from the per-CPU cache study. *)
   Printf.printf "  populated per-CPU caches: %d (single-threaded)\n"
     (Tcmalloc.Per_cpu_cache.populated_caches
-       (Malloc.per_cpu_caches job.Fleet_sim.Machine.malloc))
+       (Malloc.per_cpu_caches (Backend.tc_exn job.Fleet_sim.Machine.backend)))

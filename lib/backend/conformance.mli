@@ -1,0 +1,46 @@
+(** Shared backend conformance checker: the backend-agnostic invariants of
+    {!Wsc_tcmalloc.Audit} (byte conservation, no double-allocation of a
+    live address, free-of-live succeeds, limit compliance) run as a
+    scripted harness against any {!Backend}.  Every backend — TCMalloc
+    included — must pass every generated script; the qcheck suite in
+    [test/test_backend.ml] drives this over random scripts. *)
+
+type op =
+  | Alloc of { cpu : int; size : int }
+  | Free of { cpu : int; index : int }
+      (** Frees the [index mod live]-th shadow-live object; no-op when
+          nothing is live. *)
+  | Churn of { cpu : int; flush : bool }  (** {!Backend.cpu_idle}. *)
+  | Pressure of { target_bytes : int }  (** {!Backend.release_memory}. *)
+  | Check  (** Run every invariant now. *)
+
+type failure = { step : int; invariant : string; detail : string }
+
+val describe_failure : failure -> string
+
+val script : seed:int -> length:int -> op list
+(** Deterministic pseudo-random script: Fig. 7-leaning size mix with a
+    large/huge tail, ~16 CPUs of context, churn and pressure sprinkled in,
+    always ending in a [Check]. *)
+
+type result = {
+  ops_run : int;
+  allocs : int;
+  frees : int;
+  checks : int;
+  failures : failure list;
+}
+
+val passed : result -> bool
+
+val run :
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?hard_limit_bytes:int ->
+  ?topology:Wsc_hw.Topology.t ->
+  script:op list ->
+  unit ->
+  result
+(** Execute a script against a fresh backend chosen by [config.backend].
+    [hard_limit_bytes] also sets a soft limit at 85% so the reclaim path
+    runs; [Out_of_memory] from an allocation under a hard limit is a legal
+    outcome, not a failure. *)

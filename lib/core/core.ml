@@ -9,6 +9,7 @@
     {- {!Hw} — platform topology, latency/TLB/cost models, productivity.}
     {- {!Os} — simulated virtual memory, vCPU ids, scheduling.}
     {- {!Tcmalloc} — the allocator model and its four optimizations.}
+    {- {!Backend} — the allocator-backend dispatcher and rival models.}
     {- {!Workload} — application profiles and the event driver.}
     {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}
     {- {!Trace_stream} — streaming binary traces: record, replay, analyze.}
@@ -18,6 +19,8 @@ module Substrate = Wsc_substrate
 module Hw = Wsc_hw
 module Os = Wsc_os
 module Tcmalloc = Wsc_tcmalloc
+module Backend = Wsc_backend.Backend
+module Backend_conformance = Wsc_backend.Conformance
 module Workload = Wsc_workload
 module Fleet_sim = Wsc_fleet
 module Trace_stream = Wsc_trace

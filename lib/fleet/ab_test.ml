@@ -1,5 +1,6 @@
 open Wsc_substrate
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Driver = Wsc_workload.Driver
 module Profile = Wsc_workload.Profile
@@ -35,10 +36,10 @@ let compare_jobs ~control ~experiment =
     invalid_arg "Ab_test.compare_jobs: mismatched profiles";
   let params = profile.Profile.productivity in
   let remote_before =
-    Telemetry.remote_reuse_fraction (Malloc.telemetry control.Machine.malloc)
+    Telemetry.remote_reuse_fraction (Backend.telemetry control.Machine.backend)
   in
   let remote_after =
-    Telemetry.remote_reuse_fraction (Malloc.telemetry experiment.Machine.malloc)
+    Telemetry.remote_reuse_fraction (Backend.telemetry experiment.Machine.backend)
   in
   let mpki_before = params.Productivity.llc_mpki in
   let mpki_after =
@@ -57,7 +58,7 @@ let compare_jobs ~control ~experiment =
     *. (Tlb_model.relative_misses ~coverage:coverage_after
        /. Tlb_model.relative_misses ~coverage:coverage_before)
   in
-  let topology = Malloc.topology control.Machine.malloc in
+  let topology = Backend.topology control.Machine.backend in
   let locality_tlb_change =
     Productivity.throughput_change_pct topology params ~mpki_before
       ~walk_before ~mpki_after ~walk_after

@@ -1,5 +1,6 @@
 open Wsc_substrate
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Driver = Wsc_workload.Driver
 module Profile = Wsc_workload.Profile
@@ -35,7 +36,7 @@ type cycle_breakdown = {
 
 let cycle_breakdown jobs =
   let sum f =
-    List.fold_left (fun acc j -> acc +. f (Malloc.telemetry j.Machine.malloc)) 0.0 jobs
+    List.fold_left (fun acc j -> acc +. f (Backend.telemetry j.Machine.backend)) 0.0 jobs
   in
   let cpu_cache = sum (fun t -> Telemetry.tier_ns_since_mark t Cost_model.Per_cpu_cache) in
   let transfer_cache = sum (fun t -> Telemetry.tier_ns_since_mark t Cost_model.Transfer_cache) in
@@ -76,7 +77,7 @@ type fragmentation_breakdown = {
 let sum_stats jobs =
   List.fold_left
     (fun (fe, tc, cfl, ph, internal, live) j ->
-      let s = Malloc.heap_stats j.Machine.malloc in
+      let s = Backend.heap_stats j.Machine.backend in
       ( fe + s.Malloc.front_end_cached_bytes,
         tc + s.Malloc.transfer_cached_bytes,
         cfl + s.Malloc.cfl_fragmented_bytes,
@@ -109,7 +110,7 @@ let merged_size_histograms jobs =
   match jobs with
   | [] -> invalid_arg "Gwp.merged_size_histograms: no jobs"
   | first :: rest ->
-    let tel j = Malloc.telemetry j.Machine.malloc in
+    let tel j = Backend.telemetry j.Machine.backend in
     let count = ref (Telemetry.size_histogram_count (tel first)) in
     let bytes = ref (Telemetry.size_histogram_bytes (tel first)) in
     List.iter
@@ -128,7 +129,7 @@ let merged_lifetime_bins jobs =
           match Hashtbl.find_opt table bin with
           | Some existing -> Hashtbl.replace table bin (Histogram.merge existing hist)
           | None -> Hashtbl.replace table bin hist)
-        (Telemetry.lifetime_bins (Malloc.telemetry j.Machine.malloc)))
+        (Telemetry.lifetime_bins (Backend.telemetry j.Machine.backend)))
     jobs;
   Hashtbl.fold (fun bin hist acc -> (bin, hist) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -140,7 +141,7 @@ let binary_usage jobs =
   List.iter
     (fun j ->
       let name = j.Machine.profile.Profile.name in
-      let tel = Malloc.telemetry j.Machine.malloc in
+      let tel = Backend.telemetry j.Machine.backend in
       let ns = Telemetry.total_malloc_ns tel in
       let bytes = Histogram.total_weight (Telemetry.size_histogram_bytes tel) in
       let prev_ns, prev_bytes = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt table name) in

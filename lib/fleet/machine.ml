@@ -2,6 +2,7 @@ open Wsc_substrate
 module Topology = Wsc_hw.Topology
 module Sched = Wsc_os.Sched
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Driver = Wsc_workload.Driver
 module Profile = Wsc_workload.Profile
 module Threads = Wsc_workload.Threads
@@ -15,7 +16,7 @@ module Productivity = Wsc_hw.Productivity
 type job = {
   profile : Profile.t;
   driver : Driver.t;
-  malloc : Malloc.t;
+  backend : Backend.t;
   fault : Fault.t option;
 }
 
@@ -46,8 +47,8 @@ let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_byte
     in
     next_cpu := (!next_cpu + cpus) mod Topology.num_cpus platform;
     let rseq = Option.map (fun rc -> Rseq.create ~index rc) rseq in
-    let malloc = Malloc.create ~config ?rseq ~topology:platform ~clock () in
-    let vm = Malloc.vm malloc in
+    let backend = Backend.create ~config ?rseq ~topology:platform ~clock () in
+    let vm = Backend.vm backend in
     (match soft_limit_bytes with Some b -> Vm.set_soft_limit vm (Some b) | None -> ());
     (match hard_limit_bytes with Some b -> Vm.set_hard_limit vm (Some b) | None -> ());
     let fault =
@@ -60,9 +61,9 @@ let create ?(seed = 1) ?(config = Wsc_tcmalloc.Config.baseline) ?soft_limit_byte
     in
     let driver =
       Driver.create ~seed:(seed + (1000 * index)) ?faults:fault ?audit_interval_ns
-        ~profile ~sched ~malloc ~clock ()
+        ~profile ~sched ~backend ~clock ()
     in
-    { profile; driver; malloc; fault }
+    { profile; driver; backend; fault }
   in
   { platform; clock; jobs = List.mapi make jobs }
 
@@ -83,7 +84,7 @@ let clock t = t.clock
 let total_rss t =
   List.fold_left
     (fun acc job ->
-      acc + (Malloc.heap_stats job.malloc).Malloc.resident_bytes)
+      acc + (Backend.heap_stats job.backend).Malloc.resident_bytes)
     0 t.jobs
 
 (* --- Result summaries -------------------------------------------------- *)
@@ -113,7 +114,7 @@ let summary_digest_of ~now_ns jobs =
 
 let job_summary (job : job) =
   let profile = job.profile in
-  let tel = Malloc.telemetry job.malloc in
+  let tel = Backend.telemetry job.backend in
   let requests = Driver.requests_completed job.driver in
   let cpi = Productivity.baseline_cpi profile.Profile.productivity in
   {
@@ -122,7 +123,7 @@ let job_summary (job : job) =
     js_allocations = Telemetry.alloc_count tel;
     js_frees = Telemetry.free_count tel;
     js_live_objects = Driver.live_objects job.driver;
-    js_heap = Malloc.heap_stats job.malloc;
+    js_heap = Backend.heap_stats job.backend;
     js_malloc_ns = Driver.measured_malloc_ns job.driver;
     js_cpu_ns =
       requests

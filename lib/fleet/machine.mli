@@ -44,7 +44,7 @@ val platform : t -> Wsc_hw.Topology.t
 type job = {
   profile : Wsc_workload.Profile.t;
   driver : Wsc_workload.Driver.t;
-  malloc : Wsc_tcmalloc.Malloc.t;
+  backend : Wsc_backend.Backend.t;
   fault : Wsc_os.Fault.t option;  (** Present when the machine injects faults. *)
 }
 

@@ -31,6 +31,7 @@ module Fleet = Wsc_fleet.Fleet
 module Campaign = Wsc_fleet.Campaign
 module Driver = Wsc_workload.Driver
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Profile = Wsc_workload.Profile
 
 exception Corrupt of { section : string; reason : string }
@@ -64,13 +65,13 @@ type job_manifest = {
 
 type manifest = { sim_now_ns : float; job_manifests : job_manifest list }
 
-let job_manifest_of ~(profile : Profile.t) driver malloc =
+let job_manifest_of ~(profile : Profile.t) driver backend =
   {
     profile_name = profile.Profile.name;
     requests = Driver.requests_completed driver;
     allocations = Driver.allocations driver;
     live_objects = Driver.live_objects driver;
-    heap = Malloc.heap_stats malloc;
+    heap = Backend.heap_stats backend;
   }
 
 let manifest_of_machine machine =
@@ -80,15 +81,15 @@ let manifest_of_machine machine =
       List.map
         (fun (job : Machine.job) ->
           job_manifest_of ~profile:job.Machine.profile job.Machine.driver
-            job.Machine.malloc)
+            job.Machine.backend)
         (Machine.jobs machine);
   }
 
 let manifest_of_driver driver =
   {
-    sim_now_ns = Clock.now (Malloc.clock (Driver.malloc driver));
+    sim_now_ns = Clock.now (Backend.clock (Driver.backend driver));
     job_manifests =
-      [ job_manifest_of ~profile:(Driver.profile driver) driver (Driver.malloc driver) ];
+      [ job_manifest_of ~profile:(Driver.profile driver) driver (Driver.backend driver) ];
   }
 
 let manifest_of_fleet fleet =
@@ -103,7 +104,7 @@ let manifest_of_fleet fleet =
       List.map
         (fun (job : Machine.job) ->
           job_manifest_of ~profile:job.Machine.profile job.Machine.driver
-            job.Machine.malloc)
+            job.Machine.backend)
         (Fleet.jobs fleet);
   }
 

@@ -27,6 +27,14 @@ let peek_up_to t n =
   let k = min n t.len in
   List.init k (fun i -> t.data.(t.len - 1 - i))
 
+let pop_into t buf ~pos ~n =
+  let k = min n t.len in
+  for i = 0 to k - 1 do
+    t.len <- t.len - 1;
+    buf.(pos + i) <- t.data.(t.len)
+  done;
+  k
+
 let pop_up_to t n =
   let k = min n t.len in
   let rec take acc i = if i = k then List.rev acc else take (pop t :: acc) (i + 1) in

@@ -25,6 +25,11 @@ val peek_up_to : t -> int -> int list
 val pop_up_to : t -> int -> int list
 (** [pop_up_to t n] removes at most [n] elements, most-recent first. *)
 
+val pop_into : t -> int array -> pos:int -> n:int -> int
+(** [pop_into t buf ~pos ~n] is {!pop_up_to} without the list: at most [n]
+    elements move into [buf.(pos) ..], most-recent first, returning how
+    many.  The allocation-free batch-transfer primitive. *)
+
 val iter : t -> (int -> unit) -> unit
 (** Bottom-to-top iteration. *)
 

@@ -138,6 +138,42 @@ let remove_objects t ~cls ~n ~now =
      ());
   (!out, !mmaps)
 
+(* Allocation-free twin of [remove_objects]: objects land in [buf.(pos)..]
+   in chronological pop order (note [remove_objects] returns them
+   REVERSED — callers of each take the order that function documents). *)
+let remove_objects_into t ~cls ~n ~now ~buf ~pos ~mmaps =
+  let cs = t.classes.(cls) in
+  let need = ref n in
+  let k = ref pos in
+  (try
+     while !need > 0 do
+       let span =
+         match pick_span cs with
+         | Some span -> span
+         | None ->
+           let span, m = Pageheap.new_small_span t.pageheap ~size_class:cls ~now in
+           mmaps := !mmaps + m;
+           Hashtbl.replace cs.spans span.Span.id span;
+           cs.free_objects <- cs.free_objects + span.Span.capacity;
+           note_created t span ~now;
+           Span.set_list_index span (-1);
+           span
+       in
+       let take = Span.pop_objects_into span ~n:!need ~buf ~pos:!k in
+       cs.free_objects <- cs.free_objects - take;
+       need := !need - take;
+       k := !k + take;
+       (* The span left its list when popped (or was never listed if fresh);
+          always re-push if it still has capacity. *)
+       relist t cs span ~force:(Span.free_objects span > 0)
+     done
+   with Wsc_os.Vm.Mmap_failed _ ->
+     (* Graceful degradation under memory pressure: hand back whatever was
+        gathered before the failed span grow.  An empty result tells the
+        caller the allocation itself must reclaim and retry. *)
+     ());
+  !k - pos
+
 let return_objects t ~cls ~addrs ~now =
   let cs = t.classes.(cls) in
   List.iter

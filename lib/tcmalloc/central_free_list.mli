@@ -32,6 +32,14 @@ val remove_objects : t -> cls:int -> n:int -> now:float -> addr list * int
     whatever was gathered so far is returned — possibly the empty list,
     which callers must treat as "reclaim and retry". *)
 
+val remove_objects_into :
+  t -> cls:int -> n:int -> now:float -> buf:addr array -> pos:int -> mmaps:int ref -> int
+(** Allocation-free twin of {!remove_objects} for the cache-miss batch
+    path: up to [n] objects land in [buf.(pos) ..] in chronological pop
+    order (the list form returns them reversed), mmap calls accumulate
+    into [mmaps], and the count gathered is returned ([0] under an
+    absorbed {!Wsc_os.Vm.Mmap_failed} means "reclaim and retry"). *)
+
 val return_objects : t -> cls:int -> addrs:addr list -> now:float -> unit
 (** Give objects back to their spans; spans whose last object returns are
     released to the pageheap. *)

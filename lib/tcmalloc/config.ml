@@ -2,7 +2,23 @@ open Wsc_substrate
 
 type front_end_mode = Per_cpu_caches | Per_thread_caches
 
+type backend_kind = Tcmalloc | Rpmalloc | Jemalloc
+
+let backend_name = function
+  | Tcmalloc -> "tcmalloc"
+  | Rpmalloc -> "rpmalloc"
+  | Jemalloc -> "jemalloc"
+
+let backend_of_name = function
+  | "tcmalloc" -> Some Tcmalloc
+  | "rpmalloc" -> Some Rpmalloc
+  | "jemalloc" -> Some Jemalloc
+  | _ -> None
+
+let all_backends = [ Tcmalloc; Rpmalloc; Jemalloc ]
+
 type t = {
+  backend : backend_kind;
   max_small_size : int;
   front_end : front_end_mode;
   per_cpu_cache_bytes : int;
@@ -30,6 +46,7 @@ type t = {
 
 let baseline =
   {
+    backend = Tcmalloc;
     max_small_size = 256 * Units.kib;
     front_end = Per_cpu_caches;
     per_cpu_cache_bytes = 3 * Units.mib;
@@ -64,6 +81,10 @@ let with_dynamic_per_cpu enabled t =
     per_cpu_cache_bytes = (if enabled then 3 * Units.mib / 2 else 3 * Units.mib);
   }
 
+let with_backend backend t = { t with backend }
+let rpmalloc = { baseline with backend = Rpmalloc }
+let jemalloc = { baseline with backend = Jemalloc }
+
 let with_nuca_transfer_cache enabled t = { t with nuca_aware_transfer_cache = enabled }
 let with_span_prioritization enabled t = { t with span_prioritization = enabled }
 let with_lifetime_aware_filler enabled t = { t with lifetime_aware_filler = enabled }
@@ -76,11 +97,14 @@ let all_optimizations =
   |> with_lifetime_aware_filler true
 
 let describe t =
-  let flag name enabled = if enabled then name else "no-" ^ name in
-  String.concat ", "
-    [
-      flag "dynamic-cpu-caches" t.dynamic_per_cpu_caches;
-      flag "nuca-transfer-cache" t.nuca_aware_transfer_cache;
-      flag "span-prioritization" t.span_prioritization;
-      flag "lifetime-filler" t.lifetime_aware_filler;
-    ]
+  match t.backend with
+  | Rpmalloc | Jemalloc -> "backend " ^ backend_name t.backend
+  | Tcmalloc ->
+    let flag name enabled = if enabled then name else "no-" ^ name in
+    String.concat ", "
+      [
+        flag "dynamic-cpu-caches" t.dynamic_per_cpu_caches;
+        flag "nuca-transfer-cache" t.nuca_aware_transfer_cache;
+        flag "span-prioritization" t.span_prioritization;
+        flag "lifetime-filler" t.lifetime_aware_filler;
+      ]

@@ -15,7 +15,25 @@ type front_end_mode =
           strand memory when their thread goes idle, and scale poorly in
           applications with thousands of threads. *)
 
+type backend_kind =
+  | Tcmalloc  (** The paper's allocator: the full model in this library. *)
+  | Rpmalloc
+      (** rpmalloc-style rival (span ownership, deferred cross-CPU frees,
+          span caches) implemented in [Wsc_backend.Rpmalloc_model]. *)
+  | Jemalloc
+      (** jemalloc-style rival (independent arenas, 25%-spaced classes,
+          extent allocation) implemented in [Wsc_backend.Jemalloc_model]. *)
+
+val backend_name : backend_kind -> string
+val backend_of_name : string -> backend_kind option
+val all_backends : backend_kind list
+
 type t = {
+  (* Which allocator model serves this process.  The selection rides in the
+     config so it flows unchanged through [Machine]/[Fleet]/[Campaign]/
+     [Ab_test]/[Replay]; only the TCMalloc-specific knobs below apply to the
+     rival backends' shared surface (limits, reclaim budget). *)
+  backend : backend_kind;
   (* Sizes and structural constants *)
   max_small_size : int;  (** Largest size served by the cache hierarchy: 256 KiB. *)
   front_end : front_end_mode;
@@ -84,6 +102,14 @@ val all_optimizations : t
 val with_dynamic_per_cpu : bool -> t -> t
 (** Toggle Sec. 4.1; when enabling, also halves the per-CPU budget to
     1.5 MiB as the paper's deployment did. *)
+
+val with_backend : backend_kind -> t -> t
+
+val rpmalloc : t
+(** [baseline] served by the rpmalloc-style backend. *)
+
+val jemalloc : t
+(** [baseline] served by the jemalloc-style backend. *)
 
 val with_nuca_transfer_cache : bool -> t -> t
 val with_span_prioritization : bool -> t -> t

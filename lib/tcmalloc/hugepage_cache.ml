@@ -31,7 +31,16 @@ let allocate t ~hugepages =
     | run :: rest -> take (run :: acc) rest
   in
   match take [] t.runs with
-  | Some base -> { base; fresh = false }
+  | Some base ->
+    (* A cached hugepage may carry subreleased holes from its time in the
+       filler; the grantee is about to touch every page, so fault them
+       back (no-op on never-subreleased hugepages). *)
+    for i = 0 to hugepages - 1 do
+      Wsc_os.Vm.reclaim t.vm
+        (base + (i * Units.hugepage_size))
+        ~pages:Units.pages_per_hugepage
+    done;
+    { base; fresh = false }
   | None -> { base = Wsc_os.Vm.mmap t.vm ~hugepages; fresh = true }
 
 let free t base ~hugepages =

@@ -54,9 +54,22 @@ type t = {
      stranded-cache reclaim pass (cleared on reuse or drain). *)
   stranded_pending : (int, unit) Hashtbl.t;
   fast : fast_ops;
+  (* Scratch for the cache-miss batch paths (refill and batch flush): the
+     non-rseq slow paths move whole batches through this preallocated
+     buffer instead of building a list per miss.  Sized for the largest
+     per-class batch. *)
+  batch_buf : int array;
+  tc_stats : Transfer_cache.remove_stats;
 }
 
 let page_size = Units.tcmalloc_page_size
+
+let max_batch =
+  let m = ref 1 in
+  for cls = 0 to Size_class.count - 1 do
+    m := max !m (Size_class.batch cls)
+  done;
+  !m
 
 let evict_to_transfer t ~now ~vcpu ~cls ~addrs =
   let domain = if vcpu < Array.length t.vcpu_domain then t.vcpu_domain.(vcpu) else 0 in
@@ -149,6 +162,8 @@ let create ?(config = Config.baseline) ?rseq ?span_snapshot_interval_ns ~topolog
       in_flight = Int_table.create ~initial_capacity:4096 ();
       rseq;
       stranded_pending = Hashtbl.create 16;
+      batch_buf = Array.make max_batch 0;
+      tc_stats = Transfer_cache.make_remove_stats ();
       fast =
         {
           fo_thread = -1;
@@ -281,6 +296,32 @@ let refill t ~cls ~domain ~now =
   in
   (result.Transfer_cache.addrs, deepest)
 
+(* [refill] through the preallocated scratch buffer: the batch lands in
+   [t.batch_buf.(0) .. t.tc_stats.rs_count) and the same telemetry is
+   charged in the same order, with no per-miss list or record. *)
+let refill_into t ~cls ~domain ~now =
+  let batch = Size_class.batch cls in
+  let stats = t.tc_stats in
+  Transfer_cache.remove_into t.tc ~cls ~n:batch ~domain ~now ~buf:t.batch_buf ~stats;
+  charge t Cost_model.Transfer_cache;
+  for _ = 1 to stats.Transfer_cache.rs_local do
+    Telemetry.record_object_reuse t.telemetry ~remote:false
+  done;
+  for _ = 1 to stats.Transfer_cache.rs_remote do
+    Telemetry.record_object_reuse t.telemetry ~remote:true
+  done;
+  if stats.Transfer_cache.rs_mmaps > 0 then begin
+    Telemetry.charge_tier t.telemetry Cost_model.Mmap
+      (float_of_int stats.Transfer_cache.rs_mmaps *. Cost_model.mmap_ns);
+    charge t Cost_model.Central_free_list;
+    Cost_model.Mmap
+  end
+  else if stats.Transfer_cache.rs_from_cfl > 0 then begin
+    charge t Cost_model.Central_free_list;
+    Cost_model.Central_free_list
+  end
+  else Cost_model.Transfer_cache
+
 (* Run one fast-path operation under the restartable-sequence protocol:
    every attempt re-reads the vCPU id (a migration between attempts lands
    the restart on a different cache), each restart re-runs the 3.1 ns fast
@@ -327,29 +368,50 @@ let alloc_miss t ~thread ~cpu ~vcpu ~cls =
   Telemetry.record_front_end_miss t.telemetry ~vcpu;
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
-  let addrs, deepest = refill t ~cls ~domain ~now in
-  Telemetry.record_hit t.telemetry deepest;
-  match addrs with
-  | [] ->
-    (* The central free list absorbed an mmap failure and returned
-       nothing; surface it so the retry-with-reclaim loop engages. *)
-    raise (Vm.Mmap_failed Vm.Transient_fault)
-  | first :: rest ->
-    List.iter (fun a -> Int_table.set t.in_flight a 1) rest;
-    let rejected =
-      match t.rseq with
-      | None -> Per_cpu_cache.fill t.pcc ~vcpu ~cls ~addrs:rest
-      | Some r -> (
+  match t.rseq with
+  | None ->
+    (* Allocation-free slow path: the whole batch moves through the scratch
+       buffer — transfer-cache pull, per-CPU fill, rejected-suffix
+       reinsertion — with no list cells per miss. *)
+    let deepest = refill_into t ~cls ~domain ~now in
+    Telemetry.record_hit t.telemetry deepest;
+    let count = t.tc_stats.Transfer_cache.rs_count in
+    if count = 0 then
+      (* The central free list absorbed an mmap failure and returned
+         nothing; surface it so the retry-with-reclaim loop engages. *)
+      raise (Vm.Mmap_failed Vm.Transient_fault);
+    let buf = t.batch_buf in
+    let first = buf.(0) in
+    for i = 1 to count - 1 do
+      Int_table.set t.in_flight buf.(i) 1
+    done;
+    let accepted = Per_cpu_cache.fill_from t.pcc ~vcpu ~cls ~buf ~lo:1 ~hi:count in
+    if 1 + accepted < count then
+      ignore
+        (Transfer_cache.insert_rev_from t.tc ~cls ~domain ~now ~buf ~lo:(1 + accepted)
+           ~hi:count);
+    first
+  | Some r -> (
+    let addrs, deepest = refill t ~cls ~domain ~now in
+    Telemetry.record_hit t.telemetry deepest;
+    match addrs with
+    | [] ->
+      (* The central free list absorbed an mmap failure and returned
+         nothing; surface it so the retry-with-reclaim loop engages. *)
+      raise (Vm.Mmap_failed Vm.Transient_fault)
+    | first :: rest ->
+      List.iter (fun a -> Int_table.set t.in_flight a 1) rest;
+      let rejected =
         match
           run_rseq t r ~thread ~cpu
             ~stage:(fun ~vcpu -> Per_cpu_cache.stage_fill t.pcc ~vcpu ~cls ~addrs:rest)
         with
         | Some rejected, _ -> rejected
-        | None, _ -> rest)
-    in
-    if rejected <> [] then
-      ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
-    first
+        | None, _ -> rest
+      in
+      if rejected <> [] then
+        ignore (Transfer_cache.insert t.tc ~cls ~addrs:rejected ~domain ~now);
+      first)
 
 let malloc_attempt t ~thread ~cpu ~size =
   Telemetry.charge_prefetch t.telemetry Cost_model.prefetch_ns;
@@ -480,20 +542,29 @@ let dealloc_miss t ~thread ~cpu ~vcpu ~cls a =
   Telemetry.charge_other t.telemetry 0.4;
   let domain = Topology.domain_of_cpu t.topology cpu in
   let batch = Size_class.batch cls in
-  let flushed =
-    match t.rseq with
-    | None -> Per_cpu_cache.flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1)
-    | Some r -> (
+  match t.rseq with
+  | None ->
+    (* Allocation-free slow path: the freed object plus the flushed batch
+       travel through the scratch buffer, in [insert]'s [a :: flushed]
+       order. *)
+    let buf = t.batch_buf in
+    buf.(0) <- a;
+    let m = Per_cpu_cache.flush_batch_into t.pcc ~vcpu ~cls ~n:(batch - 1) ~buf ~pos:1 in
+    charge t Cost_model.Transfer_cache;
+    let overflow = Transfer_cache.insert_from t.tc ~cls ~domain ~now ~buf ~lo:0 ~hi:(1 + m) in
+    if overflow > 0 then charge t Cost_model.Central_free_list
+  | Some r ->
+    let flushed =
       match
         run_rseq t r ~thread ~cpu
           ~stage:(fun ~vcpu -> Per_cpu_cache.stage_flush_batch t.pcc ~vcpu ~cls ~n:(batch - 1))
       with
       | Some flushed, _ -> flushed
-      | None, _ -> [])
-  in
-  charge t Cost_model.Transfer_cache;
-  let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
-  if overflow > 0 then charge t Cost_model.Central_free_list
+      | None, _ -> []
+    in
+    charge t Cost_model.Transfer_cache;
+    let overflow = Transfer_cache.insert t.tc ~cls ~addrs:(a :: flushed) ~domain ~now in
+    if overflow > 0 then charge t Cost_model.Central_free_list
 
 let free_th t ~thread ~cpu a ~size =
   if size <= 0 then invalid_arg "Malloc.free: size must be positive";

@@ -256,6 +256,29 @@ let fill t ~vcpu ~cls ~addrs =
   s.Rseq.commit ();
   s.Rseq.value
 
+(* Buffer twins of [flush_batch]/[fill] — same pop order, byte accounting,
+   and watermark updates, with no list cells or staged records. *)
+let flush_batch_into t ~vcpu ~cls ~n ~buf ~pos =
+  let c = cache_of t vcpu in
+  let m = Int_stack.pop_into c.stacks.(cls) buf ~pos ~n in
+  c.used_bytes <- c.used_bytes - (m * Size_class.size cls);
+  let len = Int_stack.length c.stacks.(cls) in
+  if len < c.low_watermark.(cls) then c.low_watermark.(cls) <- len;
+  m
+
+let fill_from t ~vcpu ~cls ~buf ~lo ~hi =
+  let c = cache_of t vcpu in
+  let size = Size_class.size cls in
+  let cap = class_cap t.config cls in
+  let room_bytes = max 0 ((c.capacity_bytes - c.used_bytes) / size) in
+  let room_objects = max 0 (cap - Int_stack.length c.stacks.(cls)) in
+  let k = min (min room_bytes room_objects) (hi - lo) in
+  for i = lo to lo + k - 1 do
+    Int_stack.push c.stacks.(cls) buf.(i);
+    c.used_bytes <- c.used_bytes + size
+  done;
+  k
+
 (* Shrink a cache to its (reduced) budget by evicting whole stacks of the
    largest classes first — the paper prioritizes shrinking larger size
    classes since small objects dominate the allocation mix. *)

@@ -48,6 +48,15 @@ val flush_batch : t -> vcpu:int -> cls:int -> n:int -> addr list
 val fill : t -> vcpu:int -> cls:int -> addrs:addr list -> addr list
 (** Insert refilled objects; returns those that did not fit the budget. *)
 
+val flush_batch_into : t -> vcpu:int -> cls:int -> n:int -> buf:addr array -> pos:int -> int
+(** Allocation-free {!flush_batch}: up to [n] objects (most-recent first)
+    land in [buf.(pos) ..]; returns how many. *)
+
+val fill_from : t -> vcpu:int -> cls:int -> buf:addr array -> lo:int -> hi:int -> int
+(** Allocation-free {!fill}: offer [buf.(lo) .. buf.(hi-1)] in order and
+    accept the budget-bounded prefix; returns how many were accepted (the
+    suffix from [buf.(lo + accepted)] was rejected). *)
+
 (** {2 Restartable fast-path operations — reusable staged-op buffer}
 
     Protocol: call one [prepare_*] (pure, allocation-free — it only

@@ -81,6 +81,13 @@ let pop_objects t ~n =
   let k = min n (free_objects t) in
   List.init k (fun _ -> pop_object t)
 
+let pop_objects_into t ~n ~buf ~pos =
+  let k = min n (free_objects t) in
+  for i = 0 to k - 1 do
+    buf.(pos + i) <- pop_object t
+  done;
+  k
+
 let contains t addr = addr >= t.base && addr < t.base + span_bytes t
 
 let push_object t addr =

@@ -51,6 +51,12 @@ val pop_object : t -> addr
 val pop_objects : t -> n:int -> addr list
 (** Extract up to [n] objects. *)
 
+val pop_objects_into : t -> n:int -> buf:addr array -> pos:int -> int
+(** [pop_objects_into t ~n ~buf ~pos] is {!pop_objects} without the list:
+    up to [n] objects land in [buf.(pos) ..] in pop order; returns how
+    many.  The cache-miss batch path uses this with a preallocated
+    scratch buffer. *)
+
 val push_object : t -> addr -> unit
 (** Return an object to the span.  @raise Invalid_argument if the address
     does not belong to this span, is misaligned, or the slot is already

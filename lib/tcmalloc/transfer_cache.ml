@@ -103,6 +103,70 @@ let remove t ~cls ~n ~domain ~now =
   in
   { addrs = !out; local_reuse = !local; remote_reuse = !remote; from_cfl; mmaps }
 
+type remove_stats = {
+  mutable rs_count : int;
+  mutable rs_local : int;
+  mutable rs_remote : int;
+  mutable rs_from_cfl : int;
+  mutable rs_mmaps : int;
+}
+
+let make_remove_stats () =
+  { rs_count = 0; rs_local = 0; rs_remote = 0; rs_from_cfl = 0; rs_mmaps = 0 }
+
+(* In-place [lo, hi) reversal, for matching [remove]'s list order below. *)
+let rev_range buf lo hi =
+  let i = ref lo and j = ref (hi - 1) in
+  while !i < !j do
+    let v = buf.(!i) in
+    buf.(!i) <- buf.(!j);
+    buf.(!j) <- v;
+    incr i;
+    decr j
+  done
+
+(* Allocation-free twin of [remove]: the batch lands in [buf.(0) ..
+   stats.rs_count) in exactly the order the list form would have produced
+   ([CFL objects in pop order] then [shard pops, most recent first]), so
+   the per-CPU refill sees an identical stream. *)
+let remove_into t ~cls ~n ~domain ~now ~buf ~stats =
+  let k = ref 0 in
+  let need = ref n in
+  let drain shard =
+    let slot = shard.slots.(cls) in
+    while !need > 0 && Int_stack.length slot.addrs > 0 do
+      let a = Int_stack.pop slot.addrs in
+      let home = Int_stack.pop slot.homes in
+      shard.cached_bytes <- shard.cached_bytes - Size_class.size cls;
+      let len = Int_stack.length slot.addrs in
+      if len < slot.low_watermark then slot.low_watermark <- len;
+      buf.(!k) <- a;
+      incr k;
+      decr need;
+      if home = domain then stats.rs_local <- stats.rs_local + 1
+      else stats.rs_remote <- stats.rs_remote + 1
+    done
+  in
+  stats.rs_local <- 0;
+  stats.rs_remote <- 0;
+  if Array.length t.domain_shards > 0 then drain t.domain_shards.(domain);
+  if !need > 0 then drain t.central;
+  let shard_pops = !k in
+  stats.rs_from_cfl <- !need;
+  let mmaps = ref 0 in
+  if !need > 0 then
+    k :=
+      !k
+      + Central_free_list.remove_objects_into t.cfl ~cls ~n:!need ~now ~buf
+          ~pos:shard_pops ~mmaps;
+  stats.rs_mmaps <- !mmaps;
+  stats.rs_count <- !k;
+  (* [remove] returns [rev cfl-pops @ rev shard-pops]; the buffer holds
+     [shard-pops ++ cfl-pops], so reverse the CFL segment then the whole
+     prefix to land on the same order. *)
+  rev_range buf shard_pops !k;
+  rev_range buf 0 !k
+
 let insert t ~cls ~addrs ~domain ~now =
   let overflow = ref [] in
   let store shard a =
@@ -124,6 +188,52 @@ let insert t ~cls ~addrs ~domain ~now =
   let n_overflow = List.length !overflow in
   if n_overflow > 0 then Central_free_list.return_objects t.cfl ~cls ~addrs:!overflow ~now;
   n_overflow
+
+(* Buffer twins of [insert] for the cache-miss batch path.  Storage order
+   matches the list form exactly — including the cons-accumulated overflow
+   that goes back to the central free list — so span occupancy evolves
+   bit-identically.  [insert_from] walks [buf.(lo) .. buf.(hi-1)] forward
+   (the [a :: flushed] dealloc order); [insert_rev_from] walks it backward
+   (the reversed-rejected-suffix refill order). *)
+let store_one t ~cls ~domain a =
+  let store shard =
+    if shard_room shard cls > 0 then begin
+      shard_push shard cls a domain;
+      true
+    end
+    else false
+  in
+  if Array.length t.domain_shards > 0 then
+    store t.domain_shards.(domain) || store t.central
+  else store t.central
+
+let insert_from t ~cls ~domain ~now ~buf ~lo ~hi =
+  let overflow = ref [] in
+  let n_overflow = ref 0 in
+  for i = lo to hi - 1 do
+    let a = buf.(i) in
+    if not (store_one t ~cls ~domain a) then begin
+      overflow := a :: !overflow;
+      incr n_overflow
+    end
+  done;
+  if !n_overflow > 0 then
+    Central_free_list.return_objects t.cfl ~cls ~addrs:!overflow ~now;
+  !n_overflow
+
+let insert_rev_from t ~cls ~domain ~now ~buf ~lo ~hi =
+  let overflow = ref [] in
+  let n_overflow = ref 0 in
+  for i = hi - 1 downto lo do
+    let a = buf.(i) in
+    if not (store_one t ~cls ~domain a) then begin
+      overflow := a :: !overflow;
+      incr n_overflow
+    end
+  done;
+  if !n_overflow > 0 then
+    Central_free_list.return_objects t.cfl ~cls ~addrs:!overflow ~now;
+  !n_overflow
 
 (* Objects a slot never dipped into since the previous tick are surplus:
    NUCA shards drain half of that low watermark to the central cache (so

@@ -40,6 +40,43 @@ val insert : t -> cls:int -> addrs:addr list -> domain:int -> now:float -> int
 (** Store freed objects coming from [domain]; returns how many overflowed
     to the central free list (0 when the cache had room). *)
 
+(** Mutable scratch record filled by {!remove_into} — the counters
+    {!remove_result} carries, without the per-miss record allocation. *)
+type remove_stats = {
+  mutable rs_count : int;  (** Objects delivered into the buffer. *)
+  mutable rs_local : int;
+  mutable rs_remote : int;
+  mutable rs_from_cfl : int;
+  mutable rs_mmaps : int;
+}
+
+val make_remove_stats : unit -> remove_stats
+
+val remove_into :
+  t ->
+  cls:int ->
+  n:int ->
+  domain:int ->
+  now:float ->
+  buf:addr array ->
+  stats:remove_stats ->
+  unit
+(** Allocation-free twin of {!remove} for the cache-miss batch path: up to
+    [n] objects land in [buf.(0) .. stats.rs_count) in exactly the order
+    {!remove} would have listed them, and the counters land in [stats].
+    [buf] must have room for [n] objects. *)
+
+val insert_from :
+  t -> cls:int -> domain:int -> now:float -> buf:addr array -> lo:int -> hi:int -> int
+(** {!insert} of [buf.(lo) .. buf.(hi-1)] in forward order, without the
+    list; returns the overflow count. *)
+
+val insert_rev_from :
+  t -> cls:int -> domain:int -> now:float -> buf:addr array -> lo:int -> hi:int -> int
+(** {!insert} of [buf.(hi-1) .. buf.(lo)] (reverse order — the refill
+    path's rejected suffix is stored reversed); returns the overflow
+    count. *)
+
 val release_tick : t -> now:float -> unit
 (** Background release: every NUCA shard drains half of its untouched
     surplus (low watermark) to the central cache, and the central cache

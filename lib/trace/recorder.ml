@@ -61,10 +61,10 @@ let record_app ?(seed = 1) ?(config = Config.baseline)
       Sched.spread platform ~first_cpu:0 ~cpus ~domains
     else Sched.slice platform ~first_cpu:0 ~cpus
   in
-  let malloc = Malloc.create ~config ~topology:platform ~clock () in
+  let backend = Wsc_backend.Backend.create ~config ~topology:platform ~clock () in
   let recorder = create writer in
   let driver =
-    Driver.create ~seed ~probe:(probe recorder) ~profile ~sched ~malloc ~clock ()
+    Driver.create ~seed ~probe:(probe recorder) ~profile ~sched ~backend ~clock ()
   in
   Driver.run driver ~duration_ns ~epoch_ns;
   driver

@@ -37,6 +37,6 @@ val record_app :
 (** Run one application profile solo — the same CPU slice/spread scheduling
     and seed derivation as a one-job {!Wsc_fleet.Machine} — with a recorder
     attached, and return the finished driver (its allocator is reachable
-    via {!Driver.malloc}).  Because the probe only observes, the run is
+    via {!Driver.backend}).  Because the probe only observes, the run is
     step-for-step identical to the same run without a recorder.  The caller
     closes [writer]. *)

@@ -1,5 +1,6 @@
 open Wsc_substrate
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Event = Wsc_workload.Trace
 
@@ -17,7 +18,7 @@ type result = {
 let run_events ?(config = Wsc_tcmalloc.Config.baseline)
     ?(topology = Wsc_hw.Topology.default) iter =
   let clock = Clock.create () in
-  let malloc = Malloc.create ~config ~topology ~clock () in
+  let backend = Backend.create ~config ~topology ~clock () in
   let num_cpus = Wsc_hw.Topology.num_cpus topology in
   let addr_of_id = Hashtbl.create 4096 in
   let peak = ref 0 in
@@ -25,7 +26,7 @@ let run_events ?(config = Wsc_tcmalloc.Config.baseline)
   iter (fun ev ->
       match ev with
       | Event.Alloc { id; size; cpu } ->
-        let addr = Malloc.malloc malloc ~cpu:(cpu mod num_cpus) ~size in
+        let addr = Backend.malloc backend ~cpu:(cpu mod num_cpus) ~size in
         Hashtbl.replace addr_of_id id (addr, size);
         incr allocations
       | Event.Free { id; cpu } ->
@@ -35,22 +36,22 @@ let run_events ?(config = Wsc_tcmalloc.Config.baseline)
           | None -> invalid_arg "Wsc_trace.Replay: free of unknown id"
         in
         Hashtbl.remove addr_of_id id;
-        Malloc.free malloc ~cpu:(cpu mod num_cpus) addr ~size;
+        Backend.free backend ~cpu:(cpu mod num_cpus) addr ~size;
         incr frees
       | Event.Advance { dt_ns } ->
         Clock.advance clock dt_ns;
-        let rss = (Malloc.heap_stats malloc).Malloc.resident_bytes in
+        let rss = (Backend.heap_stats backend).Malloc.resident_bytes in
         if rss > !peak then peak := rss
       | Event.Retire { cpu; flush } ->
-        Malloc.cpu_idle ~flush malloc ~cpu:(cpu mod num_cpus);
+        Backend.cpu_idle ~flush backend ~cpu:(cpu mod num_cpus);
         incr retires);
   {
     allocations = !allocations;
     frees = !frees;
     retires = !retires;
     peak_rss_bytes = !peak;
-    final_stats = Malloc.heap_stats malloc;
-    malloc_ns = Telemetry.total_malloc_ns (Malloc.telemetry malloc);
+    final_stats = Backend.heap_stats backend;
+    malloc_ns = Telemetry.total_malloc_ns (Backend.telemetry backend);
   }
 
 let run ?config ?topology reader =

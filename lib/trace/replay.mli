@@ -25,7 +25,7 @@ val run :
   result
 (** Stream the reader into a fresh allocator.  Consumes the reader.
     Event cpus are folded onto the topology ([cpu mod num_cpus]), and
-    [Retire] events re-issue the recorded {!Wsc_tcmalloc.Malloc.cpu_idle}
+    [Retire] events re-issue the recorded {!Wsc_backend.Backend.cpu_idle}
     calls, so a recorded run replays to the allocator state of the
     original. *)
 

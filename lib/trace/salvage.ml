@@ -7,17 +7,18 @@ module Event = Wsc_workload.Trace
    offline repair tool, so unlike the streaming reader it holds the whole
    file in memory: byte-level resync needs random access.
 
-   Resync strategy per damaged region:
-   1. Fast path — if the damaged frame's header still parses plausibly,
-      jump to the boundary it declares; if a valid frame (or the EOF
-      end-of-stream marker) sits there, the header was intact and the
-      declared event count is an exact loss figure.
-   2. Byte scan — otherwise scan forward one byte at a time for the next
-      CRC-valid frame.  Block frames carry no magic, so the payload CRC is
-      the only oracle; a false positive needs a 2^-32 CRC collision on
-      plausibly-framed garbage.
-   Loss is exact when every damaged region was measured via a trusted
-   header, approximate (flagged) otherwise. *)
+   Resync per damaged region scans forward one byte at a time for the
+   next CRC-valid frame (or the end-of-stream marker in its legal
+   position).  Block frames carry no magic, so the payload CRC is the
+   only oracle; a false positive needs a 2^-32 CRC collision on
+   plausibly-framed garbage.  When the damaged frame's own header
+   declares exactly the boundary the scan found, the header survived the
+   damage and its event count is an exact loss figure; a declared
+   boundary that disagrees with the scan is not trusted.  The CRC guards
+   only the payload, so a flipped header [count] over an intact payload
+   is detected by decoding the (self-delimiting) payload to its end and
+   reported as a measured zero-loss damaged region.  Loss is exact when
+   every damaged region was measured, approximate (flagged) otherwise. *)
 
 type damage = {
   d_start : int;
@@ -148,26 +149,6 @@ let scan_binary ~on_event path data ~header_damage =
     incr events;
     on_event ev
   in
-  let decode_block ~body ~len ~count =
-    let limit = body + len in
-    let pos = ref body in
-    let attempted = ref 0 in
-    (try
-       for _ = 1 to count do
-         (match Codec.decode_salvage ctx ~fresh_id data ~limit pos with
-         | Codec.S_event ev -> deliver ev
-         | Codec.S_remapped ev ->
-           incr remapped;
-           deliver ev
-         | Codec.S_dropped _ -> incr dropped);
-         incr attempted
-       done
-     with Codec.Malformed _ ->
-       (* A CRC-valid block our own writer cannot produce; the remainder of
-          the payload is untrustworthy. *)
-       dropped := !dropped + (count - !attempted));
-    incr blocks
-  in
   let damage = ref []
   and lost = ref 0
   and skipped_bytes = ref 0
@@ -180,6 +161,34 @@ let scan_binary ~on_event path data ~header_damage =
     | Some n -> lost := !lost + n
     | None -> exact := false
   in
+  (* The payload CRC does not cover the frame header, so [count] is
+     advisory even on a CRC-valid block: decode the (self-delimiting)
+     payload to its verified end instead of counting, and report a count
+     that disagrees as a measured zero-loss damaged header. *)
+  let decode_block ~frame_start ~body ~len ~count =
+    let limit = body + len in
+    let pos = ref body in
+    let decoded = ref 0 in
+    (try
+       while !pos < limit do
+         (match Codec.decode_salvage ctx ~fresh_id data ~limit pos with
+         | Codec.S_event ev -> deliver ev
+         | Codec.S_remapped ev ->
+           incr remapped;
+           deliver ev
+         | Codec.S_dropped _ -> incr dropped);
+         incr decoded
+       done;
+       if !decoded <> count then
+         add_damage ~d_start:frame_start ~d_end:body ~d_blocks:(Some 0)
+           ~d_events:(Some 0)
+     with Codec.Malformed _ ->
+       (* A CRC-valid payload our own writer cannot produce (a CRC
+          collision on garbage): the remainder is untrustworthy, and so is
+          the header's count. *)
+       add_damage ~d_start:!pos ~d_end:limit ~d_blocks:None ~d_events:None);
+    incr blocks
+  in
   (match header_damage with
   | Some (d_start, d_end) ->
     add_damage ~d_start ~d_end ~d_blocks:(Some 0) ~d_events:(Some 0)
@@ -191,46 +200,51 @@ let scan_binary ~on_event path data ~header_damage =
       | Some (F_eos { next }) when next = file_len -> ()
       | Some (F_block { body; len; count; fits = true; _ } as f)
         when crc_valid data f ->
-        decode_block ~body ~len ~count;
+        decode_block ~frame_start:off ~body ~len ~count;
         walk (body + len)
       | parsed -> resync off parsed
   and resync off parsed =
-    (* Fast path: trust the damaged frame's own header if the boundary it
-       declares lands on something valid. *)
-    let fast =
+    (* Byte scan for the next CRC-valid frame — the one oracle.  The
+       damaged frame's declared boundary is trusted (making its count an
+       exact loss figure) only when it agrees with the scan; a corrupted
+       length that happens to point at some later valid frame would
+       otherwise swallow the intervening blocks while claiming exactness. *)
+    let declared_next =
       match parsed with
       | Some (F_block { body; len; count; fits = true; _ }) ->
-        let next = body + len in
-        if next = file_len || valid_at data next then Some (next, count)
-        else None
+        Some (body + len, count)
       | _ -> None
     in
-    match fast with
-    | Some (next, count) ->
-      add_damage ~d_start:off ~d_end:next ~d_blocks:(Some 1)
-        ~d_events:(Some count);
-      walk next
-    | None ->
-      (* Byte scan for the next CRC-valid frame. *)
-      let found = ref None in
-      let cand = ref (off + 1) in
-      while !found = None && !cand < file_len do
-        if valid_at data !cand then found := Some !cand else incr cand
-      done;
-      (match !found with
-      | Some cand ->
-        add_damage ~d_start:off ~d_end:cand ~d_blocks:None ~d_events:None;
-        walk cand
-      | None -> (
-        (* Nothing valid to the end of the file.  If the damaged frame's
-           header parsed but its payload ran past EOF, this is a truncated
-           final block and the header's count is an exact loss figure. *)
-        missing_eos := true;
-        match parsed with
-        | Some (F_block { count; fits = false; _ }) ->
+    let found = ref None in
+    let cand = ref (off + 1) in
+    while !found = None && !cand < file_len do
+      if valid_at data !cand then found := Some !cand else incr cand
+    done;
+    match !found with
+    | Some cand ->
+      (match declared_next with
+      | Some (next, count) when next = cand ->
+        add_damage ~d_start:off ~d_end:cand ~d_blocks:(Some 1)
+          ~d_events:(Some count)
+      | _ -> add_damage ~d_start:off ~d_end:cand ~d_blocks:None ~d_events:None);
+      walk cand
+    | None -> (
+      (* Nothing valid to the end of the file.  A header whose payload
+         runs exactly to EOF (the end-of-stream marker was destroyed) or
+         past it (a truncated final block) still gives an exact loss
+         figure. *)
+      missing_eos := true;
+      match parsed with
+      | Some (F_block { count; fits = false; _ }) ->
+        add_damage ~d_start:off ~d_end:file_len ~d_blocks:(Some 1)
+          ~d_events:(Some count)
+      | _ -> (
+        match declared_next with
+        | Some (next, count) when next = file_len ->
           add_damage ~d_start:off ~d_end:file_len ~d_blocks:(Some 1)
             ~d_events:(Some count)
-        | _ -> add_damage ~d_start:off ~d_end:file_len ~d_blocks:None ~d_events:None))
+        | _ ->
+          add_damage ~d_start:off ~d_end:file_len ~d_blocks:None ~d_events:None))
   in
   if file_len > Codec.header_len then walk Codec.header_len
   else missing_eos := true;
@@ -308,7 +322,17 @@ let scan_text ~on_event path data =
 let sniff data =
   let len = Bytes.length data in
   let magic_len = String.length Codec.magic in
-  if len < magic_len then `Text
+  if len < magic_len then begin
+    (* Too short to hold the magic.  A torn header write leaves a strict
+       prefix of the magic (possibly empty), which must report as damaged
+       binary — never as a clean zero-event text trace; anything else this
+       short is real text content. *)
+    let is_magic_prefix = ref true in
+    for i = 0 to len - 1 do
+      if Bytes.get data i <> Codec.magic.[i] then is_magic_prefix := false
+    done;
+    if !is_magic_prefix then `Binary_damaged_header else `Text
+  end
   else begin
     let matches = ref 0 in
     for i = 0 to magic_len - 1 do

@@ -1,5 +1,5 @@
 open Wsc_substrate
-module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Audit = Wsc_tcmalloc.Audit
 module Sched = Wsc_os.Sched
@@ -15,7 +15,7 @@ type probe = {
 type t = {
   profile : Profile.t;
   sched : Sched.t;
-  malloc : Malloc.t;
+  backend : Backend.t;
   clock : Clock.t;
   rng : Rng.t;
   (* Pending frees as (free_time, addr, size, thread) in an int-payload
@@ -75,24 +75,24 @@ let record_lifetime_sample t ~size ~lifetime =
      (Fig. 8's >1 GiB rows); record all of them, and every k-th small one. *)
   if t.lifetime_countdown <= 0 || size >= 1_048_576 then begin
     if t.lifetime_countdown <= 0 then t.lifetime_countdown <- t.lifetime_sample_every;
-    Telemetry.record_lifetime (Malloc.telemetry t.malloc) ~size ~lifetime_ns:lifetime
+    Telemetry.record_lifetime (Backend.telemetry t.backend) ~size ~lifetime_ns:lifetime
   end
 
 let execute_free t ~addr ~size ~thread =
   let cross = Rng.bernoulli t.rng t.profile.Profile.cross_thread_free_fraction in
   let thread = if cross then Rng.int t.rng t.active_threads else thread mod t.active_threads in
   let cpu = Sched.cpu_of_thread t.sched ~thread in
-  Malloc.free_th t.malloc ~thread:t.thread_ids.(thread) ~cpu addr ~size;
+  Backend.free_th t.backend ~thread:t.thread_ids.(thread) ~cpu addr ~size;
   match t.probe with Some p -> p.on_free ~addr ~cpu | None -> ()
 
 let create ?(seed = 1) ?(lifetime_sample_every = 64) ?(series_cap = 0) ?faults ?probe
-    ?audit_interval_ns ~profile ~sched ~malloc ~clock () =
-  let num_cpus = Wsc_hw.Topology.num_cpus (Malloc.topology malloc) in
+    ?audit_interval_ns ~profile ~sched ~backend ~clock () =
+  let num_cpus = Wsc_hw.Topology.num_cpus (Backend.topology backend) in
   let t =
     {
       profile;
       sched;
-      malloc;
+      backend;
       clock;
       rng = Rng.create seed;
       pending_frees = Calendar.create ();
@@ -156,7 +156,7 @@ let update_cpus t n_threads =
   for i = 0 to t.n_active_cpus - 1 do
     let cpu = t.active_cpus.(i) in
     if not t.cpu_mark.(cpu) then begin
-      Malloc.cpu_idle t.malloc ~cpu;
+      Backend.cpu_idle t.backend ~cpu;
       match t.probe with Some p -> p.on_retire ~cpu ~flush:false | None -> ()
     end
   done;
@@ -178,7 +178,7 @@ let record_series t ~now =
   if t.series_tick mod t.series_stride = 0 then begin
     Fvec.push t.thread_times now;
     Int_stack.push t.thread_values t.active_threads;
-    let tel = Malloc.telemetry t.malloc in
+    let tel = Backend.telemetry t.backend in
     Int_stack.push t.rseq_restart_values (Telemetry.rseq_restarts tel);
     Int_stack.push t.rseq_stranded_values (Telemetry.stranded_reclaim_bytes tel);
     if t.series_cap > 0 && Fvec.length t.thread_times >= t.series_cap then begin
@@ -235,14 +235,14 @@ let update_threads t ~now =
    field loads are hoisted out of the per-event loop. *)
 let allocate_batch t ~now n =
   let drift = Profile.size_drift_factor t.profile ~now in
-  let profile = t.profile and rng = t.rng and malloc = t.malloc in
+  let profile = t.profile and rng = t.rng and backend = t.backend in
   (match t.probe with
   | None ->
     for _ = 1 to n do
       let thread = Rng.int rng t.active_threads in
       let cpu = Sched.cpu_of_thread t.sched ~thread in
       let size = Profile.sample_size_drifted profile rng ~drift in
-      let addr = Malloc.malloc_th malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+      let addr = Backend.malloc_th backend ~thread:t.thread_ids.(thread) ~cpu ~size in
       let lifetime = Profile.sample_lifetime profile rng ~size in
       record_lifetime_sample t ~size ~lifetime;
       Calendar.push t.pending_frees (now +. lifetime) ~a:addr ~b:size ~c:thread
@@ -252,7 +252,7 @@ let allocate_batch t ~now n =
       let thread = Rng.int rng t.active_threads in
       let cpu = Sched.cpu_of_thread t.sched ~thread in
       let size = Profile.sample_size_drifted profile rng ~drift in
-      let addr = Malloc.malloc_th malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+      let addr = Backend.malloc_th backend ~thread:t.thread_ids.(thread) ~cpu ~size in
       probe.on_alloc ~addr ~size ~cpu;
       let lifetime = Profile.sample_lifetime profile rng ~size in
       record_lifetime_sample t ~size ~lifetime;
@@ -269,7 +269,7 @@ let startup_burst t =
     let thread = Rng.int t.rng t.active_threads in
     let cpu = Sched.cpu_of_thread t.sched ~thread in
     let size = Profile.sample_size t.profile t.rng in
-    let addr = Malloc.malloc_th t.malloc ~thread:t.thread_ids.(thread) ~cpu ~size in
+    let addr = Backend.malloc_th t.backend ~thread:t.thread_ids.(thread) ~cpu ~size in
     (match t.probe with Some p -> p.on_alloc ~addr ~size ~cpu | None -> ());
     record_lifetime_sample t ~size ~lifetime:far_future;
     Calendar.push t.pending_frees far_future ~a:addr ~b:size ~c:thread;
@@ -280,13 +280,13 @@ let startup_burst t =
 let coverage_sample_interval = 0.5 *. Units.sec
 
 let observe_memory t ~now =
-  let rss = Malloc.resident_bytes t.malloc in
+  let rss = Backend.resident_bytes t.backend in
   Stats.Running.add t.rss_stats (float_of_int rss);
   if rss > t.peak_rss then t.peak_rss <- rss;
-  Stats.Running.add t.frag_stats (Malloc.live_fragmentation_ratio t.malloc);
+  Stats.Running.add t.frag_stats (Backend.live_fragmentation_ratio t.backend);
   if now >= t.next_coverage_sample then begin
     t.next_coverage_sample <- now +. coverage_sample_interval;
-    Stats.Running.add t.coverage_stats (Malloc.hugepage_coverage t.malloc)
+    Stats.Running.add t.coverage_stats (Backend.hugepage_coverage t.backend)
   end
 
 let step t ~dt =
@@ -301,7 +301,7 @@ let step t ~dt =
   | Some f when Fault.churn_due f ~now ->
     for i = 0 to t.n_active_cpus - 1 do
       let cpu = t.active_cpus.(i) in
-      Malloc.cpu_idle ~flush:true t.malloc ~cpu;
+      Backend.cpu_idle ~flush:true t.backend ~cpu;
       match t.probe with Some p -> p.on_retire ~cpu ~flush:true | None -> ()
     done;
     t.n_active_cpus <- 0;
@@ -332,7 +332,7 @@ let step t ~dt =
   match t.audit_interval_ns with
   | Some interval when now >= t.next_audit ->
     t.next_audit <- now +. interval;
-    Vec.push t.audit_reports (Audit.run t.malloc)
+    Vec.push t.audit_reports (Backend.audit t.backend)
   | Some _ | None -> ()
 
 let run t ~duration_ns ~epoch_ns =
@@ -372,10 +372,10 @@ let peak_rss_bytes t = t.peak_rss
 let avg_fragmentation_ratio t = Stats.Running.mean t.frag_stats
 
 let avg_hugepage_coverage t =
-  if Stats.Running.count t.coverage_stats = 0 then Malloc.hugepage_coverage t.malloc
+  if Stats.Running.count t.coverage_stats = 0 then Backend.hugepage_coverage t.backend
   else Stats.Running.mean t.coverage_stats
 let profile t = t.profile
-let malloc t = t.malloc
+let backend t = t.backend
 let faults t = t.faults
 let audit_reports t = Vec.to_list t.audit_reports
 
@@ -388,11 +388,11 @@ let reset_measurements t =
   t.frag_stats <- Stats.Running.create ();
   t.coverage_stats <- Stats.Running.create ();
   t.peak_rss <- 0;
-  Telemetry.mark (Malloc.telemetry t.malloc);
-  t.malloc_ns_at_reset <- Telemetry.total_malloc_ns (Malloc.telemetry t.malloc)
+  Telemetry.mark (Backend.telemetry t.backend);
+  t.malloc_ns_at_reset <- Telemetry.total_malloc_ns (Backend.telemetry t.backend)
 
 let measured_malloc_ns t =
-  Telemetry.total_malloc_ns (Malloc.telemetry t.malloc) -. t.malloc_ns_at_reset
+  Telemetry.total_malloc_ns (Backend.telemetry t.backend) -. t.malloc_ns_at_reset
 
 let drain t = Calendar.drain_payloads t.pending_frees infinity t.on_free
 

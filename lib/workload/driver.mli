@@ -42,7 +42,7 @@ val create :
   ?audit_interval_ns:float ->
   profile:Profile.t ->
   sched:Wsc_os.Sched.t ->
-  malloc:Wsc_tcmalloc.Malloc.t ->
+  backend:Wsc_backend.Backend.t ->
   clock:Wsc_substrate.Clock.t ->
   unit ->
   t
@@ -58,13 +58,13 @@ val create :
 
     [faults] makes the driver consume the stream's CPU-churn bursts: when
     one fires, every active vCPU retires with its cache flushed to the
-    transfer cache ({!Wsc_tcmalloc.Malloc.cpu_idle} with [flush:true]) and
+    transfer cache ({!Wsc_backend.Backend.cpu_idle} with [flush:true]) and
     the next thread update re-acquires CPUs.  Installing the
     stream's mmap/pressure hooks into the allocator's VM is the caller's
     job ({!Wsc_os.Fault.install}).
 
-    [audit_interval_ns] runs the {!Wsc_tcmalloc.Audit} heap checker every
-    interval of simulated time; reports accumulate for {!audit_reports}. *)
+    [audit_interval_ns] runs the backend's self-audit ({!Wsc_backend.Backend.audit})
+    every interval of simulated time; reports accumulate for {!audit_reports}. *)
 
 val step : t -> dt:float -> unit
 (** Process one epoch ending at the clock's current time: the caller (or
@@ -106,7 +106,7 @@ val avg_hugepage_coverage : t -> float
     time); falls back to the instantaneous value before the first sample. *)
 
 val profile : t -> Profile.t
-val malloc : t -> Wsc_tcmalloc.Malloc.t
+val backend : t -> Wsc_backend.Backend.t
 val faults : t -> Wsc_os.Fault.t option
 
 val audit_reports : t -> Wsc_tcmalloc.Audit.report list
@@ -133,7 +133,7 @@ val drain : t -> unit
 
 val checkpoint : t -> string
 (** Serialize the driver and everything it drives — the allocator (via
-    {!Wsc_tcmalloc.Malloc.snapshot}'s representation), the shared clock
+    {!Wsc_backend.Backend.snapshot}'s representation), the shared clock
     and its tickers, the pending-free event heap, the thread pool and
     vCPU occupancy, fault stream, audit history, and the driver's RNG
     cursor — into one [Marshal]-with-closures blob.  Resuming

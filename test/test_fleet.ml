@@ -5,6 +5,7 @@ open Wsc_substrate
 open Wsc_fleet
 module Config = Wsc_tcmalloc.Config
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Apps = Wsc_workload.Apps
 module Profile = Wsc_workload.Profile
 module Driver = Wsc_workload.Driver
@@ -40,7 +41,7 @@ let test_machine_total_rss () =
   let total = Machine.total_rss m in
   let by_job =
     List.fold_left
-      (fun acc j -> acc + (Malloc.heap_stats j.Machine.malloc).Malloc.resident_bytes)
+      (fun acc j -> acc + (Backend.heap_stats j.Machine.backend).Malloc.resident_bytes)
       0 (Machine.jobs m)
   in
   check_int "total rss = sum of jobs" by_job total
@@ -88,7 +89,7 @@ let fleet_digest fleet =
       ( Wsc_substrate.Clock.now (Machine.clock m),
         List.map
           (fun (j : Machine.job) ->
-            ( Malloc.heap_stats j.Machine.malloc,
+            ( Backend.heap_stats j.Machine.backend,
               Driver.requests_completed j.Machine.driver,
               Driver.allocations j.Machine.driver,
               Driver.live_objects j.Machine.driver ))

@@ -10,6 +10,7 @@ module Apps = Wsc_workload.Apps
 module Driver = Wsc_workload.Driver
 module Profile = Wsc_workload.Profile
 module Machine = Wsc_fleet.Machine
+module Backend = Wsc_backend.Backend
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -168,7 +169,7 @@ let run_machine seed =
   Machine.run machine ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
   let job = List.hd (Machine.jobs machine) in
   ( Driver.allocations job.Machine.driver,
-    (Malloc.heap_stats job.Machine.malloc).Malloc.resident_bytes )
+    (Backend.heap_stats job.Machine.backend).Malloc.resident_bytes )
 
 let test_machine_determinism () =
   let a1, r1 = run_machine 33 and a2, r2 = run_machine 33 in
@@ -183,7 +184,7 @@ let test_vcpu_bounded_by_quota () =
   in
   Machine.run machine ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
   let job = List.hd (Machine.jobs machine) in
-  let hwm = Wsc_os.Vcpu.high_water_mark (Malloc.vcpus job.Machine.malloc) in
+  let hwm = Wsc_os.Vcpu.high_water_mark (Backend.vcpus job.Machine.backend) in
   check_bool "vCPU ids stay within the thread ceiling" true
     (hwm <= Apps.monarch.Profile.threads.Wsc_workload.Threads.max_threads)
 

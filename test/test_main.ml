@@ -23,4 +23,5 @@ let () =
          Test_campaign.suite;
          Test_salvage.suite;
          Test_eventloop.suite;
+         Test_backend.suite;
        ])

@@ -8,6 +8,7 @@ open Wsc_substrate
 open Wsc_fleet
 module Config = Wsc_tcmalloc.Config
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Apps = Wsc_workload.Apps
 module Driver = Wsc_workload.Driver
@@ -75,11 +76,11 @@ let test_default_jobs_override () =
 let fleet_fingerprint fleet =
   List.map
     (fun (j : Machine.job) ->
-      let tel = Malloc.telemetry j.Machine.malloc in
+      let tel = Backend.telemetry j.Machine.backend in
       ( Telemetry.alloc_count tel,
         Telemetry.free_count tel,
         Telemetry.live_requested_bytes tel,
-        (Malloc.heap_stats j.Machine.malloc).Malloc.resident_bytes,
+        (Backend.heap_stats j.Machine.backend).Malloc.resident_bytes,
         Driver.requests_completed j.Machine.driver,
         Driver.avg_rss_bytes j.Machine.driver ))
     (Fleet.jobs fleet)
@@ -132,10 +133,10 @@ let event_heap_matches_binheap =
 let test_series_cap () =
   let clock = Clock.create () in
   let topology = Topology.default in
-  let malloc = Malloc.create ~topology ~clock () in
+  let backend = Backend.create ~topology ~clock () in
   let sched = Wsc_os.Sched.spread topology ~first_cpu:0 ~cpus:8 ~domains:1 in
   let driver =
-    Driver.create ~seed:5 ~series_cap:64 ~profile:Apps.fleet ~sched ~malloc ~clock ()
+    Driver.create ~seed:5 ~series_cap:64 ~profile:Apps.fleet ~sched ~backend ~clock ()
   in
   (* Series ticks are 0.25 s of simulated time apart: 40 s ~ 160 ticks,
      which crosses the 64-sample cap more than once. *)

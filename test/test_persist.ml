@@ -6,6 +6,7 @@
 open Wsc_substrate
 module Config = Wsc_tcmalloc.Config
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Audit = Wsc_tcmalloc.Audit
 module Cost_model = Wsc_hw.Cost_model
@@ -40,9 +41,9 @@ let write_file path s =
    tier hits, driver progress, and a fresh audit.  Bit-identity means
    structural equality of this digest. *)
 let job_digest driver =
-  let malloc = Driver.malloc driver in
-  let tel = Malloc.telemetry malloc in
-  ( Malloc.heap_stats malloc,
+  let backend = Driver.backend driver in
+  let tel = Backend.telemetry backend in
+  ( Backend.heap_stats backend,
     Telemetry.alloc_count tel,
     Telemetry.free_count tel,
     Telemetry.total_malloc_ns tel,
@@ -50,7 +51,7 @@ let job_digest driver =
     Driver.requests_completed driver,
     Driver.allocations driver,
     Driver.live_objects driver,
-    Audit.run malloc )
+    Backend.audit backend )
 
 let machine_digest machine =
   ( Clock.now (Machine.clock machine),
@@ -90,9 +91,9 @@ let test_driver_checkpoint_bit_identity () =
   let mk () =
     let clock = Clock.create () in
     let topology = Topology.default in
-    let malloc = Malloc.create ~config:Config.all_optimizations ~topology ~clock () in
+    let backend = Backend.create ~config:Config.all_optimizations ~topology ~clock () in
     let sched = Wsc_os.Sched.slice topology ~first_cpu:0 ~cpus:8 in
-    Driver.create ~seed:9 ~profile:Apps.redis ~sched ~malloc ~clock ()
+    Driver.create ~seed:9 ~profile:Apps.redis ~sched ~backend ~clock ()
   in
   let reference = mk () in
   Driver.run reference ~duration_ns:(1.5 *. sec) ~epoch_ns:ms;
@@ -139,9 +140,9 @@ let test_file_round_trip () =
 let test_driver_file_round_trip () =
   with_temp @@ fun path ->
   let clock = Clock.create () in
-  let malloc = Malloc.create ~topology:Topology.default ~clock () in
+  let backend = Backend.create ~topology:Topology.default ~clock () in
   let sched = Wsc_os.Sched.slice Topology.default ~first_cpu:0 ~cpus:4 in
-  let driver = Driver.create ~seed:3 ~profile:Apps.fleet ~sched ~malloc ~clock () in
+  let driver = Driver.create ~seed:3 ~profile:Apps.fleet ~sched ~backend ~clock () in
   Driver.run driver ~duration_ns:(0.5 *. sec) ~epoch_ns:ms;
   Persist.save_driver driver ~path ~note:"unit test";
   let restored = Persist.load_driver ~path in
@@ -202,9 +203,9 @@ let test_corrupt_bad_magic () =
 let test_corrupt_wrong_kind () =
   with_temp @@ fun path ->
   let clock = Clock.create () in
-  let malloc = Malloc.create ~topology:Topology.uniprocessor ~clock () in
+  let backend = Backend.create ~topology:Topology.uniprocessor ~clock () in
   let sched = Wsc_os.Sched.slice Topology.uniprocessor ~first_cpu:0 ~cpus:1 in
-  let driver = Driver.create ~seed:1 ~profile:Apps.redis ~sched ~malloc ~clock () in
+  let driver = Driver.create ~seed:1 ~profile:Apps.redis ~sched ~backend ~clock () in
   Driver.run driver ~duration_ns:(0.05 *. sec) ~epoch_ns:ms;
   Persist.save_driver driver ~path;
   (match Persist.load_machine ~path with

@@ -8,6 +8,7 @@ module Fault = Wsc_os.Fault
 module Config = Wsc_tcmalloc.Config
 module Size_class = Wsc_tcmalloc.Size_class
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Audit = Wsc_tcmalloc.Audit
 module Per_cpu_cache = Wsc_tcmalloc.Per_cpu_cache
@@ -282,8 +283,8 @@ let test_memory_pressure_survival () =
   in
   Machine.run machine ~duration_ns:(3.0 *. Units.sec) ~epoch_ns:Units.ms;
   let job = List.hd (Machine.jobs machine) in
-  let tel = Malloc.telemetry job.Machine.malloc in
-  let vm = Malloc.vm job.Machine.malloc in
+  let tel = Backend.telemetry job.Machine.backend in
+  let vm = Backend.vm job.Machine.backend in
   (* The run completed: transient faults were absorbed, no OOM. *)
   check_bool "made progress" true (Driver.allocations job.Machine.driver > 10_000);
   check_bool "faults were injected" true (Vm.transient_mmap_failures vm > 0);
@@ -333,10 +334,10 @@ let run_signature () =
   in
   Machine.run machine ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
   let job = List.hd (Machine.jobs machine) in
-  let tel = Malloc.telemetry job.Machine.malloc in
-  let vm = Malloc.vm job.Machine.malloc in
+  let tel = Backend.telemetry job.Machine.backend in
+  let vm = Backend.vm job.Machine.backend in
   {
-    stats = Malloc.heap_stats job.Machine.malloc;
+    stats = Backend.heap_stats job.Machine.backend;
     allocs = Telemetry.alloc_count tel;
     frees = Telemetry.free_count tel;
     requests = Driver.requests_completed job.Machine.driver;

@@ -11,6 +11,7 @@ module Rseq = Wsc_os.Rseq
 module Config = Wsc_tcmalloc.Config
 module Size_class = Wsc_tcmalloc.Size_class
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 module Audit = Wsc_tcmalloc.Audit
 module Per_cpu_cache = Wsc_tcmalloc.Per_cpu_cache
@@ -322,7 +323,7 @@ let test_ab_restart_overhead_accounting () =
         ~jobs:[ Apps.monarch ] ()
     in
     Machine.run machine ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
-    Malloc.telemetry (List.hd (Machine.jobs machine)).Machine.malloc
+    Backend.telemetry (List.hd (Machine.jobs machine)).Machine.backend
   in
   let control = run None in
   let experiment = run (Some (rc ~seed:11 ~p:0.01 ())) in

@@ -7,6 +7,7 @@ open Wsc_workload
 open Wsc_trace
 module Config = Wsc_tcmalloc.Config
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Machine = Wsc_fleet.Machine
 
 let check_int = Alcotest.(check int)
@@ -398,7 +399,7 @@ let direct_run ~seed ~config =
   in
   Machine.run machine ~duration_ns ~epoch_ns;
   match Machine.jobs machine with
-  | [ job ] -> (Driver.allocations job.Machine.driver, Malloc.heap_stats job.Machine.malloc)
+  | [ job ] -> (Driver.allocations job.Machine.driver, Backend.heap_stats job.Machine.backend)
   | _ -> Alcotest.fail "expected one job"
 
 let test_record_replay_bit_identical () =
@@ -411,7 +412,7 @@ let test_record_replay_bit_identical () =
           ~writer:w profile
       in
       let recorded_allocs = Driver.allocations driver in
-      let recorded_stats = Malloc.heap_stats (Driver.malloc driver) in
+      let recorded_stats = Backend.heap_stats (Driver.backend driver) in
       Writer.close w;
       (* The probe is passive: the recorded run equals the direct run. *)
       let direct_allocs, direct_stats = direct_run ~seed ~config:Config.baseline in

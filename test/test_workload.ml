@@ -3,6 +3,7 @@
 open Wsc_substrate
 open Wsc_workload
 module Malloc = Wsc_tcmalloc.Malloc
+module Backend = Wsc_backend.Backend
 module Telemetry = Wsc_tcmalloc.Telemetry
 
 let check_int = Alcotest.(check int)
@@ -158,35 +159,35 @@ let make_driver ?(profile = Apps.monarch) ?(seed = 3) () =
   let clock = Clock.create () in
   let topology = Wsc_hw.Topology.default in
   let sched = Wsc_os.Sched.slice topology ~first_cpu:0 ~cpus:24 in
-  let malloc = Malloc.create ~topology ~clock () in
-  let driver = Driver.create ~seed ~profile ~sched ~malloc ~clock () in
-  (clock, malloc, driver)
+  let backend = Backend.create ~topology ~clock () in
+  let driver = Driver.create ~seed ~profile ~sched ~backend ~clock () in
+  (clock, backend, driver)
 
 let test_driver_allocates () =
-  let _, malloc, driver = make_driver () in
+  let _, backend, driver = make_driver () in
   Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
   check_bool "allocations happened" true (Driver.allocations driver > 1000);
   check_bool "requests counted" true (Driver.requests_completed driver > 0.0);
-  let tel = Malloc.telemetry malloc in
+  let tel = Backend.telemetry backend in
   check_int "driver and allocator agree" (Driver.allocations driver)
     (Telemetry.alloc_count tel)
 
 let test_driver_leak_free_after_drain () =
-  let _, malloc, driver = make_driver ~profile:Apps.f1_query () in
+  let _, backend, driver = make_driver ~profile:Apps.f1_query () in
   Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
   Driver.drain driver;
-  let stats = Malloc.heap_stats malloc in
+  let stats = Backend.heap_stats backend in
   check_int "no live bytes after drain" 0 stats.Malloc.live_requested_bytes;
   check_int "alloc count = free count" 0
-    (Telemetry.alloc_count (Malloc.telemetry malloc)
-    - Telemetry.free_count (Malloc.telemetry malloc))
+    (Telemetry.alloc_count (Backend.telemetry backend)
+    - Telemetry.free_count (Backend.telemetry backend))
 
 let test_driver_deterministic () =
   let run () =
-    let _, malloc, driver = make_driver ~seed:77 () in
+    let _, backend, driver = make_driver ~seed:77 () in
     Driver.run driver ~duration_ns:(1.5 *. Units.sec) ~epoch_ns:Units.ms;
     ( Driver.allocations driver,
-      (Malloc.heap_stats malloc).Malloc.live_requested_bytes )
+      (Backend.heap_stats backend).Malloc.live_requested_bytes )
   in
   let a1, l1 = run () and a2, l2 = run () in
   check_int "same allocations" a1 a2;
@@ -209,10 +210,10 @@ let test_driver_thread_series () =
   check_bool "ascending" true (times = List.sort compare times)
 
 let test_driver_startup_burst () =
-  let _, malloc, driver = make_driver ~profile:Apps.spec2006 () in
+  let _, backend, driver = make_driver ~profile:Apps.spec2006 () in
   Driver.run driver ~duration_ns:(0.1 *. Units.sec) ~epoch_ns:Units.ms;
   check_bool "burst allocated immediately" true
-    (Telemetry.alloc_count (Malloc.telemetry malloc)
+    (Telemetry.alloc_count (Backend.telemetry backend)
     >= Apps.spec2006.Profile.startup_burst_allocs)
 
 let test_driver_reset_measurements () =
@@ -233,9 +234,9 @@ let test_driver_rss_tracking () =
     (float_of_int (Driver.peak_rss_bytes driver) >= Driver.avg_rss_bytes driver)
 
 let test_driver_lifetime_telemetry () =
-  let _, malloc, driver = make_driver () in
+  let _, backend, driver = make_driver () in
   Driver.run driver ~duration_ns:(2.0 *. Units.sec) ~epoch_ns:Units.ms;
-  let bins = Telemetry.lifetime_bins (Malloc.telemetry malloc) in
+  let bins = Telemetry.lifetime_bins (Backend.telemetry backend) in
   check_bool "lifetime samples recorded" true (bins <> [])
 
 let suite =
