@@ -1923,6 +1923,124 @@ let arena_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* tune — config autotuner over deterministic trace replay.            *)
+(* ------------------------------------------------------------------ *)
+(* Runs the default evolutionary search against the committed pinned   *)
+(* trace, then sweeps the transfer-cache L and filler-threshold C      *)
+(* knobs across the Sec. 4 plateau.  Every search/baseline/front/sweep *)
+(* line is bit-deterministic, so the smoke gate is an exact line-match *)
+(* against the committed BENCH_tune.json plus the dominance acceptance *)
+(* gate; wall-clock is informational.                                  *)
+
+module Tuner = Wsc_tune.Tune
+module Tspace = Wsc_tune.Space
+module Tpareto = Wsc_tune.Pareto
+
+let tune_json = "BENCH_tune.json"
+let tune_trace = "bench/tune_pinned.wtrace"
+
+let tune_gene name =
+  let rec go i =
+    if i >= Tspace.num_genes then begin
+      Printf.eprintf "tune: no gene named %S\n" name;
+      exit 1
+    end
+    else if Tspace.gene_name i = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let tune_bench () =
+  let module Replay = Wsc_trace.Replay in
+  if not (Sys.file_exists tune_trace) then begin
+    Printf.eprintf "tune: pinned trace %s not found (run from the repo root)\n"
+      tune_trace;
+    exit 1
+  end;
+  let events = Replay.preload tune_trace in
+  let spec = Tuner.default_spec in
+  let t0 = Unix.gettimeofday () in
+  let report = Tuner.run ~events spec in
+  (* L/C plateau sweeps: one knob swept with the owning optimization
+     switched on, everything else pinned at the paper default. *)
+  let backend = spec.Tuner.sp_backend in
+  let with_gene name v base =
+    let g = Array.copy base in
+    g.(tune_gene name) <- v;
+    g
+  in
+  let sweeps =
+    [
+      ( "cfl_lists",
+        Tuner.sweep_gene ~backend ~gene:(tune_gene "cfl_lists")
+          ~base:(with_gene "span_prioritization" 1 Tspace.baseline)
+          events );
+      ( "lifetime_threshold",
+        Tuner.sweep_gene ~backend
+          ~gene:(tune_gene "lifetime_threshold")
+          ~base:(with_gene "lifetime_filler" 1 Tspace.baseline)
+          events );
+    ]
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Tuner.pp_front Format.std_formatter report;
+  Format.pp_print_flush Format.std_formatter ();
+  List.iter
+    (fun (name, points) ->
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "sweep - %s (optimization on, rest at default)" name)
+          ~columns:[ name; "peak RSS"; "alloc CPU ms" ]
+      in
+      List.iter
+        (fun (label, (e : Tpareto.entry)) ->
+          Table.add_row t
+            [
+              label;
+              Units.bytes_to_string e.Tpareto.e_rss;
+              f2 ~decimals:3 (e.Tpareto.e_ns /. 1e6);
+            ])
+        points;
+      Table.print t)
+    sweeps;
+  if not report.Tuner.rp_finished then begin
+    Printf.eprintf "tune: search stopped before exhausting its budget\n";
+    exit 1
+  end;
+  if not report.Tuner.rp_dominates then begin
+    Printf.eprintf
+      "tune: best candidate does not strictly dominate the paper default on the \
+       pinned trace\n";
+    exit 1
+  end;
+  if !smoke then begin
+    let committed =
+      if Sys.file_exists tune_json then begin
+        let ic = open_in_bin tune_json in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      end
+      else None
+    in
+    match committed with
+    | None -> note "no committed %s; skipping the determinism gate." tune_json
+    | Some text -> (
+      match Tuner.check_committed ~sweeps ~committed:text report with
+      | [] -> note "all deterministic lines match committed %s" tune_json
+      | msgs ->
+        List.iter (fun m -> Printf.eprintf "tune: %s\n" m) msgs;
+        exit 1)
+  end
+  else begin
+    let oc = open_out tune_json in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Tuner.to_json ~wall_s ~sweeps report));
+    note "wrote %s" tune_json
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1938,6 +2056,7 @@ let experiments =
     ("ablation", ablation); ("rseq", rseq_bench); ("simperf", simperf);
     ("tracecodec", tracecodec); ("longhorizon", longhorizon);
     ("fleetcampaign", fleetcampaign); ("salvage", salvage); ("arena", arena_bench);
+    ("tune", tune_bench);
   ]
 
 let () =

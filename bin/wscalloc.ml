@@ -1217,6 +1217,186 @@ let arena_cmd =
           RSS, throughput and fragmentation.")
     Term.(const arena $ backends $ seed $ jobs_term $ smoke $ committed $ json_out)
 
+(* tune: deterministic config search over trace replay *)
+
+module Tuner = Tune.Tune
+module Tspace = Tune.Space
+
+let synth_events app duration seed =
+  let acc = ref [] in
+  Workload.Trace.synthesize_into ~seed ~profile:app
+    ~duration_ns:(duration *. Units.sec)
+    (fun ev -> acc := ev :: !acc);
+  Array.of_list (List.rev !acc)
+
+let tune trace_file app duration strategy_name budget batch backend seed jobs
+    checkpoint resume stop_after json_out =
+  corrupt_guard @@ fun () ->
+  apply_jobs jobs;
+  let strategy =
+    match Tuner.strategy_of_name strategy_name with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "wscalloc: unknown strategy %S (known: sweep, hillclimb, evolve)\n"
+        strategy_name;
+      exit 124
+  in
+  let spec =
+    {
+      Tuner.sp_seed = seed;
+      sp_budget = budget;
+      sp_batch = batch;
+      sp_strategy = strategy;
+      sp_backend = Option.value backend ~default:Config.Tcmalloc;
+    }
+  in
+  (try Tuner.validate_spec spec
+   with Invalid_argument msg ->
+     Printf.eprintf "wscalloc: %s\n" msg;
+     exit 124);
+  let events =
+    match (trace_file, app) with
+    | Some path, None ->
+      Printf.printf "tuning against trace %s...\n%!" path;
+      Replay.preload path
+    | None, Some app ->
+      Printf.printf "tuning against a synthesized %.0fs %s stream...\n%!" duration
+        app.Profile.name;
+      synth_events app duration seed
+    | Some _, Some _ ->
+      Printf.eprintf "wscalloc: --trace and --app are mutually exclusive\n";
+      exit 124
+    | None, None ->
+      Printf.eprintf "wscalloc: tune needs a workload: --trace FILE or --app APP\n";
+      exit 124
+  in
+  let resume_state =
+    match resume with
+    | None -> None
+    | Some path ->
+      let st = Tuner.load_checkpoint ~path in
+      Printf.printf "resuming search at %d evaluations (%d generations)...\n%!"
+        (Tuner.evaluations st) (Tuner.generations st);
+      Some st
+  in
+  let on_generation ~generation st =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      Tuner.save_checkpoint st ~path
+        ~note:(Printf.sprintf "generation %d" generation)
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    try
+      Tuner.run ~on_generation ?resume:resume_state
+        ?max_generations:stop_after ~events spec
+    with Invalid_argument msg ->
+      Printf.eprintf "wscalloc: %s\n" msg;
+      exit 124
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Tuner.pp_front Format.std_formatter report;
+  Format.pp_print_flush Format.std_formatter ();
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Tuner.to_json ~wall_s report));
+    Printf.printf "wrote %s\n" path);
+  if not report.Tuner.rp_finished then exit 3
+
+let tune_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace"; "t" ] ~docv:"FILE"
+          ~doc:"Recorded .wtrace to tune against (decoded once, shared by every arm).")
+  in
+  let app_opt =
+    Arg.(
+      value
+      & opt (some app_arg) None
+      & info [ "app"; "a" ] ~docv:"APP"
+          ~doc:
+            "Tune against a synthesized event stream of this profile instead of a \
+             recorded trace ($(b,--duration) seconds).")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "evolve"
+      & info [ "strategy"; "s" ] ~docv:"NAME"
+          ~doc:
+            "Search strategy: $(b,sweep) (random search), $(b,hillclimb) (sweep \
+             opening then one-step neighborhood descent), or $(b,evolve) \
+             (tournament-selection GA, the default).")
+  in
+  let budget =
+    Arg.(
+      value & opt int Tuner.default_spec.Tuner.sp_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Total replay evaluations (default 120).")
+  in
+  let batch =
+    Arg.(
+      value & opt int Tuner.default_spec.Tuner.sp_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Evaluations per generation — the parallel fan-out width (default 24).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Search seed (default 42).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a search checkpoint to $(docv) (atomically, replacing any previous \
+             one) after every generation; resuming it continues bit-identically.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a search from a checkpoint written by $(b,--checkpoint).  The \
+             spec flags and workload must match the checkpointed search; exits 65 \
+             on damage, 124 on mismatch.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"GENS"
+          ~doc:
+            "Stop cleanly after $(docv) generations this invocation (deterministic \
+             stand-in for a mid-search kill; exits 3 when the budget is left \
+             unfinished).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report (BENCH_tune.json format) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the allocator config space against a recorded trace: seeded, \
+          fully deterministic (same seed => identical Pareto front at any \
+          $(b,--jobs)), reporting peak-RSS vs allocator-CPU trade-offs against \
+          the paper-default config.")
+    Term.(
+      const tune $ trace_file $ app_opt $ duration_term $ strategy $ budget $ batch
+      $ backend_term $ seed $ jobs_term $ checkpoint $ resume $ stop_after $ json_out)
+
 let () =
   let info =
     Cmd.info "wscalloc" ~version:"1.0.0"
@@ -1227,5 +1407,5 @@ let () =
        (Cmd.group info
           [
             list_apps_cmd; simulate_cmd; ab_cmd; fleet_cmd; arena_cmd; trace_cmd;
-            snapshot_cmd;
+            snapshot_cmd; tune_cmd;
           ]))

@@ -13,7 +13,8 @@
     {- {!Workload} — application profiles and the event driver.}
     {- {!Fleet_sim} — machines, fleet builder, GWP profiling, A/B tests.}
     {- {!Trace_stream} — streaming binary traces: record, replay, analyze.}
-    {- {!Persist} — warm-state checkpoint/restore with bit-identical resume.}} *)
+    {- {!Persist} — warm-state checkpoint/restore with bit-identical resume.}
+    {- {!Tune} — deterministic config search (Pareto front) over trace replay.}} *)
 
 module Substrate = Wsc_substrate
 module Hw = Wsc_hw
@@ -25,6 +26,7 @@ module Workload = Wsc_workload
 module Fleet_sim = Wsc_fleet
 module Trace_stream = Wsc_trace
 module Persist = Wsc_persist.Persist
+module Tune = Wsc_tune
 
 (** Convenience entry points used by the examples and the CLI. *)
 module Quick = struct

@@ -263,18 +263,23 @@ let render_result r =
 (* Machine i's shape is drawn from its own generator — not from a shared
    sequential stream like Fleet.create — so any machine can be (re)built
    in isolation: retries, resumes and shard boundaries never shift what
-   machine i is. *)
-let machine_shape spec binaries index =
+   machine i is.  The binary-popularity sampler is built once per campaign
+   ([popularity], below) and shared read-only across machines, attempts
+   and domains: constructing it consumes no RNG draws, so sharing it
+   leaves every machine's shape bit-identical. *)
+let machine_shape spec binaries zipf index =
   let rng =
     Rng.create (((spec.seed * 1_000_003) lxor (index * 2_654_435_761)) land max_int)
   in
   let platform = Topology.generations.(Dist.categorical rng Fleet.platform_mix) in
-  let zipf = Dist.zipf_sampler ~n:(Array.length binaries) ~s:spec.zipf_s in
   let jobs =
     List.init spec.jobs_per_machine (fun _ ->
         binaries.(Dist.discrete_sample zipf rng))
   in
   (platform, jobs)
+
+let popularity spec binaries =
+  Dist.zipf_sampler ~n:(Array.length binaries) ~s:spec.zipf_s
 
 let corrupt_summary (s : Machine.summary) =
   (* Flip a counter but keep the stale digest: Machine.summary_valid now
@@ -288,8 +293,8 @@ let corrupt_summary (s : Machine.summary) =
         { js with Machine.js_allocations = js.Machine.js_allocations lxor 1 } :: rest;
     }
 
-let run_attempt spec binaries ~index ~attempt ~wasted =
-  let platform, jobs = machine_shape spec binaries index in
+let run_attempt spec binaries zipf ~index ~attempt ~wasted =
+  let platform, jobs = machine_shape spec binaries zipf index in
   let machine =
     Machine.create ~seed:(spec.seed + (7919 * (index + 1))) ~config:spec.config ~platform
       ~jobs ()
@@ -353,13 +358,13 @@ let run_attempt spec binaries ~index ~attempt ~wasted =
   let s = Machine.summary machine in
   match inject with Some Fault.Chaos_corrupt -> corrupt_summary s | _ -> s
 
-let supervise_machine spec binaries index =
+let supervise_machine spec binaries zipf index =
   let wasted = ref 0.0 in
   let outcome =
     Supervisor.run spec.policy ~task:index
       ~validate:(fun s ->
         if Machine.summary_valid s then Ok () else Error "summary digest mismatch")
-      (fun ~attempt -> run_attempt spec binaries ~index ~attempt ~wasted)
+      (fun ~attempt -> run_attempt spec binaries zipf ~index ~attempt ~wasted)
   in
   (outcome, !wasted)
 
@@ -402,6 +407,7 @@ let run ?jobs ?(on_shard = fun ~shard:_ _ -> ()) ?resume ?max_shards spec =
   validate_spec spec;
   let digest = spec_digest spec in
   let binaries = Fleet.default_population spec.num_binaries in
+  let zipf = popularity spec binaries in
   let state =
     match resume with
     | None -> fresh_state digest
@@ -419,7 +425,7 @@ let run ?jobs ?(on_shard = fun ~shard:_ _ -> ()) ?resume ?max_shards spec =
        memory is O(shard_size), never O(machines). *)
     let outcomes =
       Parallel.map ?jobs
-        (fun i -> supervise_machine spec binaries i)
+        (fun i -> supervise_machine spec binaries zipf i)
         (Array.init (hi - lo) (fun k -> lo + k))
     in
     Array.iteri (fun k outcome -> merge_outcome state spec (lo + k) outcome) outcomes;

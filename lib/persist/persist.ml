@@ -525,6 +525,25 @@ let save_campaign ?storage ?(note = "") ck ~path =
     ~manifest:{ sim_now_ns = Campaign.checkpoint_sim_ns ck; job_manifests = [] }
     (Marshal.to_string ck [])
 
+(* --- Generic blobs ----------------------------------------------------- *)
+
+(* Kind-tagged opaque payloads in the same container (header, CRC'd
+   sections, self-verifying trailer): other subsystems — the tune search
+   checkpoints — get atomic writes, degraded-mode recovery, [info],
+   [audit] and [repair] without this module knowing their state shape.
+   The caller is responsible for the payload being closure-free if it
+   wants cross-binary loads. *)
+
+let save_blob ?storage ?(note = "") ~kind ~progress blob ~path =
+  save ?storage ~path ~kind ~note
+    ~manifest:{ sim_now_ns = progress; job_manifests = [] }
+    blob
+
+let load_blob ~kind ~path =
+  let m, stored, state = load_sections path in
+  check_kind ~expected:kind m;
+  (state, stored.sim_now_ns)
+
 let load_campaign ~path =
   let m, stored, state = load_sections path in
   check_kind ~expected:"campaign" m;

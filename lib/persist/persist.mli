@@ -105,6 +105,30 @@ val load_campaign : path:string -> Wsc_fleet.Campaign.checkpoint
 val campaign_shard_path : dir:string -> int -> string
 (** [campaign_shard_path ~dir n] is [dir/campaign-NNNN.wsnap]. *)
 
+(** {1 Generic blobs}
+
+    Kind-tagged opaque payloads in the same snapshot container: atomic
+    write-then-rename, CRC'd sections, self-verifying trailer, and the
+    {!info}/{!audit}/{!repair} tooling all apply.  Used by subsystems with
+    their own closure-free state encodings (e.g. the tune search
+    checkpoints, kind ["tune"]). *)
+
+val save_blob :
+  ?storage:Wsc_os.Storage.t ->
+  ?note:string ->
+  kind:string ->
+  progress:float ->
+  string ->
+  path:string ->
+  unit
+(** Persist an opaque payload under [kind].  [progress] is stored in the
+    manifest's clock slot and surfaces as {!info}'s [sim_now_ns] — a
+    cheap "how far along" readable without touching the payload. *)
+
+val load_blob : kind:string -> path:string -> string * float
+(** Recover the payload and its [progress].
+    @raise Corrupt on damage or a snapshot of a different kind. *)
+
 val run_campaign :
   ?jobs:int ->
   ?storage:Wsc_os.Storage.t ->

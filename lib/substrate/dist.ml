@@ -35,11 +35,19 @@ and t =
    almost always empty while the table stays tiny. *)
 let guide_cells n = 4 * n
 
+(* Guide-table constructions are counted (atomically: tables may be built
+   from worker domains) so regression tests can pin the setup cost of a
+   fan-out: a 50-arm replay or a 2000-machine campaign must not rebuild
+   per-arm what a caller could build once.  Sampling never touches this. *)
+let builds = Atomic.make 0
+let table_builds () = Atomic.get builds
+
 (* guide.(c) = the largest i with xs.(i) <= c/k (0 when none): a safe
    starting point for "largest i with xs.(i) <= u" for any u in cell c.
    Float rounding in [u *. k] can land u one cell high, so [find_le]
    re-checks backwards. *)
 let make_guide_le xs =
+  Atomic.incr builds;
   let n = Array.length xs in
   let k = guide_cells n in
   let kf = float_of_int k in
@@ -77,6 +85,7 @@ let[@inline] find_ge cum guide u =
 
 (* guide.(c) = smallest i with cum.(i) >= c/k, capped at n-1. *)
 let make_guide_ge cum =
+  Atomic.incr builds;
   let n = Array.length cum in
   let k = guide_cells n in
   let kf = float_of_int k in

@@ -77,3 +77,11 @@ val zipf_weights : n:int -> s:float -> float array
 
 val categorical : Rng.t -> float array -> int
 (** Draw an index proportionally to the (non-negative) weights. *)
+
+val table_builds : unit -> int
+(** Process-wide count of guide-table constructions (every {!empirical},
+    {!mixture}, {!discrete_of_weights} and {!zipf_sampler} builds one).
+    Sampling never increments it.  Regression tests pin the delta across a
+    fan-out to catch per-arm rebuilds of hoistable setup — e.g. a
+    multi-config trace replay must build zero tables and an N-machine
+    campaign exactly one (its binary-popularity Zipf sampler). *)

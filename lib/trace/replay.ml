@@ -80,3 +80,33 @@ let run_configs ?jobs ?topology ~configs path =
   Parallel.map_list ?jobs
     (fun (name, config) -> (name, run_file ~config ?topology path))
     configs
+
+(* Preloaded replay: decode the trace once into an immutable event array
+   and share it read-only across arms.  Events are immutable records, so
+   cross-domain sharing is safe, and iteration order is the array order —
+   identical to the streaming reader — so results match [run_file] bit for
+   bit.  This is what a tune generation wants: a 50-candidate fan-out pays
+   one decode (and zero Dist guide-table builds) instead of 50 decodes. *)
+let preload path =
+  let cap = ref 4096 in
+  let buf = ref (Array.make !cap (Event.Advance { dt_ns = 0.0 })) in
+  let len = ref 0 in
+  Reader.with_file path (fun reader ->
+      Reader.iter reader (fun ev ->
+          if !len = !cap then begin
+            cap := 2 * !cap;
+            let grown = Array.make !cap (Event.Advance { dt_ns = 0.0 }) in
+            Array.blit !buf 0 grown 0 !len;
+            buf := grown
+          end;
+          !buf.(!len) <- ev;
+          incr len));
+  Array.sub !buf 0 !len
+
+let run_preloaded ?config ?topology events =
+  run_events ?config ?topology (fun f -> Array.iter f events)
+
+let run_configs_preloaded ?jobs ?topology ~configs events =
+  Parallel.map_list ?jobs
+    (fun (name, config) -> (name, run_preloaded ~config ?topology events))
+    configs

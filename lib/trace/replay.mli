@@ -55,3 +55,26 @@ val run_configs :
     the {!Wsc_substrate.Parallel} domain pool.  Each arm opens the file
     independently and results preserve input order, so the output is
     bit-identical whatever [jobs] is. *)
+
+val preload : string -> Wsc_workload.Trace.event array
+(** Decode a trace file once into an immutable in-memory event array.
+    Events are immutable records, safe to share read-only across domains.
+    @raise Reader.Corrupt as {!run_file} would. *)
+
+val run_preloaded :
+  ?config:Wsc_tcmalloc.Config.t ->
+  ?topology:Wsc_hw.Topology.t ->
+  Wsc_workload.Trace.event array ->
+  result
+(** Replay a preloaded event array.  Bit-identical to {!run_file} on the
+    file the array was preloaded from. *)
+
+val run_configs_preloaded :
+  ?jobs:int ->
+  ?topology:Wsc_hw.Topology.t ->
+  configs:(string * Wsc_tcmalloc.Config.t) list ->
+  Wsc_workload.Trace.event array ->
+  (string * result) list
+(** {!run_configs} over a preloaded array: the repeated-evaluation path
+    for search loops — one decode (and zero {!Wsc_substrate.Dist} table
+    builds) however many arms are fanned out. *)

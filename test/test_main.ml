@@ -24,4 +24,5 @@ let () =
          Test_salvage.suite;
          Test_eventloop.suite;
          Test_backend.suite;
+         Test_tune.suite;
        ])
